@@ -1,0 +1,49 @@
+//! Criterion bench: the Table V hotspot kernels (CGEMMs, nlp_prop,
+//! kin_prop) on a fixed domain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlmd_lfd::kin_prop::{KinImpl, KinProp};
+use mlmd_lfd::nlp_prop::{NlpPrecision, NlpProp};
+use mlmd_lfd::wavefunction::WaveFunctions;
+use mlmd_numerics::cgemm::{overlap, rank_update};
+use mlmd_numerics::complex::c64;
+use mlmd_numerics::flops::FlopCounter;
+use mlmd_numerics::grid::Grid3;
+use mlmd_numerics::matrix::Matrix;
+use mlmd_numerics::vec3::Vec3;
+use std::hint::black_box;
+
+fn bench_hotspots(c: &mut Criterion) {
+    let grid = Grid3::new(16, 16, 16, 0.5);
+    let norb = 16;
+    let wf0 = WaveFunctions::random(grid, norb, 1);
+    let wf = WaveFunctions::random(grid, norb, 2);
+    let flops = FlopCounter::new();
+    let mut group = c.benchmark_group("table5_hotspots");
+    group.sample_size(10);
+    group.bench_function("cgemm1_overlap", |b| {
+        let mut s = Matrix::<c64>::zeros(norb, norb);
+        b.iter(|| overlap(c64::one(), &wf0.psi, &wf.psi, c64::zero(), black_box(&mut s)));
+    });
+    group.bench_function("cgemm2_rank_update", |b| {
+        let s = Matrix::<c64>::eye(norb);
+        let mut psi = wf.psi.clone();
+        b.iter(|| rank_update(c64::new(-0.01, 0.0), &wf0.psi, &s, black_box(&mut psi)));
+    });
+    group.bench_function("nlp_prop", |b| {
+        let nlp = NlpProp::new(&wf0, c64::new(0.0, -0.01));
+        let mut t = wf.clone();
+        b.iter(|| nlp.apply(black_box(&mut t), NlpPrecision::F64, &flops));
+    });
+    group.bench_function("kin_prop", |b| {
+        let kp = KinProp::new(grid);
+        let mut t = wf.clone();
+        b.iter(|| {
+            kp.propagate_n(KinImpl::Parallel, black_box(&mut t), 0.01, Vec3::ZERO, 1, &flops)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotspots);
+criterion_main!(benches);

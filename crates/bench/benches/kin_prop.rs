@@ -1,0 +1,34 @@
+//! Criterion bench: the Table III kin_prop optimization ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlmd_lfd::kin_prop::{KinImpl, KinProp};
+use mlmd_lfd::wavefunction::WaveFunctions;
+use mlmd_numerics::flops::FlopCounter;
+use mlmd_numerics::grid::Grid3;
+use mlmd_numerics::vec3::Vec3;
+use std::hint::black_box;
+
+fn bench_kin_prop(c: &mut Criterion) {
+    let grid = Grid3::new(24, 24, 24, 0.5);
+    let norb = 8;
+    let kp = KinProp::new(grid);
+    let flops = FlopCounter::new();
+    let mut group = c.benchmark_group("table3_kin_prop");
+    group.sample_size(10);
+    for imp in KinImpl::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{imp:?}")),
+            &imp,
+            |b, &imp| {
+                let mut wf = WaveFunctions::random(grid, norb, 1);
+                b.iter(|| {
+                    kp.propagate_n(imp, black_box(&mut wf), 0.01, Vec3::ZERO, 1, &flops);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kin_prop);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: Allegro-lite inference — monolithic vs the
+//! two-batch block inference of Sec. V.B.9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlmd_nnqmd::infer::block_evaluate;
+use mlmd_nnqmd::model::{AllegroLite, ModelConfig};
+use mlmd_numerics::vec3::Vec3;
+use mlmd_qxmd::perovskite::PerovskiteLattice;
+use std::hint::black_box;
+
+fn bench_infer(c: &mut Criterion) {
+    let model = AllegroLite::new(
+        ModelConfig {
+            hidden: 8,
+            k_max: 5,
+            rcut: 4.0,
+        },
+        1,
+    );
+    let lat = PerovskiteLattice::uniform(3, 3, 3, Vec3::new(0.0, 0.0, 0.2));
+    let sys = &lat.system;
+    let mut group = c.benchmark_group("nnqmd_inference");
+    group.sample_size(10);
+    for n_batches in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("block_evaluate", n_batches),
+            &n_batches,
+            |b, &n| {
+                b.iter(|| {
+                    block_evaluate(
+                        black_box(&model),
+                        &sys.species,
+                        &sys.positions,
+                        sys.box_lengths,
+                        n,
+                    )
+                });
+            },
+        );
+    }
+    group.bench_function("monolithic_evaluate", |b| {
+        b.iter(|| model.evaluate(black_box(&sys.species), &sys.positions, sys.box_lengths));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_infer);
+criterion_main!(benches);

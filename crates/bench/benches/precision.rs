@@ -1,0 +1,35 @@
+//! Criterion bench: the Table IV parameterized-precision modes of the
+//! nonlocal correction (FP64 / FP32 / BF16-split with FP32 accumulation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlmd_lfd::nlp_prop::{NlpPrecision, NlpProp};
+use mlmd_lfd::wavefunction::WaveFunctions;
+use mlmd_numerics::complex::c64;
+use mlmd_numerics::flops::FlopCounter;
+use mlmd_numerics::grid::Grid3;
+use std::hint::black_box;
+
+fn bench_precision(c: &mut Criterion) {
+    let grid = Grid3::new(16, 16, 16, 0.5);
+    let norb = 12;
+    let wf0 = WaveFunctions::random(grid, norb, 1);
+    let wf = WaveFunctions::random(grid, norb, 2);
+    let nlp = NlpProp::new(&wf0, c64::new(0.0, -0.01));
+    let flops = FlopCounter::new();
+    let mut group = c.benchmark_group("table4_precision");
+    group.sample_size(10);
+    for prec in NlpPrecision::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(prec.label()),
+            &prec,
+            |b, &prec| {
+                let mut t = wf.clone();
+                b.iter(|| nlp.apply(black_box(&mut t), prec, &flops));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_precision);
+criterion_main!(benches);

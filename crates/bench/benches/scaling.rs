@@ -1,0 +1,33 @@
+//! Criterion bench: the Fig. 4/5 cost-model sweeps (deterministic, fast —
+//! benchmarks the model evaluation itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlmd_exasim::dcmesh_model::DcMeshModel;
+use mlmd_exasim::nnqmd_model::NnqmdModel;
+use mlmd_exasim::scaling::{self, sweeps};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let dcmesh = DcMeshModel::paper_config();
+    let nnqmd = NnqmdModel::paper_config();
+    let mut group = c.benchmark_group("fig45_scaling_model");
+    group.sample_size(20);
+    group.bench_function("fig4a_weak", |b| {
+        b.iter(|| scaling::dcmesh_weak(black_box(&dcmesh), 128.0, &sweeps::DCMESH_WEAK));
+    });
+    group.bench_function("fig4b_strong", |b| {
+        b.iter(|| {
+            scaling::dcmesh_strong(black_box(&dcmesh), 12_582_912.0, &sweeps::DCMESH_STRONG)
+        });
+    });
+    group.bench_function("fig5a_weak", |b| {
+        b.iter(|| scaling::nnqmd_weak(black_box(&nnqmd), 10_240_000.0, &sweeps::NNQMD_WEAK));
+    });
+    group.bench_function("fig5b_strong", |b| {
+        b.iter(|| scaling::nnqmd_strong(black_box(&nnqmd), 984_000_000.0, &sweeps::NNQMD_STRONG));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

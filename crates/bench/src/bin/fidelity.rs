@@ -1,0 +1,4 @@
+//! Prints the paper's fidelity reproduction (see mlmd-bench docs).
+fn main() {
+    print!("{}", mlmd_bench::fidelity());
+}

@@ -1,0 +1,4 @@
+//! Prints the paper's fig4 reproduction (see mlmd-bench docs).
+fn main() {
+    print!("{}", mlmd_bench::fig4());
+}

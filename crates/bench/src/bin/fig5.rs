@@ -1,0 +1,4 @@
+//! Prints the paper's fig5 reproduction (see mlmd-bench docs).
+fn main() {
+    print!("{}", mlmd_bench::fig5());
+}

@@ -1,0 +1,4 @@
+//! Prints the paper's table2 reproduction (see mlmd-bench docs).
+fn main() {
+    print!("{}", mlmd_bench::table2());
+}

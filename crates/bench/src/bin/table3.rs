@@ -1,0 +1,4 @@
+//! Prints the paper's table3 reproduction (see mlmd-bench docs).
+fn main() {
+    print!("{}", mlmd_bench::table3());
+}

@@ -1,0 +1,63 @@
+//! Host peak-rate probe: a reference point for "% of peak" columns.
+//!
+//! The paper normalizes kernel rates against the PVC tile's FP64 peak;
+//! on an arbitrary host we normalize against the measured rate of a
+//! well-blocked double-precision GEMM (the practical peak of this code
+//! base on this machine).
+
+use mlmd_numerics::gemm::{gemm_flops, gemm_parallel};
+use mlmd_numerics::matrix::Matrix;
+use mlmd_numerics::rng::{Rng64, SplitMix64};
+use std::time::Instant;
+
+/// Measured host reference rates (GFLOP/s).
+#[derive(Clone, Copy, Debug)]
+pub struct HostPeaks {
+    pub dgemm_gflops: f64,
+    pub sgemm_gflops: f64,
+}
+
+/// Probe the host with an n×n×n GEMM (run once, cache the result).
+pub fn probe(n: usize) -> HostPeaks {
+    let mut rng = SplitMix64::new(7);
+    let a64 = Matrix::from_fn(n, n, |_, _| rng.next_f64() - 0.5);
+    let b64 = Matrix::from_fn(n, n, |_, _| rng.next_f64() - 0.5);
+    let mut c64m = Matrix::<f64>::zeros(n, n);
+    // Warm-up.
+    gemm_parallel(1.0, &a64, &b64, 0.0, &mut c64m);
+    let start = Instant::now();
+    let reps = 3;
+    for _ in 0..reps {
+        gemm_parallel(1.0, &a64, &b64, 0.0, &mut c64m);
+    }
+    let dgemm = reps as f64 * gemm_flops::<f64>(n, n, n) as f64
+        / start.elapsed().as_secs_f64()
+        / 1e9;
+    let a32 = Matrix::from_fn(n, n, |i, j| a64[(i, j)] as f32);
+    let b32 = Matrix::from_fn(n, n, |i, j| b64[(i, j)] as f32);
+    let mut c32m = Matrix::<f32>::zeros(n, n);
+    gemm_parallel(1.0f32, &a32, &b32, 0.0, &mut c32m);
+    let start = Instant::now();
+    for _ in 0..reps {
+        gemm_parallel(1.0f32, &a32, &b32, 0.0, &mut c32m);
+    }
+    let sgemm = reps as f64 * gemm_flops::<f32>(n, n, n) as f64
+        / start.elapsed().as_secs_f64()
+        / 1e9;
+    HostPeaks {
+        dgemm_gflops: dgemm,
+        sgemm_gflops: sgemm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_returns_positive_rates() {
+        let p = probe(96);
+        assert!(p.dgemm_gflops > 0.01);
+        assert!(p.sgemm_gflops > 0.01);
+    }
+}

@@ -1,0 +1,98 @@
+//! Pipeline configuration.
+
+use mlmd_dcmesh::ehrenfest::EhrenfestConfig;
+
+/// All knobs of the end-to-end Fig. 3 run.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Supercell cells per axis (the superlattice lives in x–y).
+    pub cells: (usize, usize, usize),
+    /// Skyrmions per axis in the superlattice.
+    pub skyrmions: (usize, usize),
+    /// Skyrmion radius in cells.
+    pub skyrmion_radius: f64,
+    /// Spontaneous Ti displacement amplitude (Å).
+    pub u0: f64,
+    /// Preparation MD steps (GS relaxation / thermalization).
+    pub prepare_steps: usize,
+    /// Preparation temperature (K); 0 = quenched.
+    pub temperature: f64,
+    /// Laser peak field (a.u.).
+    pub pulse_e0: f64,
+    /// Laser carrier frequency (a.u.).
+    pub pulse_omega: f64,
+    /// DC-MESH MD steps under the pulse.
+    pub mesh_steps: usize,
+    /// Ehrenfest inner-loop settings.
+    pub ehrenfest: EhrenfestConfig,
+    /// XS-NNQMD response MD steps after the pulse.
+    pub response_steps: usize,
+    /// MD time step (fs).
+    pub dt_fs: f64,
+    /// Excitation gain from DC-MESH n_exc to the per-cell fraction
+    /// (the XN/NN extrapolation constant of MSA-3).
+    pub excitation_gain: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// A laptop-scale demonstration: one skyrmion in a 16×16×2 supercell.
+    pub fn small_demo() -> Self {
+        Self {
+            cells: (16, 16, 2),
+            skyrmions: (1, 1),
+            skyrmion_radius: 6.0,
+            u0: 0.3,
+            prepare_steps: 20,
+            temperature: 0.0,
+            pulse_e0: 0.1,
+            pulse_omega: 0.8,
+            mesh_steps: 6,
+            ehrenfest: EhrenfestConfig {
+                dt_qd: 0.05,
+                n_qd: 30,
+                self_consistent: false,
+            },
+            response_steps: 2000,
+            dt_fs: 0.2,
+            excitation_gain: 8.0,
+            seed: 2025,
+        }
+    }
+
+    /// A 2×2-skyrmion superlattice (the Fig. 3 geometry, shrunk).
+    pub fn superlattice_demo() -> Self {
+        Self {
+            cells: (32, 32, 2),
+            skyrmions: (2, 2),
+            skyrmion_radius: 6.0,
+            ..Self::small_demo()
+        }
+    }
+
+    /// Total unit cells.
+    pub fn n_cells(&self) -> usize {
+        self.cells.0 * self.cells.1 * self.cells.2
+    }
+
+    /// Total atoms (5 per perovskite cell).
+    pub fn n_atoms(&self) -> usize {
+        5 * self.n_cells()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_sizes() {
+        let c = PipelineConfig::small_demo();
+        assert_eq!(c.n_cells(), 512);
+        assert_eq!(c.n_atoms(), 2560);
+        let s = PipelineConfig::superlattice_demo();
+        assert_eq!(s.n_cells(), 2048);
+        assert_eq!(s.skyrmions, (2, 2));
+    }
+}

@@ -1,0 +1,20 @@
+//! # mlmd-core — the MLMD orchestrator
+//!
+//! The paper's top-level contribution: divide–conquer–recombine (DCR) and
+//! metamodel-space algebra (MSA) gluing DC-MESH and XS-NNQMD into one
+//! end-to-end multiscale light-matter dynamics pipeline (Fig. 1).
+//!
+//! * [`msa`] — the three MSA couplings as explicit, typed interfaces:
+//!   MSA-1 shadow occupations (time axis), MSA-2 total-energy alignment
+//!   (dataset axis), MSA-3 XN/NN force extrapolation (space axis).
+//! * [`pipeline`] — the Fig. 3 workflow: GS-prepared skyrmion
+//!   superlattice → DC-MESH femtosecond pulse → XS-NNQMD large-scale
+//!   dynamics → topological-switching verdict.
+//! * [`config`] — run configuration.
+
+pub mod config;
+pub mod msa;
+pub mod pipeline;
+
+pub use config::PipelineConfig;
+pub use pipeline::{Pipeline, PipelineOutcome};

@@ -1,0 +1,128 @@
+//! Metamodel-space algebra (MSA) — the three minimal-information
+//! couplings of paper Sec. V (Fig. 1).
+//!
+//! MSA treats "level of theory" and "problem size / time / dataset" as
+//! axes of a metamodel space; couplings between subproblems are arithmetic
+//! in that space. This module gives each coupling an explicit, typed
+//! interface so the payloads crossing subsystem boundaries are visible
+//! (and countable — the whole point of the paradigm):
+//!
+//! | MSA | axis | payload | implemented by |
+//! |---|---|---|---|
+//! | 1 (shadow dynamics) | time | `Δf_s`, `Δv_loc` | [`ShadowHandshake`] / `mlmd-dcmesh::shadow` |
+//! | 2 (TEA) | dataset | per-dataset `(scale, shift)` | [`tea_unify`] / `mlmd-nnqmd::tea` |
+//! | 3 (XN/NN) | space | `n_exc^(α)` → mixing weight `w` | [`XnNnCoupling`] / `mlmd-nnqmd::mix` |
+
+use mlmd_nnqmd::tea::{self, TeaMap};
+use mlmd_nnqmd::train::Dataset;
+
+/// MSA-1: the shadow-dynamics payload description. The actual transfers
+/// happen in `mlmd-dcmesh::shadow`; this struct documents and sizes them.
+#[derive(Clone, Copy, Debug)]
+pub struct ShadowHandshake {
+    pub norb: usize,
+    pub ngrid: usize,
+}
+
+impl ShadowHandshake {
+    /// Bytes per MD step crossing CPU→GPU (Δv) and GPU→CPU (Δf + n_exc + J).
+    pub fn bytes_per_md_step(&self) -> (u64, u64) {
+        let down = 8 * self.ngrid as u64;
+        let up = 8 * (self.norb as u64 + 4);
+        (down, up)
+    }
+
+    /// The footprint that *stays* on the device (what shadow dynamics
+    /// avoids moving): the complex wave-function panel.
+    pub fn resident_bytes(&self) -> u64 {
+        16 * self.ngrid as u64 * self.norb as u64
+    }
+
+    /// Amortization ratio over `n_qd` steps: naive (ship ψ every QD step)
+    /// vs shadow traffic.
+    pub fn amortization(&self, n_qd: usize) -> f64 {
+        let naive = 2 * self.resident_bytes() * n_qd as u64;
+        let (down, up) = self.bytes_per_md_step();
+        naive as f64 / (down + up) as f64
+    }
+}
+
+/// MSA-2: unify multi-fidelity datasets by total-energy alignment.
+/// Thin re-export of `mlmd-nnqmd::tea` at the orchestration level.
+pub fn tea_unify(datasets: &[Dataset], overlaps: &[Vec<(f64, f64)>]) -> Dataset {
+    tea::unify(datasets, overlaps)
+}
+
+/// Fit one TEA map.
+pub fn tea_fit(foreign: &[f64], reference: &[f64]) -> TeaMap {
+    tea::fit(foreign, reference)
+}
+
+/// MSA-3: XN/NN coupling — the excitation count from DC-MESH
+/// (high-fidelity, small region) extrapolated to the NNQMD mixing weight
+/// (low-fidelity, large region). "The sole assumption is that the
+/// difference between [the two methods] remains the same across problem
+/// sizes" — the weight is a *ratio*, not an absolute.
+#[derive(Clone, Copy, Debug)]
+pub struct XnNnCoupling {
+    /// Electrons represented by the DC-MESH domain.
+    pub domain_electrons: f64,
+    /// Cells represented by the NNQMD supercell.
+    pub supercell_cells: f64,
+    /// Gain applied to the per-electron excitation fraction.
+    pub gain: f64,
+}
+
+impl XnNnCoupling {
+    /// Per-cell excitation fraction from the domain's excitation count.
+    pub fn cell_fraction(&self, n_exc: f64) -> f64 {
+        let per_electron = n_exc / self.domain_electrons.max(1e-300);
+        (per_electron * self.gain).clamp(0.0, 1.0)
+    }
+
+    /// Eq. (4) mixing weight for the force blend.
+    pub fn mixing_weight(&self, n_exc: f64) -> f64 {
+        self.cell_fraction(n_exc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shadow_payload_is_tiny() {
+        // The paper's production domain: 1,024 orbitals on 70×70×72.
+        let h = ShadowHandshake {
+            norb: 1024,
+            ngrid: 70 * 70 * 72,
+        };
+        let (down, up) = h.bytes_per_md_step();
+        assert!(up < 10_000, "Δf payload is O(Norb): {up} B");
+        assert!(down < h.resident_bytes() / 100, "Δv ≪ ψ footprint");
+        // Amortized over 1,000 QD steps, shadow wins by > 10⁵.
+        assert!(h.amortization(1000) > 1e5);
+    }
+
+    #[test]
+    fn xn_nn_weight_saturates() {
+        let c = XnNnCoupling {
+            domain_electrons: 128.0,
+            supercell_cells: 1e6,
+            gain: 50.0,
+        };
+        assert_eq!(c.mixing_weight(0.0), 0.0);
+        assert!(c.mixing_weight(1.0) > 0.0);
+        assert_eq!(c.mixing_weight(1e9), 1.0);
+        // Monotone.
+        assert!(c.mixing_weight(2.0) > c.mixing_weight(1.0));
+    }
+
+    #[test]
+    fn tea_reexport_works() {
+        let f = [1.0, 2.0, 3.0];
+        let r = [2.0, 4.0, 6.0];
+        let map = tea_fit(&f, &r);
+        assert!((map.scale - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! # mlmd-dcmesh — Divide-and-Conquer Maxwell–Ehrenfest–Surface-Hopping
+//!
+//! The DC-MESH module of MLMD (paper Fig. 2): the first code to integrate
+//! Ehrenfest dynamics (attosecond light-electron coupling), surface
+//! hopping (femtosecond electron-atom coupling), and Maxwell's equations
+//! in one divide-and-conquer framework.
+//!
+//! * [`domain`] — spatial DC decomposition: mutually-exclusive cores with
+//!   periodic buffer layers (Fig. 2a, Sec. V.A.1); the "recombine" step
+//!   reads only core values.
+//! * [`scf`] — global–local self-consistent field: local orbitals refined
+//!   per domain against a *global* KS potential solved by multigrid
+//!   (the GSLF/GSLD solver split of Sec. V.A.2).
+//! * [`ehrenfest`] — the N_QD-step inner loop of Eq. (2): split-operator
+//!   QD steps under frozen Δv with the self-consistent time-reversible
+//!   Hartree update of ref [43].
+//! * [`shadow`] — shadow dynamics (Sec. V.A.3): GPU-resident wave
+//!   functions, CPU↔GPU handshake limited to Δv_loc (down) and
+//!   Δf / n_exc / J (up), byte-accounted so tests can assert the
+//!   O(occupations) transfer claim.
+//! * [`mesh`] — the full MESH step driver: Maxwell field ↔ Ehrenfest
+//!   electrons ↔ surface hopping ↔ QXMD atoms.
+//! * [`metrics`] — per-kernel FLOP/time accounting (Tables IV–V rows).
+
+pub mod domain;
+pub mod ehrenfest;
+pub mod mesh;
+pub mod metrics;
+pub mod scf;
+pub mod shadow;
+
+pub use domain::{DomainDecomposition, DomainSpec};
+pub use mesh::{MeshConfig, MeshDriver};
+pub use shadow::ShadowDomain;

@@ -1,0 +1,91 @@
+//! Per-kernel FLOP / wall-time accounting — the measurement mechanism of
+//! paper Sec. VI.B ("timers and FLOP count"), feeding the Table IV/V
+//! harnesses.
+
+use mlmd_numerics::flops::FlopReport;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Named-kernel accumulator.
+#[derive(Debug, Default)]
+pub struct KernelMetrics {
+    entries: BTreeMap<&'static str, (u64, Duration)>,
+}
+
+impl KernelMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time a kernel invocation, crediting `flops` operations to `name`.
+    pub fn record<R>(&mut self, name: &'static str, flops: u64, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed();
+        let e = self.entries.entry(name).or_insert((0, Duration::ZERO));
+        e.0 += flops;
+        e.1 += elapsed;
+        out
+    }
+
+    /// Credit pre-measured work.
+    pub fn add(&mut self, name: &'static str, flops: u64, elapsed: Duration) {
+        let e = self.entries.entry(name).or_insert((0, Duration::ZERO));
+        e.0 += flops;
+        e.1 += elapsed;
+    }
+
+    /// Per-kernel reports, sorted by name.
+    pub fn reports(&self) -> Vec<(&'static str, FlopReport)> {
+        self.entries
+            .iter()
+            .map(|(name, (flops, dur))| (*name, FlopReport::new(*flops, *dur)))
+            .collect()
+    }
+
+    /// Aggregate over all kernels.
+    pub fn total(&self) -> FlopReport {
+        let flops = self.entries.values().map(|e| e.0).sum();
+        let dur = self.entries.values().map(|e| e.1).sum();
+        FlopReport::new(flops, dur)
+    }
+
+    pub fn get(&self, name: &str) -> Option<FlopReport> {
+        self.entries
+            .iter()
+            .find(|(n, _)| **n == name)
+            .map(|(_, (f, d))| FlopReport::new(*f, *d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut m = KernelMetrics::new();
+        let x = m.record("kin_prop", 1000, || 42);
+        assert_eq!(x, 42);
+        m.record("kin_prop", 500, || ());
+        m.record("nlp_prop", 8000, || ());
+        let kin = m.get("kin_prop").unwrap();
+        assert_eq!(kin.flops, 1500);
+        assert_eq!(m.total().flops, 9500);
+    }
+
+    #[test]
+    fn reports_sorted_by_name() {
+        let mut m = KernelMetrics::new();
+        m.add("z_last", 1, Duration::from_millis(1));
+        m.add("a_first", 2, Duration::from_millis(1));
+        let names: Vec<_> = m.reports().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["a_first", "z_last"]);
+    }
+
+    #[test]
+    fn missing_kernel_is_none() {
+        let m = KernelMetrics::new();
+        assert!(m.get("nope").is_none());
+    }
+}

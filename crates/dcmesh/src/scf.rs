@@ -1,0 +1,408 @@
+//! Global–local self-consistent field (paper Secs. V.A.1–V.A.2).
+//!
+//! "Local electronic Kohn–Sham wave functions within the domains and the
+//! global KS potential are determined by global-local SCF iterations"
+//! (ref [37], Yang's divide-and-conquer DFT). One iteration:
+//!
+//! 1. **recombine**: per-domain densities (cores only) → global ρ;
+//! 2. **global solve**: V_H[ρ] by multigrid on the global grid (the
+//!    sparse, scalable tier of GSLF), plus v_ion and LDA xc;
+//! 3. **restrict**: the global potential, with buffers, back to domains;
+//! 4. **local solve**: per domain, preconditioned steepest-descent
+//!    refinement of the orbitals + Gram–Schmidt + subspace Rayleigh–Ritz
+//!    (the dense, fast tier);
+//! 5. density mixing, repeat until the band energy stops moving.
+
+use crate::domain::DomainDecomposition;
+use mlmd_lfd::density;
+use mlmd_lfd::hartree::Multigrid;
+use mlmd_lfd::occupation::Occupations;
+use mlmd_lfd::potential::{ionic_potential, AtomSite};
+use mlmd_lfd::wavefunction::WaveFunctions;
+use mlmd_lfd::xc;
+use mlmd_numerics::complex::c64;
+use mlmd_numerics::eigen::eigh_hermitian;
+use mlmd_numerics::grid::Grid3;
+use mlmd_numerics::matrix::Matrix;
+use mlmd_numerics::ortho;
+use mlmd_numerics::stencil::{laplacian, Order};
+
+/// Apply the local KS Hamiltonian `Ĥ = −½∇² + v` to one orbital.
+pub fn apply_h(grid: &Grid3, vloc: &[f64], psi: &[c64]) -> Vec<c64> {
+    let n = grid.len();
+    assert_eq!(psi.len(), n);
+    assert_eq!(vloc.len(), n);
+    let mut re = vec![0.0; n];
+    let mut im = vec![0.0; n];
+    for (idx, z) in psi.iter().enumerate() {
+        re[idx] = z.re;
+        im[idx] = z.im;
+    }
+    let mut lre = vec![0.0; n];
+    let mut lim = vec![0.0; n];
+    laplacian(grid, &re, &mut lre, Order::Second);
+    laplacian(grid, &im, &mut lim, Order::Second);
+    (0..n)
+        .map(|i| c64::new(-0.5 * lre[i] + vloc[i] * re[i], -0.5 * lim[i] + vloc[i] * im[i]))
+        .collect()
+}
+
+/// Band energies `ε_s = ⟨ψ_s|Ĥ|ψ_s⟩` of a panel.
+pub fn band_energies(grid: &Grid3, vloc: &[f64], wf: &WaveFunctions) -> Vec<f64> {
+    let dv = grid.dv();
+    (0..wf.norb)
+        .map(|s| {
+            let col = wf.psi.col(s);
+            let hpsi = apply_h(grid, vloc, col);
+            col.iter()
+                .zip(&hpsi)
+                .map(|(a, b)| (a.conj() * *b).re)
+                .sum::<f64>()
+                * dv
+        })
+        .collect()
+}
+
+/// Rayleigh–Ritz within the orbital span: diagonalize the subspace
+/// Hamiltonian and rotate the panel into the eigenbasis.
+pub fn subspace_rotate(grid: &Grid3, vloc: &[f64], wf: &mut WaveFunctions) -> Vec<f64> {
+    let n = wf.norb;
+    let dv = grid.dv();
+    // H_ab = ⟨ψ_a|H|ψ_b⟩
+    let hpsi: Vec<Vec<c64>> = (0..n).map(|s| apply_h(grid, vloc, wf.psi.col(s))).collect();
+    let mut h = Matrix::<c64>::zeros(n, n);
+    for b in 0..n {
+        for a in 0..n {
+            let mut acc = c64::zero();
+            for (x, y) in wf.psi.col(a).iter().zip(&hpsi[b]) {
+                acc = acc.mul_acc(x.conj(), *y);
+            }
+            h[(a, b)] = acc.scale(dv);
+        }
+    }
+    // Hermitize against FD asymmetry noise.
+    let h = Matrix::from_fn(n, n, |a, b| (h[(a, b)] + h[(b, a)].conj()).scale(0.5));
+    let e = eigh_hermitian(&h);
+    // ψ ← ψ · V
+    let old = wf.psi.clone();
+    mlmd_numerics::gemm::gemm_blocked(c64::one(), &old, &e.vectors, c64::zero(), &mut wf.psi);
+    e.values
+}
+
+/// A few steps of damped steepest descent on the band energies:
+/// `ψ ← ortho(ψ − η (Ĥ − ε_s) ψ)`.
+pub fn refine_orbitals(
+    grid: &Grid3,
+    vloc: &[f64],
+    wf: &mut WaveFunctions,
+    eta: f64,
+    steps: usize,
+) {
+    let dv = grid.dv();
+    for _ in 0..steps {
+        for s in 0..wf.norb {
+            let col = wf.psi.col(s).to_vec();
+            let hpsi = apply_h(grid, vloc, &col);
+            let eps: f64 = col
+                .iter()
+                .zip(&hpsi)
+                .map(|(a, b)| (a.conj() * *b).re)
+                .sum::<f64>()
+                * dv;
+            let out = wf.psi.col_mut(s);
+            for (o, (c, h)) in out.iter_mut().zip(col.iter().zip(&hpsi)) {
+                *o = *c - (*h - c.scale(eps)).scale(eta);
+            }
+        }
+        ortho::gram_schmidt(&mut wf.psi);
+        let scale = 1.0 / dv.sqrt();
+        for z in wf.psi.as_mut_slice() {
+            *z = z.scale(scale);
+        }
+    }
+}
+
+/// The DC-SCF driver state.
+pub struct DcScf {
+    pub decomposition: DomainDecomposition,
+    /// Orbitals per domain (on the buffered local grids).
+    pub orbitals: Vec<WaveFunctions>,
+    pub occupations: Vec<Occupations>,
+    /// Atoms contributing the ionic potential (global frame).
+    pub atoms: Vec<AtomSite>,
+    /// Density mixing parameter.
+    pub mixing: f64,
+    /// Last assembled global potential.
+    pub v_global: Vec<f64>,
+    /// Last global density.
+    pub rho_global: Vec<f64>,
+}
+
+/// Convergence record per SCF iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct ScfIteration {
+    pub iter: usize,
+    pub band_energy: f64,
+    pub delta: f64,
+}
+
+impl DcScf {
+    /// Initialize with random orbitals and aufbau occupations
+    /// (`electrons_per_domain` each).
+    pub fn new(
+        decomposition: DomainDecomposition,
+        norb: usize,
+        electrons_per_domain: f64,
+        atoms: Vec<AtomSite>,
+        seed: u64,
+    ) -> Self {
+        let global_len = decomposition.spec.global.len();
+        let orbitals: Vec<WaveFunctions> = decomposition
+            .domains
+            .iter()
+            .enumerate()
+            .map(|(d, dom)| WaveFunctions::random(dom.grid, norb, seed + d as u64))
+            .collect();
+        let occupations = vec![Occupations::aufbau(norb, electrons_per_domain); orbitals.len()];
+        Self {
+            decomposition,
+            orbitals,
+            occupations,
+            atoms,
+            mixing: 0.4,
+            v_global: vec![0.0; global_len],
+            rho_global: vec![0.0; global_len],
+        }
+    }
+
+    /// Assemble the global density from domain cores (DCR recombine).
+    ///
+    /// Domain orbitals are normalized over their *buffered* local grids,
+    /// but only core values enter the global density; the per-domain
+    /// partition weight rescales each contribution so the domain deposits
+    /// exactly its electron count — the divide-and-conquer partition
+    /// normalization of Yang's DC-DFT (ref [37]).
+    pub fn global_density(&self) -> Vec<f64> {
+        let g = self.decomposition.spec.global;
+        let mut rho = vec![0.0; g.len()];
+        for (dom, (wf, occ)) in self
+            .decomposition
+            .domains
+            .iter()
+            .zip(self.orbitals.iter().zip(&self.occupations))
+        {
+            let mut local = density::density(wf, occ);
+            let mut core_sum = 0.0;
+            for lk in 0..dom.grid.nz {
+                for lj in 0..dom.grid.ny {
+                    for li in 0..dom.grid.nx {
+                        if dom.is_core(li, lj, lk) {
+                            core_sum += local[dom.grid.idx(li, lj, lk)];
+                        }
+                    }
+                }
+            }
+            let core_electrons = core_sum * dom.grid.dv();
+            if core_electrons > 1e-12 {
+                let scale = occ.total() / core_electrons;
+                for v in &mut local {
+                    *v *= scale;
+                }
+            }
+            dom.accumulate_core(&g, &local, &mut rho);
+        }
+        rho
+    }
+
+    /// One global–local SCF iteration; returns the total band energy.
+    pub fn iterate(&mut self) -> f64 {
+        let g = self.decomposition.spec.global;
+        // 1–2. Global density and potential.
+        let rho_new = self.global_density();
+        if self.rho_global.iter().all(|&x| x == 0.0) {
+            self.rho_global = rho_new;
+        } else {
+            for (r, n) in self.rho_global.iter_mut().zip(&rho_new) {
+                *r = (1.0 - self.mixing) * *r + self.mixing * n;
+            }
+        }
+        let mg = Multigrid::new(g);
+        let (v_h, _) = mg.solve(&self.rho_global, 1e-6, 20);
+        let v_ion = ionic_potential(&g, &self.atoms);
+        let mut v_xc = vec![0.0; g.len()];
+        xc::vx_lda(&self.rho_global, &mut v_xc);
+        for (idx, v) in self.v_global.iter_mut().enumerate() {
+            *v = v_ion[idx] + v_h[idx] + v_xc[idx];
+        }
+        // 3–4. Restrict and refine per domain.
+        let mut total_band = 0.0;
+        for (dom, (wf, occ)) in self
+            .decomposition
+            .domains
+            .iter()
+            .zip(self.orbitals.iter_mut().zip(&self.occupations))
+        {
+            let v_local = dom.restrict(&g, &self.v_global);
+            refine_orbitals(&dom.grid, &v_local, wf, 0.1, 3);
+            let eps = subspace_rotate(&dom.grid, &v_local, wf);
+            total_band += eps
+                .iter()
+                .enumerate()
+                .map(|(s, e)| occ.f(s) * e)
+                .sum::<f64>();
+        }
+        total_band
+    }
+
+    /// Run to convergence: stop when the band energy changes by less than
+    /// `tol` (absolute) between iterations.
+    pub fn converge(&mut self, tol: f64, max_iter: usize) -> Vec<ScfIteration> {
+        let mut history = Vec::new();
+        let mut last = f64::INFINITY;
+        for iter in 0..max_iter {
+            let e = self.iterate();
+            let delta = (e - last).abs();
+            history.push(ScfIteration {
+                iter,
+                band_energy: e,
+                delta,
+            });
+            if delta < tol {
+                break;
+            }
+            last = e;
+        }
+        history
+    }
+
+    /// Worst eigen-residual `|Hψ − εψ|` over all domains (convergence
+    /// diagnostic).
+    pub fn max_residual(&self) -> f64 {
+        let g = self.decomposition.spec.global;
+        let mut worst = 0.0f64;
+        for (dom, wf) in self.decomposition.domains.iter().zip(&self.orbitals) {
+            let v_local = dom.restrict(&g, &self.v_global);
+            let eps = band_energies(&dom.grid, &v_local, wf);
+            for s in 0..wf.norb {
+                let col = wf.psi.col(s);
+                let hpsi = apply_h(&dom.grid, &v_local, col);
+                let mut r2 = 0.0;
+                for (h, c) in hpsi.iter().zip(col) {
+                    r2 += (*h - c.scale(eps[s])).norm_sqr();
+                }
+                worst = worst.max((r2 * dom.grid.dv()).sqrt());
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainSpec;
+    use mlmd_numerics::vec3::Vec3;
+
+    fn small_problem() -> DcScf {
+        let global = Grid3::new(12, 12, 12, 0.6);
+        let dd = DomainDecomposition::new(DomainSpec {
+            global,
+            n_dom: (2, 1, 1),
+            buffer: 3,
+        });
+        let atoms = vec![
+            AtomSite {
+                pos: Vec3::new(1.8, 3.6, 3.6),
+                z_eff: 4.0,
+                sigma: 0.9,
+            },
+            AtomSite {
+                pos: Vec3::new(5.4, 3.6, 3.6),
+                z_eff: 4.0,
+                sigma: 0.9,
+            },
+        ];
+        DcScf::new(dd, 2, 2.0, atoms, 42)
+    }
+
+    #[test]
+    fn scf_band_energy_decreases_and_converges() {
+        let mut scf = small_problem();
+        let history = scf.converge(1e-4, 25);
+        assert!(history.len() >= 3, "needs several iterations");
+        let first = history[0].band_energy;
+        let last = history.last().unwrap().band_energy;
+        assert!(
+            last < first,
+            "band energy must decrease: {first} → {last}"
+        );
+        assert!(
+            history.last().unwrap().delta < 1e-3,
+            "must converge, final delta {}",
+            history.last().unwrap().delta
+        );
+    }
+
+    #[test]
+    fn converged_orbitals_have_small_residual() {
+        let mut scf = small_problem();
+        scf.converge(1e-6, 40);
+        let res = scf.max_residual();
+        assert!(res < 0.5, "eigen-residual too large: {res}");
+    }
+
+    #[test]
+    fn density_integrates_to_total_electrons() {
+        let mut scf = small_problem();
+        scf.converge(1e-4, 10);
+        let g = scf.decomposition.spec.global;
+        let n: f64 = scf.global_density().iter().sum::<f64>() * g.dv();
+        // 2 domains × 2 electrons.
+        assert!((n - 4.0).abs() < 1e-6, "N = {n}");
+    }
+
+    #[test]
+    fn orbitals_localize_at_attractive_wells() {
+        let mut scf = small_problem();
+        scf.converge(1e-5, 30);
+        // Density at an atom site must exceed the cell-average density.
+        let g = scf.decomposition.spec.global;
+        let rho = scf.global_density();
+        let at_atom = rho[g.idx(3, 6, 6)]; // atom at (1.8,3.6,3.6)/0.6
+        let avg: f64 = rho.iter().sum::<f64>() / rho.len() as f64;
+        assert!(
+            at_atom > avg,
+            "density must pile up at the well: {at_atom} vs avg {avg}"
+        );
+    }
+
+    #[test]
+    fn subspace_rotation_sorts_energies() {
+        let grid = Grid3::new(8, 8, 8, 0.5);
+        let vloc = vec![0.0; grid.len()];
+        let mut wf = WaveFunctions::random(grid, 3, 7);
+        let eps = subspace_rotate(&grid, &vloc, &mut wf);
+        for w in eps.windows(2) {
+            assert!(w[0] <= w[1] + 1e-10, "energies must be ascending");
+        }
+        // Panel stays orthonormal after rotation.
+        assert!(wf.norm_error() < 1e-8);
+    }
+
+    #[test]
+    fn refine_lowers_rayleigh_quotient() {
+        let grid = Grid3::new(8, 8, 8, 0.5);
+        // A well at the center.
+        let atoms = [AtomSite {
+            pos: Vec3::new(2.0, 2.0, 2.0),
+            z_eff: 3.0,
+            sigma: 0.8,
+        }];
+        let vloc = ionic_potential(&grid, &atoms);
+        let mut wf = WaveFunctions::random(grid, 2, 5);
+        let e0: f64 = band_energies(&grid, &vloc, &wf).iter().sum();
+        refine_orbitals(&grid, &vloc, &mut wf, 0.1, 10);
+        let e1: f64 = band_energies(&grid, &vloc, &wf).iter().sum();
+        assert!(e1 < e0, "descent must lower energy: {e0} → {e1}");
+    }
+}

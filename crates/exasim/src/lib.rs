@@ -1,0 +1,31 @@
+//! # mlmd-exasim — the simulated exascale substrate
+//!
+//! The paper's scaling experiments ran on 10,000 Aurora nodes (120,000
+//! PVC tiles). This crate is the documented substitution (DESIGN.md): a
+//! deterministic analytic cost model of the MLMD workloads on an
+//! Aurora-like machine, built from
+//!
+//! * a machine description ([`machine`]): per-tile rooflines for
+//!   FP64/FP32/BF16-systolic, HBM and PCIe bandwidths, and a Slingshot-
+//!   style α–β network with a dragonfly congestion factor;
+//! * workload decompositions that mirror the real code: the DC-MESH step
+//!   cost ([`dcmesh_model`]) counts the same kin_prop/nlp_prop/vloc FLOPs
+//!   the `mlmd-lfd` kernels count, plus SCF-tree, halo, and
+//!   excitation-gather communication; the XS-NNQMD step cost
+//!   ([`nnqmd_model`]) counts per-atom×weight inference work plus
+//!   surface-halo exchange;
+//! * experiment drivers ([`scaling`]) reproducing the weak/strong sweeps
+//!   of Figs. 4 and 5, and the time-to-solution comparisons of
+//!   Tables I and II ([`sota`]).
+//!
+//! Everything is pure arithmetic: no randomness, no wall clock — the same
+//! inputs always print the same tables.
+
+pub mod dcmesh_model;
+pub mod machine;
+pub mod network;
+pub mod nnqmd_model;
+pub mod scaling;
+pub mod sota;
+
+pub use machine::Machine;

@@ -1,0 +1,109 @@
+//! XS-NNQMD cost model on the simulated machine.
+//!
+//! Per MD step, each rank runs block inference over its atoms
+//! (compute ∝ atoms × weights, calibrated against the paper's measured
+//! 1,590.31 s for 1.2288×10¹² atoms × 690,000 weights on 120,000 ranks),
+//! exchanges surface halos with neighbours (∝ (atoms/rank)^{2/3}), and
+//! participates in per-step collectives (energy reduction, excitation
+//! broadcast) whose latency grows with log₂(P) — the communication-to-
+//! computation ratio that shapes Fig. 5.
+
+use crate::machine::Machine;
+
+/// The XS-NNQMD workload model.
+#[derive(Clone, Copy, Debug)]
+pub struct NnqmdModel {
+    pub machine: Machine,
+    /// Neural-network weights (paper: 690,000 for the production model).
+    pub weights: f64,
+    /// Seconds per (atom × weight) of inference on one tile, calibrated
+    /// to the paper's measured throughput.
+    pub kappa: f64,
+    /// Per-step aggregated collective + imbalance cost coefficient
+    /// (seconds per log₂(P) unit).
+    pub alpha_step: f64,
+    /// Halo-exchange coefficient: seconds per (atoms/rank)^{2/3}.
+    pub halo_coeff: f64,
+}
+
+impl NnqmdModel {
+    /// Production configuration calibrated to Sec. VII.C.2:
+    /// 1,590.31 s = (1.2288e12/120000) atoms × 690,000 weights × κ.
+    pub fn paper_config() -> Self {
+        let atoms_per_rank = 1.2288e12 / 120_000.0;
+        let kappa = 1590.31 / (atoms_per_rank * 690_000.0);
+        Self {
+            machine: Machine::aurora(),
+            weights: 690_000.0,
+            kappa,
+            alpha_step: 0.046,
+            halo_coeff: 2.0e-4,
+        }
+    }
+
+    /// Compute time per MD step for `atoms_per_rank`.
+    pub fn compute_time(&self, atoms_per_rank: f64) -> f64 {
+        atoms_per_rank * self.weights * self.kappa
+    }
+
+    /// Communication time per MD step.
+    pub fn comm_time(&self, ranks: usize, atoms_per_rank: f64) -> f64 {
+        let logp = (ranks.max(2) as f64).log2();
+        self.alpha_step * logp + self.halo_coeff * atoms_per_rank.powf(2.0 / 3.0)
+    }
+
+    /// Wall-clock per MD step.
+    pub fn md_step_time(&self, ranks: usize, atoms_per_rank: f64) -> f64 {
+        self.compute_time(atoms_per_rank) + self.comm_time(ranks, atoms_per_rank)
+    }
+
+    /// Paper Table II metric: seconds per (atom × weight × step).
+    pub fn t2s(&self, ranks: usize, total_atoms: f64) -> f64 {
+        let per_rank = total_atoms / ranks as f64;
+        self.md_step_time(ranks, per_rank) / (total_atoms * self.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_hits_paper_wallclock() {
+        let m = NnqmdModel::paper_config();
+        let t = m.md_step_time(120_000, 1.2288e12 / 120_000.0);
+        assert!(
+            (t - 1590.31).abs() / 1590.31 < 0.01,
+            "MD step {t} s vs paper 1590.31 s"
+        );
+    }
+
+    #[test]
+    fn t2s_matches_table_ii() {
+        // 1590.31 s / (1.2288e12 atoms × 690,000 weights) = 1.876e-15
+        // s/(atom·weight·step); consistency check: ÷ the SOTA 7.091e-12
+        // gives the paper's 3,780× speedup.
+        let m = NnqmdModel::paper_config();
+        let t2s = m.t2s(120_000, 1.2288e12);
+        assert!(
+            (1.5e-15..2.5e-15).contains(&t2s),
+            "T2S {t2s:e} vs paper 1.876e-15"
+        );
+    }
+
+    #[test]
+    fn comm_fraction_grows_as_granularity_shrinks() {
+        let m = NnqmdModel::paper_config();
+        let frac = |g: f64| m.comm_time(120_000, g) / m.md_step_time(120_000, g);
+        assert!(frac(160_000.0) > frac(640_000.0));
+        assert!(frac(640_000.0) > frac(10_240_000.0));
+    }
+
+    #[test]
+    fn compute_scales_linearly_with_atoms() {
+        let m = NnqmdModel::paper_config();
+        let t1 = m.compute_time(1e6);
+        let t2 = m.compute_time(2e6);
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+    }
+}

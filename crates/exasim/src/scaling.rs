@@ -1,0 +1,221 @@
+//! The scaling experiments of Figs. 4 and 5, reproduced on the cost model.
+//!
+//! Each driver returns the (ranks, wall-clock, efficiency) series the
+//! paper plots; the `fig4`/`fig5` benchmark binaries print them.
+
+use crate::dcmesh_model::DcMeshModel;
+use crate::nnqmd_model::NnqmdModel;
+
+/// One point of a scaling curve.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalePoint {
+    pub ranks: usize,
+    /// Wall-clock per MD step (s).
+    pub time: f64,
+    /// Parallel efficiency relative to the first point.
+    pub efficiency: f64,
+    /// Problem size at this point (electrons or atoms).
+    pub size: f64,
+}
+
+/// Weak scaling of DC-MESH (Fig. 4a): fixed electrons/rank, P sweeps.
+/// `granularity` = unique electrons per rank (paper: 32 and 128).
+pub fn dcmesh_weak(model: &DcMeshModel, granularity: f64, rank_sweep: &[usize]) -> Vec<ScalePoint> {
+    assert!(!rank_sweep.is_empty());
+    // Granularity below the full domain size means fewer orbitals per
+    // rank: scale the per-rank work accordingly.
+    let domains_per_rank = granularity / model.electrons_per_rank();
+    let mut out = Vec::with_capacity(rank_sweep.len());
+    let mut t0 = 0.0;
+    for (i, &p) in rank_sweep.iter().enumerate() {
+        let t = model.md_step_time(p, domains_per_rank);
+        if i == 0 {
+            t0 = t;
+        }
+        // Weak scaling: speed = size·steps/time; isogranular speedup
+        // reduces to t0/t.
+        out.push(ScalePoint {
+            ranks: p,
+            time: t,
+            efficiency: t0 / t,
+            size: granularity * p as f64,
+        });
+    }
+    out
+}
+
+/// Strong scaling of DC-MESH (Fig. 4b): fixed total electrons.
+pub fn dcmesh_strong(
+    model: &DcMeshModel,
+    total_electrons: f64,
+    rank_sweep: &[usize],
+) -> Vec<ScalePoint> {
+    assert!(!rank_sweep.is_empty());
+    let mut out = Vec::with_capacity(rank_sweep.len());
+    let (mut t0, mut p0) = (0.0, 0usize);
+    for (i, &p) in rank_sweep.iter().enumerate() {
+        let per_rank = total_electrons / p as f64;
+        let domains_per_rank = per_rank / model.electrons_per_rank();
+        let t = model.md_step_time(p, domains_per_rank);
+        if i == 0 {
+            t0 = t;
+            p0 = p;
+        }
+        let speedup = t0 / t;
+        out.push(ScalePoint {
+            ranks: p,
+            time: t,
+            efficiency: speedup / (p as f64 / p0 as f64),
+            size: total_electrons,
+        });
+    }
+    out
+}
+
+/// Weak scaling of XS-NNQMD (Fig. 5a): fixed atoms/rank.
+pub fn nnqmd_weak(model: &NnqmdModel, atoms_per_rank: f64, rank_sweep: &[usize]) -> Vec<ScalePoint> {
+    assert!(!rank_sweep.is_empty());
+    let mut out = Vec::with_capacity(rank_sweep.len());
+    let mut t0 = 0.0;
+    for (i, &p) in rank_sweep.iter().enumerate() {
+        let t = model.md_step_time(p, atoms_per_rank);
+        if i == 0 {
+            t0 = t;
+        }
+        out.push(ScalePoint {
+            ranks: p,
+            time: t,
+            efficiency: t0 / t,
+            size: atoms_per_rank * p as f64,
+        });
+    }
+    out
+}
+
+/// Strong scaling of XS-NNQMD (Fig. 5b): fixed total atoms.
+pub fn nnqmd_strong(model: &NnqmdModel, total_atoms: f64, rank_sweep: &[usize]) -> Vec<ScalePoint> {
+    assert!(!rank_sweep.is_empty());
+    let mut out = Vec::with_capacity(rank_sweep.len());
+    let (mut t0, mut p0) = (0.0, 0usize);
+    for (i, &p) in rank_sweep.iter().enumerate() {
+        let t = model.md_step_time(p, total_atoms / p as f64);
+        if i == 0 {
+            t0 = t;
+            p0 = p;
+        }
+        out.push(ScalePoint {
+            ranks: p,
+            time: t,
+            efficiency: (t0 / t) / (p as f64 / p0 as f64),
+            size: total_atoms,
+        });
+    }
+    out
+}
+
+/// The paper's rank sweeps.
+pub mod sweeps {
+    /// Fig. 4a: P = 6,144 … 120,000.
+    pub const DCMESH_WEAK: [usize; 5] = [6_144, 12_288, 24_576, 49_152, 120_000];
+    /// Fig. 4b: P = 24,576 … 98,304.
+    pub const DCMESH_STRONG: [usize; 3] = [24_576, 49_152, 98_304];
+    /// Fig. 5a: up to 120,000 ranks.
+    pub const NNQMD_WEAK: [usize; 5] = [240, 1_920, 15_360, 61_440, 120_000];
+    /// Fig. 5b: up to 73,800 ranks on 6,150 nodes.
+    pub const NNQMD_STRONG: [usize; 4] = [9_225, 18_450, 36_900, 73_800];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcmesh_weak_efficiency_near_one() {
+        // Paper: "perfect 1.0 within measurement fluctuation" at 128 e/rank.
+        let m = DcMeshModel::paper_config();
+        let pts = dcmesh_weak(&m, 128.0, &sweeps::DCMESH_WEAK);
+        let last = pts.last().unwrap();
+        assert!(
+            last.efficiency > 0.93,
+            "weak efficiency {} must stay ≈1",
+            last.efficiency
+        );
+        assert!((last.size - 15_360_000.0).abs() < 1.0, "largest run = 15.36M electrons");
+    }
+
+    #[test]
+    fn dcmesh_weak_smaller_granularity_lower_efficiency() {
+        let m = DcMeshModel::paper_config();
+        let e32 = dcmesh_weak(&m, 32.0, &sweeps::DCMESH_WEAK)
+            .last()
+            .unwrap()
+            .efficiency;
+        let e128 = dcmesh_weak(&m, 128.0, &sweeps::DCMESH_WEAK)
+            .last()
+            .unwrap()
+            .efficiency;
+        assert!(e32 <= e128 + 1e-12, "32 e/rank can't beat 128 e/rank");
+    }
+
+    #[test]
+    fn dcmesh_strong_efficiency_band() {
+        // Paper: 0.843 at 98,304 ranks for 12.58M electrons.
+        let m = DcMeshModel::paper_config();
+        let pts = dcmesh_strong(&m, 12_582_912.0, &sweeps::DCMESH_STRONG);
+        let eff = pts.last().unwrap().efficiency;
+        assert!(
+            (0.70..0.97).contains(&eff),
+            "strong efficiency {eff} should be ≈0.84"
+        );
+        // Time must keep dropping with more ranks.
+        for w in pts.windows(2) {
+            assert!(w[1].time < w[0].time);
+        }
+    }
+
+    #[test]
+    fn nnqmd_weak_efficiency_bands() {
+        // Paper: 0.957 / 0.964 / 0.997 for 160k / 640k / 10.24M atoms/rank.
+        let m = NnqmdModel::paper_config();
+        let effs: Vec<f64> = [160_000.0, 640_000.0, 10_240_000.0]
+            .iter()
+            .map(|&g| {
+                nnqmd_weak(&m, g, &sweeps::NNQMD_WEAK)
+                    .last()
+                    .unwrap()
+                    .efficiency
+            })
+            .collect();
+        assert!(effs[0] > 0.90, "160k: {}", effs[0]);
+        assert!(effs[1] > 0.95, "640k: {}", effs[1]);
+        assert!(effs[2] > 0.99, "10.24M: {}", effs[2]);
+        assert!(effs[2] > effs[0], "bigger granularity scales better");
+    }
+
+    #[test]
+    fn nnqmd_strong_bigger_problem_scales_better() {
+        // Paper: 0.773 for 984M atoms vs 0.440 for 221.4M.
+        let m = NnqmdModel::paper_config();
+        let big = nnqmd_strong(&m, 984_000_000.0, &sweeps::NNQMD_STRONG)
+            .last()
+            .unwrap()
+            .efficiency;
+        let small = nnqmd_strong(&m, 221_400_000.0, &sweeps::NNQMD_STRONG)
+            .last()
+            .unwrap()
+            .efficiency;
+        assert!(big > small, "984M ({big}) must beat 221.4M ({small})");
+        assert!((0.55..0.95).contains(&big), "big-problem eff {big} ≈ 0.773");
+        assert!((0.25..0.65).contains(&small), "small-problem eff {small} ≈ 0.440");
+    }
+
+    #[test]
+    fn weak_series_times_nearly_flat() {
+        let m = NnqmdModel::paper_config();
+        let pts = nnqmd_weak(&m, 10_240_000.0, &sweeps::NNQMD_WEAK);
+        let t0 = pts[0].time;
+        for p in &pts {
+            assert!((p.time - t0).abs() / t0 < 0.05, "weak curve must be flat");
+        }
+    }
+}

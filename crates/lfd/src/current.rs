@@ -1,0 +1,143 @@
+//! Macroscopic electric current from the orbital panel (TDCDFT, ref [52]).
+//!
+//! The current density couples the electron dynamics back into Maxwell's
+//! equations (paper Sec. V.B.5: "GEMMification is applied to nonlocal
+//! correction in energy and electric current, with the latter used in
+//! Maxwell's equations"). For the multiscale coupling only the cell-average
+//! matters:
+//!
+//! ```text
+//! J = (1/V) Σ_s f_s ∫ [ Im(ψ_s* ∇ψ_s) + A |ψ_s|² ] dV
+//!   = paramagnetic + diamagnetic
+//! ```
+
+use crate::occupation::Occupations;
+use crate::wavefunction::WaveFunctions;
+use mlmd_numerics::complex::c64;
+use mlmd_numerics::vec3::Vec3;
+
+/// Macroscopic current: paramagnetic and diamagnetic parts.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Current {
+    pub paramagnetic: Vec3,
+    pub diamagnetic: Vec3,
+}
+
+impl Current {
+    pub fn total(&self) -> Vec3 {
+        self.paramagnetic + self.diamagnetic
+    }
+}
+
+/// Compute the cell-averaged current for vector potential `a`.
+pub fn macroscopic_current(wf: &WaveFunctions, occ: &Occupations, a: Vec3) -> Current {
+    assert_eq!(occ.len(), wf.norb);
+    let grid = wf.grid;
+    let (lx, ly, lz) = grid.lengths();
+    let volume = lx * ly * lz;
+    let inv_2h = 0.5 / grid.h;
+    let mut para = Vec3::ZERO;
+    let mut n_electrons = 0.0;
+    for s in 0..wf.norb {
+        let f = occ.f(s);
+        if f == 0.0 {
+            continue;
+        }
+        let col = wf.psi.col(s);
+        let mut acc = Vec3::ZERO;
+        let mut norm = 0.0;
+        for k in 0..grid.nz {
+            let kp = (k + 1) % grid.nz;
+            let km = (k + grid.nz - 1) % grid.nz;
+            for j in 0..grid.ny {
+                let jp = (j + 1) % grid.ny;
+                let jm = (j + grid.ny - 1) % grid.ny;
+                for i in 0..grid.nx {
+                    let ip = (i + 1) % grid.nx;
+                    let im = (i + grid.nx - 1) % grid.nx;
+                    let z = col[grid.idx(i, j, k)];
+                    let gx = (col[grid.idx(ip, j, k)] - col[grid.idx(im, j, k)]).scale(inv_2h);
+                    let gy = (col[grid.idx(i, jp, k)] - col[grid.idx(i, jm, k)]).scale(inv_2h);
+                    let gz = (col[grid.idx(i, j, kp)] - col[grid.idx(i, j, km)]).scale(inv_2h);
+                    acc += Vec3::new(
+                        im_conj_mul(z, gx),
+                        im_conj_mul(z, gy),
+                        im_conj_mul(z, gz),
+                    );
+                    norm += z.norm_sqr();
+                }
+            }
+        }
+        para += acc * (f * grid.dv());
+        n_electrons += f * norm * grid.dv();
+    }
+    Current {
+        paramagnetic: para / volume,
+        diamagnetic: a * (n_electrons / volume),
+    }
+}
+
+/// Im(z* w).
+#[inline]
+fn im_conj_mul(z: c64, w: c64) -> f64 {
+    z.re * w.im - z.im * w.re
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlmd_numerics::grid::Grid3;
+
+    #[test]
+    fn gamma_state_carries_no_current() {
+        let grid = Grid3::new(10, 10, 10, 0.5);
+        let wf = WaveFunctions::plane_waves(grid, 1); // k = 0
+        let occ = Occupations::uniform(1, 2.0);
+        let j = macroscopic_current(&wf, &occ, Vec3::ZERO);
+        assert!(j.total().norm() < 1e-12);
+    }
+
+    #[test]
+    fn plane_wave_carries_its_group_velocity() {
+        let grid = Grid3::new(16, 16, 16, 0.5);
+        let wf = WaveFunctions::plane_waves(grid, 2);
+        let occ = Occupations::new(vec![0.0, 1.0]); // occupy the k≠0 mode only
+        let j = macroscopic_current(&wf, &occ, Vec3::ZERO);
+        // Mode 1 is (−1,0,0): k = −2π/L x̂; central-difference gradient gives
+        // sin(k h)/h instead of k (FD dispersion).
+        let (lx, _, _) = grid.lengths();
+        let kx = -2.0 * std::f64::consts::PI / lx;
+        let v_fd = (kx * grid.h).sin() / grid.h;
+        let expect = v_fd / (lx * lx * lx) * (lx * lx * lx); // ρ=1/V, J = v/V·∫|ψ|²dV = v/V
+        let _ = expect;
+        assert!(
+            (j.paramagnetic.x - v_fd / (lx * lx * lx) * 1.0).abs() < 1e-10,
+            "J_x = {} vs v_fd/V = {}",
+            j.paramagnetic.x,
+            v_fd / (lx * lx * lx)
+        );
+        assert!(j.paramagnetic.y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn diamagnetic_term_proportional_to_a_and_density() {
+        let grid = Grid3::new(8, 8, 8, 0.5);
+        let wf = WaveFunctions::plane_waves(grid, 1);
+        let occ = Occupations::uniform(1, 2.0);
+        let a = Vec3::new(0.3, 0.0, -0.1);
+        let j = macroscopic_current(&wf, &occ, a);
+        let (lx, ly, lz) = grid.lengths();
+        let v = lx * ly * lz;
+        let expect = a * (2.0 / v);
+        assert!((j.diamagnetic - expect).norm() < 1e-10);
+    }
+
+    #[test]
+    fn occupation_weighting_is_linear() {
+        let grid = Grid3::new(8, 8, 8, 0.5);
+        let wf = WaveFunctions::plane_waves(grid, 2);
+        let j1 = macroscopic_current(&wf, &Occupations::new(vec![0.0, 1.0]), Vec3::ZERO);
+        let j2 = macroscopic_current(&wf, &Occupations::new(vec![0.0, 2.0]), Vec3::ZERO);
+        assert!((j2.paramagnetic - j1.paramagnetic * 2.0).norm() < 1e-12);
+    }
+}

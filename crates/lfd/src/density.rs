@@ -1,0 +1,71 @@
+//! Electron density from occupied KS orbitals.
+//!
+//! `ρ(r) = Σ_s f_s |ψ_s(r)|²` with occupations `f_s ∈ [0, 2]`
+//! (spin-degenerate). The density is the only wave-function-derived field
+//! the Hartree and xc potentials need, and its integral is the electron
+//! count (a conserved diagnostic asserted throughout the test suite).
+
+use crate::occupation::Occupations;
+use crate::wavefunction::WaveFunctions;
+
+/// Accumulate `ρ(r)` on the wave-function grid.
+pub fn density(wf: &WaveFunctions, occ: &Occupations) -> Vec<f64> {
+    assert_eq!(occ.len(), wf.norb, "occupations/orbitals mismatch");
+    let mut rho = vec![0.0; wf.ngrid()];
+    for s in 0..wf.norb {
+        let f = occ.f(s);
+        if f == 0.0 {
+            continue;
+        }
+        for (r, z) in rho.iter_mut().zip(wf.psi.col(s)) {
+            *r += f * z.norm_sqr();
+        }
+    }
+    rho
+}
+
+/// ∫ρ dV — the total electron count.
+pub fn electron_count(wf: &WaveFunctions, occ: &Occupations) -> f64 {
+    density(wf, occ).iter().sum::<f64>() * wf.grid.dv()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlmd_numerics::grid::Grid3;
+
+    #[test]
+    fn integrates_to_electron_count() {
+        let grid = Grid3::new(8, 8, 6, 0.4);
+        let wf = WaveFunctions::random(grid, 4, 11);
+        let occ = Occupations::aufbau(4, 3.0); // 1.5 pairs → f = [2,1,0,0]
+        let n = electron_count(&wf, &occ);
+        assert!((n - 3.0).abs() < 1e-10, "got {n}");
+    }
+
+    #[test]
+    fn density_nonnegative() {
+        let grid = Grid3::new(6, 6, 6, 0.5);
+        let wf = WaveFunctions::random(grid, 3, 2);
+        let occ = Occupations::uniform(3, 1.0);
+        assert!(density(&wf, &occ).iter().all(|&r| r >= 0.0));
+    }
+
+    #[test]
+    fn zero_occupation_contributes_nothing() {
+        let grid = Grid3::new(6, 6, 6, 0.5);
+        let wf = WaveFunctions::random(grid, 2, 3);
+        let occ = Occupations::new(vec![2.0, 0.0]);
+        let occ_single = Occupations::new(vec![2.0]);
+        let wf_single = {
+            let mut w = WaveFunctions::zeros(grid, 1);
+            w.psi.col_mut(0).copy_from_slice(wf.psi.col(0));
+            w
+        };
+        let a = density(&wf, &occ);
+        let b = density(&wf_single, &occ_single);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! `kin_prop` — the local kinetic time-propagator (paper Secs. V.A.5, V.B.2–4).
+//!
+//! Implements `exp(−iΔt T̂)` by the block-diagonal split-operator scheme of
+//! Richardson (ref [41]): the 1-D finite-difference kinetic operator along
+//! each axis decomposes into bond operators `B = λ[[1,−1],[−1,1]]`
+//! (λ = 1/2h²) acting on nearest-neighbour pairs; bonds of equal parity are
+//! disjoint, so `exp(−iτB)` is an *exact 2×2 unitary* applied
+//! independently — and data-parallel — across the grid:
+//!
+//! ```text
+//! a' = u·a + v·e^{+iφ}·b        u = (1+e)/2,  v = (1−e)/2,
+//! b' = v·e^{−iφ}·a + u·b        e = e^{−2iλτ}
+//! ```
+//!
+//! with the Peierls phase `φ = −A_axis·h` carrying the vector-potential
+//! coupling of Eq. (3) (velocity gauge, uniform A per DC domain).
+//!
+//! The four [`KinImpl`] tiers reproduce the optimization ladder of
+//! **Table III**:
+//!
+//! | tier | paper section | what changes |
+//! |---|---|---|
+//! | `Baseline`  | —      | orbital-major storage, per-point index math |
+//! | `Reordered` | V.B.2  | orbital-fastest SoA, stencil coefficient reused across orbitals, precomputed bond lists |
+//! | `Blocked`   | V.B.3  | orbital blocks processed through *all* sweeps while cache-resident |
+//! | `Parallel`  | V.B.4  | hierarchical parallelism over blocks × bond sets (the GPU offload analogue) |
+//!
+//! All four produce bit-comparable states (asserted in tests); only their
+//! speed differs.
+
+use crate::wavefunction::WaveFunctions;
+use mlmd_numerics::complex::c64;
+use mlmd_numerics::flops::FlopCounter;
+use mlmd_numerics::grid::Grid3;
+use mlmd_numerics::vec3::Vec3;
+use rayon::prelude::*;
+
+/// FLOPs per bond update per orbital: 4 complex multiplies + 2 complex adds.
+pub const FLOPS_PER_BOND_ORBITAL: u64 = 28;
+
+/// Optimization tier (Table III rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KinImpl {
+    Baseline,
+    Reordered,
+    Blocked,
+    Parallel,
+}
+
+impl KinImpl {
+    pub const ALL: [KinImpl; 4] = [
+        KinImpl::Baseline,
+        KinImpl::Reordered,
+        KinImpl::Blocked,
+        KinImpl::Parallel,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            KinImpl::Baseline => "Baseline",
+            KinImpl::Reordered => "Data & loop re-ordering (B.2)",
+            KinImpl::Blocked => "Blocking/tiling (B.3)",
+            KinImpl::Parallel => "Hierarchical parallel regions (B.4)",
+        }
+    }
+}
+
+/// 2×2 bond-mixing coefficients for one axis and sweep time τ.
+#[derive(Clone, Copy, Debug)]
+struct BondCoeffs {
+    u: c64,
+    vp: c64,
+    vm: c64,
+}
+
+impl BondCoeffs {
+    fn new(lambda: f64, tau: f64, phi: f64) -> Self {
+        let e = c64::cis(-2.0 * lambda * tau);
+        let u = (c64::one() + e).scale(0.5);
+        let v = (c64::one() - e).scale(0.5);
+        Self {
+            u,
+            vp: v * c64::cis(phi),
+            vm: v * c64::cis(-phi),
+        }
+    }
+
+    #[inline(always)]
+    fn mix(&self, a: c64, b: c64) -> (c64, c64) {
+        (self.u * a + self.vp * b, self.vm * a + self.u * b)
+    }
+}
+
+/// Planned kinetic propagator for one grid geometry.
+pub struct KinProp {
+    grid: Grid3,
+    /// Bond lists: [x-even, x-odd, y-even, y-odd, z-even, z-odd], each a
+    /// disjoint set of (g1, g2) grid-index pairs.
+    bonds: [Vec<(u32, u32)>; 6],
+    /// Orbital block size for the Blocked/Parallel tiers.
+    pub block: usize,
+}
+
+impl KinProp {
+    /// Plan for a grid; all dimensions must be even so that each parity
+    /// class tiles the periodic axis exactly.
+    pub fn new(grid: Grid3) -> Self {
+        assert!(
+            grid.nx % 2 == 0 && grid.ny % 2 == 0 && grid.nz % 2 == 0,
+            "kin_prop requires even grid dimensions (got {}×{}×{})",
+            grid.nx,
+            grid.ny,
+            grid.nz
+        );
+        let mut bonds: [Vec<(u32, u32)>; 6] = Default::default();
+        for axis in 0..3 {
+            let n_axis = [grid.nx, grid.ny, grid.nz][axis];
+            for parity in 0..2 {
+                let list = &mut bonds[2 * axis + parity];
+                for k in 0..grid.nz {
+                    for j in 0..grid.ny {
+                        for i in 0..grid.nx {
+                            let along = [i, j, k][axis];
+                            if along % 2 == parity {
+                                let g1 = grid.idx(i, j, k) as u32;
+                                let (di, dj, dk) = match axis {
+                                    0 => (1isize, 0isize, 0isize),
+                                    1 => (0, 1, 0),
+                                    _ => (0, 0, 1),
+                                };
+                                let g2 = grid.idx_offset(i, j, k, di, dj, dk) as u32;
+                                let _ = n_axis;
+                                list.push((g1, g2));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            grid,
+            bonds,
+            block: 8,
+        }
+    }
+
+    fn lambda(&self) -> f64 {
+        0.5 / (self.grid.h * self.grid.h)
+    }
+
+    fn coeffs(&self, axis: usize, tau: f64, a: Vec3) -> BondCoeffs {
+        let phi = -a[axis] * self.grid.h;
+        BondCoeffs::new(self.lambda(), tau, phi)
+    }
+
+    /// FLOPs of `n_steps` symmetric propagation steps on `norb` orbitals.
+    pub fn flops_per_steps(&self, norb: usize, n_steps: usize) -> u64 {
+        // Symmetric step = 2 passes over all 6 bond sets = 6·Ngrid bonds.
+        6 * self.grid.len() as u64 * norb as u64 * FLOPS_PER_BOND_ORBITAL * n_steps as u64
+    }
+
+    /// Propagate `wf` by `n_steps` symmetric split-operator kinetic steps
+    /// of `dt` each, under uniform vector potential `a`, using the selected
+    /// implementation tier. Conversion into the tier's preferred layout is
+    /// done once and amortized over all steps, matching how Table III runs
+    /// 1,000 QD steps.
+    pub fn propagate_n(
+        &self,
+        imp: KinImpl,
+        wf: &mut WaveFunctions,
+        dt: f64,
+        a: Vec3,
+        n_steps: usize,
+        flops: &FlopCounter,
+    ) {
+        assert_eq!(wf.grid, self.grid, "wave functions on a different grid");
+        flops.add(self.flops_per_steps(wf.norb, n_steps));
+        match imp {
+            KinImpl::Baseline => self.run_baseline(wf, dt, a, n_steps),
+            KinImpl::Reordered => self.run_soa(wf, dt, a, n_steps, false),
+            KinImpl::Blocked => self.run_blocked(wf, dt, a, n_steps, false),
+            KinImpl::Parallel => self.run_blocked(wf, dt, a, n_steps, true),
+        }
+    }
+
+    /// One symmetric step (`Parallel` tier): the form used by the QD driver.
+    pub fn step(&self, wf: &mut WaveFunctions, dt: f64, a: Vec3, flops: &FlopCounter) {
+        self.propagate_n(KinImpl::Parallel, wf, dt, a, 1, flops);
+    }
+
+    // ---- Baseline: orbital-major, inline index arithmetic ----------------
+
+    fn run_baseline(&self, wf: &mut WaveFunctions, dt: f64, a: Vec3, n_steps: usize) {
+        let tau = 0.5 * dt;
+        let grid = self.grid;
+        let norb = wf.norb;
+        for _ in 0..n_steps {
+            for s in 0..norb {
+                let col = wf.psi.col_mut(s);
+                for sweep in 0..12 {
+                    // 0..6 forward half-step, then 6..12 reversed order.
+                    let set = if sweep < 6 { sweep } else { 11 - sweep };
+                    let axis = set / 2;
+                    let parity = set % 2;
+                    let c = self.coeffs(axis, tau, a);
+                    // Naive traversal: recompute neighbour indices with
+                    // wrap-around arithmetic at every point (the pre-B.2
+                    // code structure).
+                    for k in 0..grid.nz {
+                        for j in 0..grid.ny {
+                            for i in 0..grid.nx {
+                                let along = [i, j, k][axis];
+                                if along % 2 != parity {
+                                    continue;
+                                }
+                                let g1 = i + grid.nx * (j + grid.ny * k);
+                                let (ii, jj, kk) = match axis {
+                                    0 => ((i + 1) % grid.nx, j, k),
+                                    1 => (i, (j + 1) % grid.ny, k),
+                                    _ => (i, j, (k + 1) % grid.nz),
+                                };
+                                let g2 = ii + grid.nx * (jj + grid.ny * kk);
+                                let (na, nb) = c.mix(col[g1], col[g2]);
+                                col[g1] = na;
+                                col[g2] = nb;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Reordered: orbital-fastest SoA, precomputed bonds ---------------
+
+    fn run_soa(&self, wf: &mut WaveFunctions, dt: f64, a: Vec3, n_steps: usize, _par: bool) {
+        let norb = wf.norb;
+        let mut data = wf.to_soa();
+        let tau = 0.5 * dt;
+        for _ in 0..n_steps {
+            for sweep in 0..12 {
+                let set = if sweep < 6 { sweep } else { 11 - sweep };
+                let c = self.coeffs(set / 2, tau, a);
+                for &(g1, g2) in &self.bonds[set] {
+                    let b1 = g1 as usize * norb;
+                    let b2 = g2 as usize * norb;
+                    for s in 0..norb {
+                        let (na, nb) = c.mix(data[b1 + s], data[b2 + s]);
+                        data[b1 + s] = na;
+                        data[b2 + s] = nb;
+                    }
+                }
+            }
+        }
+        wf.from_soa(&data);
+    }
+
+    // ---- Blocked / Parallel: block-SoA, all sweeps per resident block ----
+
+    fn run_blocked(&self, wf: &mut WaveFunctions, dt: f64, a: Vec3, n_steps: usize, par: bool) {
+        let norb = wf.norb;
+        let ngrid = self.grid.len();
+        // The parallel tier needs enough blocks to feed the pool
+        // (2 tasks per thread for load balance); the serial blocked tier
+        // uses the cache-sized block.
+        let bs = if par {
+            (norb / (2 * rayon::current_num_threads()).max(1))
+                .clamp(1, self.block.max(1))
+                .min(norb)
+        } else {
+            self.block.min(norb).max(1)
+        };
+        let nblocks = norb.div_ceil(bs);
+        let tau = 0.5 * dt;
+        // Gather per-block SoA panels: panel[b][g*bw + s_local].
+        let mut panels: Vec<Vec<c64>> = (0..nblocks)
+            .map(|b| {
+                let s0 = b * bs;
+                let bw = bs.min(norb - s0);
+                let mut p = vec![c64::zero(); ngrid * bw];
+                for sl in 0..bw {
+                    let col = wf.psi.col(s0 + sl);
+                    for (g, &v) in col.iter().enumerate() {
+                        p[g * bw + sl] = v;
+                    }
+                }
+                p
+            })
+            .collect();
+        let coeffs: Vec<BondCoeffs> = (0..6).map(|set| self.coeffs(set / 2, tau, a)).collect();
+        let sweep_block = |panel: &mut Vec<c64>, bw: usize| {
+            for _ in 0..n_steps {
+                for sweep in 0..12 {
+                    let set = if sweep < 6 { sweep } else { 11 - sweep };
+                    let c = coeffs[set];
+                    for &(g1, g2) in &self.bonds[set] {
+                        let b1 = g1 as usize * bw;
+                        let b2 = g2 as usize * bw;
+                        // Split-borrow the two disjoint orbital runs so the
+                        // inner loop is bounds-check-free and vectorizable.
+                        let (lo, hi, first_is_lo) = if b1 < b2 {
+                            (b1, b2, true)
+                        } else {
+                            (b2, b1, false)
+                        };
+                        let (head, tail) = panel.split_at_mut(hi);
+                        let run_lo = &mut head[lo..lo + bw];
+                        let run_hi = &mut tail[..bw];
+                        if first_is_lo {
+                            for (x, y) in run_lo.iter_mut().zip(run_hi.iter_mut()) {
+                                let (na, nb) = c.mix(*x, *y);
+                                *x = na;
+                                *y = nb;
+                            }
+                        } else {
+                            for (y, x) in run_lo.iter_mut().zip(run_hi.iter_mut()) {
+                                let (na, nb) = c.mix(*x, *y);
+                                *x = na;
+                                *y = nb;
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        if par {
+            panels.par_iter_mut().enumerate().for_each(|(b, panel)| {
+                let s0 = b * bs;
+                let bw = bs.min(norb - s0);
+                sweep_block(panel, bw);
+            });
+        } else {
+            for (b, panel) in panels.iter_mut().enumerate() {
+                let s0 = b * bs;
+                let bw = bs.min(norb - s0);
+                sweep_block(panel, bw);
+            }
+        }
+        // Scatter back.
+        for (b, panel) in panels.iter().enumerate() {
+            let s0 = b * bs;
+            let bw = bs.min(norb - s0);
+            for sl in 0..bw {
+                let col = wf.psi.col_mut(s0 + sl);
+                for (g, v) in col.iter_mut().enumerate() {
+                    *v = panel[g * bw + sl];
+                }
+            }
+        }
+    }
+
+    /// Finite-difference kinetic dispersion `E(k) = Σ_a (1−cos(k_a h))/h²`
+    /// with vector-potential shift — the exact eigenvalue a plane wave
+    /// accumulates per unit time under this propagator's Hamiltonian.
+    pub fn fd_dispersion(&self, k: Vec3, a: Vec3) -> f64 {
+        let h = self.grid.h;
+        let mut e = 0.0;
+        for axis in 0..3 {
+            e += (1.0 - ((k[axis] + a[axis]) * h).cos()) / (h * h);
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid3 {
+        Grid3::new(8, 8, 8, 0.4)
+    }
+
+    fn counter() -> FlopCounter {
+        FlopCounter::new()
+    }
+
+    #[test]
+    fn all_tiers_agree() {
+        let g = grid();
+        let kp = KinProp::new(g);
+        let reference = {
+            let mut wf = WaveFunctions::random(g, 5, 42);
+            kp.propagate_n(KinImpl::Baseline, &mut wf, 0.01, Vec3::new(0.2, 0.0, -0.1), 3, &counter());
+            wf
+        };
+        for imp in [KinImpl::Reordered, KinImpl::Blocked, KinImpl::Parallel] {
+            let mut wf = WaveFunctions::random(g, 5, 42);
+            kp.propagate_n(imp, &mut wf, 0.01, Vec3::new(0.2, 0.0, -0.1), 3, &counter());
+            let diff = wf.psi.max_abs_diff(&reference.psi);
+            assert!(diff < 1e-12, "{imp:?} deviates by {diff}");
+        }
+    }
+
+    #[test]
+    fn unitarity_exact() {
+        let g = grid();
+        let kp = KinProp::new(g);
+        let mut wf = WaveFunctions::random(g, 4, 7);
+        for _ in 0..50 {
+            kp.step(&mut wf, 0.05, Vec3::new(0.3, -0.2, 0.1), &counter());
+        }
+        assert!(wf.norm_error() < 1e-11, "norm error {}", wf.norm_error());
+    }
+
+    #[test]
+    fn orthogonality_preserved() {
+        // The propagator is one unitary applied to all orbitals: overlaps
+        // are invariants.
+        let g = grid();
+        let kp = KinProp::new(g);
+        let mut wf = WaveFunctions::random(g, 3, 9);
+        let s01 = wf.overlap(0, &wf, 1);
+        for _ in 0..20 {
+            kp.step(&mut wf, 0.03, Vec3::ZERO, &counter());
+        }
+        let s01_after = wf.overlap(0, &wf, 1);
+        assert!((s01 - s01_after).abs() < 1e-10);
+    }
+
+    #[test]
+    fn free_particle_phase_evolution() {
+        // A plane wave must acquire phase e^{-i E(k) t} with the FD
+        // dispersion; Trotter error is O(dt²) per step, so use small dt.
+        let g = Grid3::new(16, 16, 16, 0.5);
+        let kp = KinProp::new(g);
+        let mut wf = WaveFunctions::plane_waves(g, 2); // mode 1 = (0,0,±1)-like
+        let before = wf.psi[(3, 1)];
+        let dt = 1e-3;
+        let steps = 200;
+        for _ in 0..steps {
+            kp.step(&mut wf, dt, Vec3::ZERO, &counter());
+        }
+        // Identify the mode's k vector from the plane-wave constructor:
+        // mode 1 has |m|²=1; measure its energy from the accumulated phase
+        // and compare to the smallest nonzero FD dispersion value.
+        let after = wf.psi[(3, 1)];
+        let phase = (after / before).arg();
+        let t = dt * steps as f64;
+        let (lx, _, _) = g.lengths();
+        let kmin = 2.0 * std::f64::consts::PI / lx;
+        // Candidate energies along each axis (grid is cubic, all equal).
+        let e_expect = kp.fd_dispersion(Vec3::new(kmin, 0.0, 0.0), Vec3::ZERO);
+        let phase_expect = -(e_expect * t);
+        let wrap = |x: f64| (x + std::f64::consts::PI).rem_euclid(2.0 * std::f64::consts::PI)
+            - std::f64::consts::PI;
+        assert!(
+            wrap(phase - phase_expect).abs() < 2e-3,
+            "phase {phase} vs expected {phase_expect}"
+        );
+    }
+
+    #[test]
+    fn vector_potential_shifts_dispersion() {
+        // With A ≠ 0 the gamma-mode (k = 0) acquires energy E(A) ≠ 0.
+        let g = Grid3::new(12, 12, 12, 0.5);
+        let kp = KinProp::new(g);
+        let a = Vec3::new(0.4, 0.0, 0.0);
+        let mut wf = WaveFunctions::plane_waves(g, 1); // k = 0 mode only
+        let before = wf.psi[(0, 0)];
+        let dt = 1e-3;
+        let steps = 100;
+        for _ in 0..steps {
+            kp.step(&mut wf, dt, a, &counter());
+        }
+        let after = wf.psi[(0, 0)];
+        let phase = (after / before).arg();
+        let e_expect = kp.fd_dispersion(Vec3::ZERO, a);
+        assert!(
+            (phase + e_expect * dt * steps as f64).abs() < 1e-3,
+            "phase {phase}, expected {}",
+            -e_expect * dt * steps as f64
+        );
+    }
+
+    #[test]
+    fn trotter_error_is_second_order() {
+        // Halving dt (same total time) must reduce the error ~4×.
+        let g = Grid3::new(8, 8, 8, 0.6);
+        let kp = KinProp::new(g);
+        let total_t = 0.2;
+        let run = |nsteps: usize| -> WaveFunctions {
+            let mut wf = WaveFunctions::random(g, 2, 5);
+            kp.propagate_n(
+                KinImpl::Parallel,
+                &mut wf,
+                total_t / nsteps as f64,
+                Vec3::ZERO,
+                nsteps,
+                &counter(),
+            );
+            wf
+        };
+        let exact = run(512); // fine-step proxy for the exact result
+        let err = |w: &WaveFunctions| w.psi.max_abs_diff(&exact.psi);
+        let e1 = err(&run(8));
+        let e2 = err(&run(16));
+        let ratio = e1 / e2;
+        assert!(
+            ratio > 3.0 && ratio < 5.5,
+            "expected ~4x error reduction, got {ratio} ({e1} / {e2})"
+        );
+    }
+
+    #[test]
+    fn flop_accounting() {
+        let g = grid();
+        let kp = KinProp::new(g);
+        let c = counter();
+        let mut wf = WaveFunctions::random(g, 3, 1);
+        kp.propagate_n(KinImpl::Parallel, &mut wf, 0.01, Vec3::ZERO, 2, &c);
+        assert_eq!(c.total(), kp.flops_per_steps(3, 2));
+        assert_eq!(
+            kp.flops_per_steps(1, 1),
+            6 * g.len() as u64 * FLOPS_PER_BOND_ORBITAL
+        );
+    }
+
+    #[test]
+    fn bond_sets_are_disjoint_and_complete() {
+        let g = Grid3::new(6, 4, 8, 1.0);
+        let kp = KinProp::new(g);
+        for axis in 0..3 {
+            let mut touched = vec![0u8; g.len()];
+            for parity in 0..2 {
+                for &(g1, g2) in &kp.bonds[2 * axis + parity] {
+                    touched[g1 as usize] += 1;
+                    touched[g2 as usize] += 1;
+                }
+            }
+            // Every point participates in exactly 2 bonds per axis.
+            assert!(touched.iter().all(|&t| t == 2), "axis {axis}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even grid dimensions")]
+    fn odd_grid_rejected() {
+        KinProp::new(Grid3::new(7, 8, 8, 1.0));
+    }
+}

@@ -1,0 +1,243 @@
+//! KS wave-function panels on a finite-difference grid.
+//!
+//! Two layouts coexist, exactly as in the paper:
+//!
+//! * **grid-major** (the canonical [`WaveFunctions::psi`] matrix): each
+//!   orbital is a contiguous column of an `Ngrid × Norb` column-major
+//!   matrix — the representation `nlp_prop`'s CGEMMs consume (Sec. V.B.5);
+//! * **orbital-fastest SoA** ([`WaveFunctions::to_soa`]): consecutive
+//!   storage of all `Norb` orbital values per grid point — the layout of
+//!   Sec. V.B.2 that lets one stencil coefficient be reused across all
+//!   orbitals in the innermost loop.
+
+use mlmd_numerics::complex::c64;
+use mlmd_numerics::grid::Grid3;
+use mlmd_numerics::matrix::Matrix;
+use mlmd_numerics::ortho;
+use mlmd_numerics::rng::{Rng64, Xoshiro256};
+
+/// A panel of `norb` complex KS orbitals on `grid`.
+#[derive(Clone, Debug)]
+pub struct WaveFunctions {
+    pub grid: Grid3,
+    pub norb: usize,
+    /// `Ngrid × Norb`, column-major (each column one orbital), grid-major.
+    pub psi: Matrix<c64>,
+}
+
+impl WaveFunctions {
+    /// All-zero panel.
+    pub fn zeros(grid: Grid3, norb: usize) -> Self {
+        Self {
+            grid,
+            norb,
+            psi: Matrix::zeros(grid.len(), norb),
+        }
+    }
+
+    /// Random orthonormalized panel (the SCF initial guess).
+    pub fn random(grid: Grid3, norb: usize, seed: u64) -> Self {
+        let mut rng = Xoshiro256::new(seed);
+        let mut psi = Matrix::from_fn(grid.len(), norb, |_, _| {
+            c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)
+        });
+        ortho::gram_schmidt(&mut psi);
+        // Gram–Schmidt normalizes in the l² sense; rescale to ∫|ψ|²dV = 1.
+        let s = 1.0 / grid.dv().sqrt();
+        for z in psi.as_mut_slice() {
+            *z = z.scale(s);
+        }
+        Self { grid, norb, psi }
+    }
+
+    /// Plane-wave orbitals `exp(i G_s · r)/√V` with distinct low-|G| modes:
+    /// analytic eigenfunctions of the free-particle problem, used heavily
+    /// in tests.
+    pub fn plane_waves(grid: Grid3, norb: usize) -> Self {
+        let (lx, ly, lz) = grid.lengths();
+        let vol = lx * ly * lz;
+        let amp = 1.0 / vol.sqrt();
+        // Enumerate integer modes in a deterministic low-to-high order.
+        let modes = low_modes(norb);
+        let psi = Matrix::from_fn(grid.len(), norb, |g, s| {
+            let (i, j, k) = grid.coords(g);
+            let (x, y, z) = grid.position(i, j, k);
+            let (mx, my, mz) = modes[s];
+            let phase = 2.0 * std::f64::consts::PI
+                * (mx as f64 * x / lx + my as f64 * y / ly + mz as f64 * z / lz);
+            c64::cis(phase).scale(amp)
+        });
+        Self { grid, norb, psi }
+    }
+
+    /// Number of grid points.
+    #[inline]
+    pub fn ngrid(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// `⟨ψ_s|ψ_s⟩ = ∫|ψ_s|² dV` for each orbital.
+    pub fn norms(&self) -> Vec<f64> {
+        let dv = self.grid.dv();
+        (0..self.norb)
+            .map(|s| self.psi.col(s).iter().map(|z| z.norm_sqr()).sum::<f64>() * dv)
+            .collect()
+    }
+
+    /// Max deviation of any orbital norm from 1 (unitarity diagnostic).
+    pub fn norm_error(&self) -> f64 {
+        self.norms()
+            .into_iter()
+            .map(|n| (n - 1.0).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Convert to orbital-fastest SoA: `out[g*norb + s] = ψ_s(g)`.
+    pub fn to_soa(&self) -> Vec<c64> {
+        let ngrid = self.ngrid();
+        let norb = self.norb;
+        let mut out = vec![c64::zero(); ngrid * norb];
+        for s in 0..norb {
+            let col = self.psi.col(s);
+            for (g, &v) in col.iter().enumerate() {
+                out[g * norb + s] = v;
+            }
+        }
+        out
+    }
+
+    /// Load from orbital-fastest SoA (inverse of [`Self::to_soa`]).
+    pub fn from_soa(&mut self, soa: &[c64]) {
+        let ngrid = self.ngrid();
+        let norb = self.norb;
+        assert_eq!(soa.len(), ngrid * norb);
+        for s in 0..norb {
+            let col = self.psi.col_mut(s);
+            for (g, v) in col.iter_mut().enumerate() {
+                *v = soa[g * norb + s];
+            }
+        }
+    }
+
+    /// Overlap ⟨ψ_a|ψ_b⟩ between two orbitals of (possibly different)
+    /// panels on the same grid.
+    pub fn overlap(&self, a: usize, other: &WaveFunctions, b: usize) -> c64 {
+        assert_eq!(self.grid, other.grid);
+        let dv = self.grid.dv();
+        let mut acc = c64::zero();
+        for (&x, &y) in self.psi.col(a).iter().zip(other.psi.col(b)) {
+            acc = acc.mul_acc(x.conj(), y);
+        }
+        acc.scale(dv)
+    }
+
+    /// Memory footprint of the panel in bytes (what stays GPU-resident).
+    pub fn bytes(&self) -> u64 {
+        (self.ngrid() * self.norb * std::mem::size_of::<c64>()) as u64
+    }
+}
+
+/// The `n` smallest integer modes (mx, my, mz), sorted by |m|² then lexical.
+fn low_modes(n: usize) -> Vec<(i32, i32, i32)> {
+    let mut modes = Vec::new();
+    let r = 6i32; // generous search radius; supports hundreds of orbitals
+    for mx in -r..=r {
+        for my in -r..=r {
+            for mz in -r..=r {
+                modes.push((mx, my, mz));
+            }
+        }
+    }
+    modes.sort_by_key(|&(x, y, z)| (x * x + y * y + z * z, x, y, z));
+    assert!(modes.len() >= n, "mode search radius too small for {n} orbitals");
+    modes.truncate(n);
+    modes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlmd_numerics::ortho::orthonormality_error;
+
+    fn small_grid() -> Grid3 {
+        Grid3::new(8, 6, 4, 0.5)
+    }
+
+    #[test]
+    fn random_panel_is_orthonormal() {
+        let wf = WaveFunctions::random(small_grid(), 5, 1);
+        for (s, n) in wf.norms().iter().enumerate() {
+            assert!((n - 1.0).abs() < 1e-10, "orbital {s} norm {n}");
+        }
+        assert!(wf.norm_error() < 1e-10);
+    }
+
+    #[test]
+    fn plane_waves_are_orthonormal() {
+        let wf = WaveFunctions::plane_waves(small_grid(), 6);
+        for a in 0..6 {
+            for b in 0..6 {
+                let o = wf.overlap(a, &wf, b);
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!(
+                    (o - c64::real(expect)).abs() < 1e-10,
+                    "⟨{a}|{b}⟩ = {o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn soa_round_trip() {
+        let wf = WaveFunctions::random(small_grid(), 4, 3);
+        let soa = wf.to_soa();
+        let mut back = WaveFunctions::zeros(wf.grid, wf.norb);
+        back.from_soa(&soa);
+        assert!(wf.psi.max_abs_diff(&back.psi) < 1e-15);
+    }
+
+    #[test]
+    fn soa_layout_is_orbital_fastest() {
+        let wf = WaveFunctions::random(small_grid(), 3, 4);
+        let soa = wf.to_soa();
+        // Grid point 5, orbital 2 sits at 5*3+2.
+        assert_eq!(soa[5 * 3 + 2], wf.psi[(5, 2)]);
+    }
+
+    #[test]
+    fn gram_schmidt_scaling_matches_grid_measure() {
+        // The l²-orthonormal psi must integrate to one with the dV weight.
+        let grid = Grid3::cubic(6, 0.3);
+        let wf = WaveFunctions::random(grid, 2, 7);
+        let l2: f64 = wf.psi.col(0).iter().map(|z| z.norm_sqr()).sum();
+        assert!((l2 * grid.dv() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn low_modes_start_at_gamma() {
+        let m = low_modes(7);
+        assert_eq!(m[0], (0, 0, 0));
+        // Next six are the ±1 modes.
+        for &(x, y, z) in &m[1..7] {
+            assert_eq!(x * x + y * y + z * z, 1);
+        }
+    }
+
+    #[test]
+    fn footprint_counts_bytes() {
+        let wf = WaveFunctions::zeros(small_grid(), 2);
+        assert_eq!(wf.bytes(), (8 * 6 * 4 * 2 * 16) as u64);
+    }
+
+    #[test]
+    fn orthonormality_of_panel_in_l2_sense() {
+        let wf = WaveFunctions::random(small_grid(), 4, 9);
+        // The psi matrix scaled by sqrt(dV) must be orthonormal.
+        let mut scaled = wf.psi.clone();
+        let s = wf.grid.dv().sqrt();
+        for z in scaled.as_mut_slice() {
+            *z = z.scale(s);
+        }
+        assert!(orthonormality_error(&scaled) < 1e-10);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests: the quantum-dynamics invariants of LFD — unitarity,
+//! reversibility, and precision-ladder monotonicity over random states.
+
+use mlmd_lfd::kin_prop::{KinImpl, KinProp};
+use mlmd_lfd::nlp_prop::{NlpPrecision, NlpProp};
+use mlmd_lfd::occupation::Occupations;
+use mlmd_lfd::propagator::QdStep;
+use mlmd_lfd::wavefunction::WaveFunctions;
+use mlmd_numerics::complex::c64;
+use mlmd_numerics::flops::FlopCounter;
+use mlmd_numerics::grid::Grid3;
+use mlmd_numerics::vec3::Vec3;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn kinetic_propagation_unitary_for_any_state_and_field(
+        seed in 0u64..10_000,
+        dt in 0.001f64..0.1,
+        ax in -0.5f64..0.5,
+        az in -0.5f64..0.5
+    ) {
+        let grid = Grid3::new(8, 8, 8, 0.5);
+        let kp = KinProp::new(grid);
+        let mut wf = WaveFunctions::random(grid, 3, seed);
+        let flops = FlopCounter::new();
+        for _ in 0..5 {
+            kp.propagate_n(KinImpl::Parallel, &mut wf, dt, Vec3::new(ax, 0.0, az), 1, &flops);
+        }
+        prop_assert!(wf.norm_error() < 1e-10, "norm error {}", wf.norm_error());
+    }
+
+    #[test]
+    fn all_kin_tiers_agree_on_random_states(seed in 0u64..10_000, dt in 0.005f64..0.05) {
+        let grid = Grid3::new(6, 6, 6, 0.6);
+        let kp = KinProp::new(grid);
+        let flops = FlopCounter::new();
+        let a = Vec3::new(0.1, -0.2, 0.05);
+        let reference = {
+            let mut wf = WaveFunctions::random(grid, 2, seed);
+            kp.propagate_n(KinImpl::Baseline, &mut wf, dt, a, 2, &flops);
+            wf
+        };
+        for imp in [KinImpl::Reordered, KinImpl::Blocked, KinImpl::Parallel] {
+            let mut wf = WaveFunctions::random(grid, 2, seed);
+            kp.propagate_n(imp, &mut wf, dt, a, 2, &flops);
+            prop_assert!(wf.psi.max_abs_diff(&reference.psi) < 1e-11);
+        }
+    }
+
+    #[test]
+    fn full_step_time_reversible(seed in 0u64..10_000, dt in 0.01f64..0.05) {
+        let grid = Grid3::new(6, 6, 6, 0.5);
+        let qd = QdStep::new(grid);
+        let vloc: Vec<f64> = (0..grid.len()).map(|i| 0.1 * ((i % 7) as f64)).collect();
+        let mut wf = WaveFunctions::random(grid, 2, seed);
+        let original = wf.clone();
+        for _ in 0..3 {
+            qd.step(&mut wf, &vloc, Vec3::ZERO, dt);
+        }
+        for _ in 0..3 {
+            qd.step(&mut wf, &vloc, Vec3::ZERO, -dt);
+        }
+        prop_assert!(wf.psi.max_abs_diff(&original.psi) < 1e-10);
+    }
+
+    #[test]
+    fn nlp_precision_ladder_monotone_on_random_panels(seed in 0u64..10_000) {
+        let grid = Grid3::new(6, 6, 6, 0.5);
+        let wf0 = WaveFunctions::random(grid, 4, seed);
+        let mut wf = WaveFunctions::random(grid, 4, seed.wrapping_add(1));
+        for (a, b) in wf.psi.as_mut_slice().iter_mut().zip(wf0.psi.as_slice()) {
+            *a = *a + b.scale(0.4);
+        }
+        let nlp = NlpProp::new(&wf0, c64::new(0.0, -0.02));
+        let e1 = nlp.precision_error(&wf, NlpPrecision::Bf16);
+        let e3 = nlp.precision_error(&wf, NlpPrecision::Bf16x3);
+        prop_assert!(e1 >= e3, "ladder inverted: {} < {}", e1, e3);
+        prop_assert!(e1 < 1e-2, "perturbative BF16 error too large: {}", e1);
+    }
+
+    #[test]
+    fn occupation_transfers_conserve_total(
+        f0 in 0.0f64..2.0, f1 in 0.0f64..2.0, f2 in 0.0f64..2.0,
+        amount in 0.0f64..1.0
+    ) {
+        let mut occ = Occupations::new(vec![f0, f1, f2]);
+        let total = occ.total();
+        occ.transfer(0, 2, amount);
+        occ.transfer(1, 0, amount * 0.5);
+        prop_assert!((occ.total() - total).abs() < 1e-12);
+        prop_assert!(occ.as_slice().iter().all(|&f| (0.0..=2.0).contains(&f)));
+        prop_assert!(occ.n_exc() >= 0.0);
+    }
+
+    #[test]
+    fn local_phase_preserves_density_pointwise(seed in 0u64..10_000, dt in 0.01f64..0.5) {
+        let grid = Grid3::new(6, 6, 6, 0.5);
+        let qd = QdStep::new(grid);
+        let vloc: Vec<f64> = (0..grid.len()).map(|i| ((i * 13) % 11) as f64 * 0.1).collect();
+        let mut wf = WaveFunctions::random(grid, 2, seed);
+        let before: Vec<f64> = wf.psi.col(0).iter().map(|z| z.norm_sqr()).collect();
+        qd.apply_vloc(&mut wf, &vloc, dt);
+        for (b, z) in before.iter().zip(wf.psi.col(0)) {
+            prop_assert!((b - z.norm_sqr()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Laser pulse sources: Gaussian-envelope carrier waves.
+//!
+//! The paper's Fig. 3 workflow drives the skyrmion superlattice with a
+//! femtosecond pulse; [`GaussianPulse`] is that drive. All quantities in
+//! atomic units (see [`crate::units`]).
+
+/// `E(t) = E₀ · exp(−(t−t₀)²/2σ²) · cos(ω(t−t₀) + φ)`
+#[derive(Clone, Copy, Debug)]
+pub struct GaussianPulse {
+    /// Peak field amplitude (a.u.).
+    pub e0: f64,
+    /// Carrier angular frequency (a.u.).
+    pub omega: f64,
+    /// Pulse center (a.u. of time).
+    pub t0: f64,
+    /// Gaussian σ (a.u. of time).
+    pub sigma: f64,
+    /// Carrier-envelope phase.
+    pub phase: f64,
+}
+
+impl GaussianPulse {
+    /// Pulse from experimental-style parameters.
+    pub fn new(e0: f64, omega: f64, t0: f64, sigma: f64) -> Self {
+        Self {
+            e0,
+            omega,
+            t0,
+            sigma,
+            phase: 0.0,
+        }
+    }
+
+    /// FWHM-specified envelope (intensity FWHM = 2σ√(2 ln 2) · √2⁻¹ care:
+    /// here FWHM refers to the *field* envelope).
+    pub fn with_fwhm(e0: f64, omega: f64, t0: f64, fwhm: f64) -> Self {
+        let sigma = fwhm / (2.0 * (2.0f64.ln() * 2.0).sqrt());
+        Self::new(e0, omega, t0, sigma)
+    }
+
+    /// Field value at time `t`.
+    pub fn field(&self, t: f64) -> f64 {
+        self.e0 * self.envelope(t) * ((self.omega * (t - self.t0)) + self.phase).cos()
+    }
+
+    /// Envelope only.
+    pub fn envelope(&self, t: f64) -> f64 {
+        let x = (t - self.t0) / self.sigma;
+        (-0.5 * x * x).exp()
+    }
+
+    /// Fluence proxy `∫E² dt` by midpoint rule over ±6σ.
+    pub fn fluence(&self, dt: f64) -> f64 {
+        let t_start = self.t0 - 6.0 * self.sigma;
+        let n = ((12.0 * self.sigma) / dt).ceil() as usize;
+        (0..n)
+            .map(|i| {
+                let e = self.field(t_start + (i as f64 + 0.5) * dt);
+                e * e * dt
+            })
+            .sum()
+    }
+
+    /// A time after which the pulse is negligible.
+    pub fn end_time(&self) -> f64 {
+        self.t0 + 6.0 * self.sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pulse() -> GaussianPulse {
+        GaussianPulse::new(0.01, 0.057, 200.0, 40.0)
+    }
+
+    #[test]
+    fn peak_at_center() {
+        let p = pulse();
+        assert!((p.envelope(p.t0) - 1.0).abs() < 1e-15);
+        assert!(p.field(p.t0).abs() <= p.e0 + 1e-15);
+        assert!((p.field(p.t0) - p.e0).abs() < 1e-12, "cos(0)=1 at center");
+    }
+
+    #[test]
+    fn decays_away_from_center() {
+        let p = pulse();
+        assert!(p.envelope(p.t0 + 3.0 * p.sigma) < 0.02);
+        assert!(p.field(p.end_time()).abs() < 1e-7 * p.e0);
+    }
+
+    #[test]
+    fn fwhm_constructor() {
+        let p = GaussianPulse::with_fwhm(1.0, 0.1, 0.0, 100.0);
+        // At t = ±FWHM/2 the envelope is 1/2.
+        assert!((p.envelope(50.0) - 0.5).abs() < 1e-12);
+        assert!((p.envelope(-50.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fluence_scales_quadratically() {
+        let p1 = pulse();
+        let mut p2 = pulse();
+        p2.e0 *= 2.0;
+        let f1 = p1.fluence(0.1);
+        let f2 = p2.fluence(0.1);
+        assert!((f2 / f1 - 4.0).abs() < 1e-10);
+    }
+}

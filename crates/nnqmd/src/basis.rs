@@ -1,0 +1,148 @@
+//! Radial basis: Bessel-type functions with a smooth cutoff envelope.
+//!
+//! The NequIP/Allegro radial embedding: `B_k(r) = sin(kπr/r_c)/r · f_c(r)`
+//! with the Behler cosine cutoff `f_c(r) = ½(cos(πr/r_c)+1)`, which is
+//! smooth and has zero value and slope at `r_c` — forces stay continuous
+//! as neighbors cross the cutoff sphere.
+
+/// Radial basis evaluator of `k_max` functions with cutoff `rcut`.
+#[derive(Clone, Copy, Debug)]
+pub struct RadialBasis {
+    pub k_max: usize,
+    pub rcut: f64,
+}
+
+impl RadialBasis {
+    pub fn new(k_max: usize, rcut: f64) -> Self {
+        assert!(k_max >= 1 && rcut > 0.0);
+        Self { k_max, rcut }
+    }
+
+    /// Cutoff envelope `f_c(r)`.
+    #[inline]
+    pub fn cutoff(&self, r: f64) -> f64 {
+        if r >= self.rcut {
+            0.0
+        } else {
+            0.5 * ((std::f64::consts::PI * r / self.rcut).cos() + 1.0)
+        }
+    }
+
+    /// d f_c/dr.
+    #[inline]
+    pub fn cutoff_deriv(&self, r: f64) -> f64 {
+        if r >= self.rcut {
+            0.0
+        } else {
+            let a = std::f64::consts::PI / self.rcut;
+            -0.5 * a * (a * r).sin()
+        }
+    }
+
+    /// Evaluate all basis functions into `out` (length `k_max`).
+    pub fn eval(&self, r: f64, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.k_max);
+        let fc = self.cutoff(r);
+        let x = std::f64::consts::PI * r / self.rcut;
+        let inv_r = 1.0 / r.max(1e-12);
+        for (k, o) in out.iter_mut().enumerate() {
+            let kk = (k + 1) as f64;
+            *o = (kk * x).sin() * inv_r * fc;
+        }
+    }
+
+    /// Evaluate values and radial derivatives.
+    pub fn eval_with_deriv(&self, r: f64, val: &mut [f64], dval: &mut [f64]) {
+        debug_assert_eq!(val.len(), self.k_max);
+        debug_assert_eq!(dval.len(), self.k_max);
+        let fc = self.cutoff(r);
+        let dfc = self.cutoff_deriv(r);
+        let a = std::f64::consts::PI / self.rcut;
+        let inv_r = 1.0 / r.max(1e-12);
+        for k in 0..self.k_max {
+            let kk = (k + 1) as f64;
+            let s = (kk * a * r).sin();
+            let c = (kk * a * r).cos();
+            let g = s * inv_r; // sin(kπr/rc)/r
+            let dg = (kk * a * c - s * inv_r) * inv_r;
+            val[k] = g * fc;
+            dval[k] = dg * fc + g * dfc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basis() -> RadialBasis {
+        RadialBasis::new(6, 5.2)
+    }
+
+    #[test]
+    fn cutoff_properties() {
+        let b = basis();
+        assert!((b.cutoff(0.0) - 1.0).abs() < 1e-15);
+        assert_eq!(b.cutoff(5.2), 0.0);
+        assert_eq!(b.cutoff(6.0), 0.0);
+        assert!(b.cutoff_deriv(5.19).abs() < 1e-2, "slope → 0 at cutoff");
+        assert!(b.cutoff(2.0) > b.cutoff(4.0), "monotone decreasing");
+    }
+
+    #[test]
+    fn values_vanish_at_cutoff() {
+        let b = basis();
+        let mut v = vec![0.0; 6];
+        b.eval(5.1999, &mut v);
+        for x in v {
+            assert!(x.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let b = basis();
+        let h = 1e-7;
+        for &r in &[0.5, 1.3, 2.7, 4.0, 5.0] {
+            let mut vp = vec![0.0; 6];
+            let mut vm = vec![0.0; 6];
+            b.eval(r + h, &mut vp);
+            b.eval(r - h, &mut vm);
+            let mut v = vec![0.0; 6];
+            let mut dv = vec![0.0; 6];
+            b.eval_with_deriv(r, &mut v, &mut dv);
+            for k in 0..6 {
+                let fd = (vp[k] - vm[k]) / (2.0 * h);
+                assert!(
+                    (dv[k] - fd).abs() < 1e-5 * (1.0 + fd.abs()),
+                    "r={r} k={k}: {} vs {fd}",
+                    dv[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn basis_functions_are_distinct() {
+        let b = basis();
+        let mut v1 = vec![0.0; 6];
+        let mut v2 = vec![0.0; 6];
+        b.eval(1.0, &mut v1);
+        b.eval(2.0, &mut v2);
+        // Different radii produce different feature vectors.
+        let diff: f64 = v1.iter().zip(&v2).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 0.1);
+    }
+
+    #[test]
+    fn small_r_finite() {
+        let b = basis();
+        let mut v = vec![0.0; 6];
+        let mut dv = vec![0.0; 6];
+        b.eval_with_deriv(1e-6, &mut v, &mut dv);
+        assert!(v.iter().all(|x| x.is_finite()));
+        // sin(kπr/rc)/r → kπ/rc as r → 0.
+        let expect = std::f64::consts::PI / 5.2;
+        assert!((v[0] - expect).abs() < 1e-3);
+    }
+}

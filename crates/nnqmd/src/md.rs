@@ -1,0 +1,199 @@
+//! NNQMD molecular dynamics: the trained network as an MD force field,
+//! serial or over simulated-MPI ranks.
+//!
+//! The parallel driver follows the paper's XS-NNQMD structure: each rank
+//! owns a contiguous atom block, positions are exchanged (the functional
+//! analogue of the halo exchange; the cost model in `mlmd-exasim` accounts
+//! for the real halo volumes), forces for owned atoms are computed with
+//! the strictly-local model, and the total energy is allreduced.
+
+use crate::infer::block_evaluate;
+use crate::mix::XsGsModel;
+use crate::model::AllegroLite;
+use mlmd_numerics::vec3::Vec3;
+use mlmd_parallel::comm::Comm;
+use mlmd_parallel::hier::partition;
+use mlmd_qxmd::atoms::AtomsSystem;
+use mlmd_qxmd::integrator::ForceField;
+
+/// Serial force-field adapter for a single network.
+pub struct NnForceField {
+    pub model: AllegroLite,
+    /// Number of inference batches (Sec. V.B.9 blocking).
+    pub n_batches: usize,
+}
+
+impl NnForceField {
+    pub fn new(model: AllegroLite) -> Self {
+        Self {
+            model,
+            n_batches: 2,
+        }
+    }
+}
+
+impl ForceField for NnForceField {
+    fn accumulate(&self, sys: &mut AtomsSystem) -> f64 {
+        let res = block_evaluate(
+            &self.model,
+            &sys.species,
+            &sys.positions,
+            sys.box_lengths,
+            self.n_batches,
+        );
+        for (f, r) in sys.forces.iter_mut().zip(&res.forces) {
+            *f += *r;
+        }
+        res.energy
+    }
+}
+
+/// Force-field adapter for the XS/GS mixed model (Eq. 4).
+pub struct XsGsForceField {
+    pub model: XsGsModel,
+}
+
+impl ForceField for XsGsForceField {
+    fn accumulate(&self, sys: &mut AtomsSystem) -> f64 {
+        let (e, forces) = self
+            .model
+            .evaluate(&sys.species, &sys.positions, sys.box_lengths);
+        for (f, r) in sys.forces.iter_mut().zip(&forces) {
+            *f += *r;
+        }
+        e
+    }
+}
+
+/// One parallel force evaluation over a communicator: rank `r` computes
+/// the per-atom contributions of its atom block, forces are summed
+/// across ranks (each edge contributes from exactly one owner), and the
+/// energy is allreduced. Returns (energy, forces) replicated on all ranks.
+pub fn parallel_forces(
+    comm: &Comm,
+    model: &AllegroLite,
+    sys: &AtomsSystem,
+) -> (f64, Vec<Vec3>) {
+    let n = sys.len();
+    let range = partition(n, comm.size(), comm.rank());
+    // Evaluate only the owned block via the per-atom path.
+    let cl = mlmd_qxmd::neighbor::CellList::build(&sys.positions, sys.box_lengths, model.cfg.rcut);
+    let lists = cl.full_lists(&sys.positions);
+    let mut local_energy = 0.0;
+    let mut local_forces = vec![Vec3::ZERO; n];
+    let cluster_l = 4.0 * model.cfg.rcut;
+    let center = Vec3::splat(0.5 * cluster_l);
+    for i in range {
+        let neigh = &lists[i];
+        let mut sp = Vec::with_capacity(neigh.len() + 1);
+        let mut ps = Vec::with_capacity(neigh.len() + 1);
+        let mut global = Vec::with_capacity(neigh.len() + 1);
+        sp.push(sys.species[i]);
+        ps.push(center);
+        global.push(i);
+        for p in neigh {
+            sp.push(sys.species[p.j]);
+            ps.push(center + p.dr);
+            global.push(p.j);
+        }
+        let res = model.evaluate_center(&sp, &ps, Vec3::splat(cluster_l));
+        local_energy += res.energy;
+        for (local, &g) in global.iter().enumerate() {
+            local_forces[g] += res.forces[local];
+        }
+    }
+    let energy = comm.allreduce_sum(local_energy);
+    // Reduce force components.
+    let flat: Vec<f64> = local_forces
+        .iter()
+        .flat_map(|f| [f.x, f.y, f.z])
+        .collect();
+    let total = comm.allreduce_sum_vec(flat);
+    let forces = total
+        .chunks_exact(3)
+        .map(|c| Vec3::new(c[0], c[1], c[2]))
+        .collect();
+    (energy, forces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use mlmd_numerics::rng::Xoshiro256;
+    use mlmd_parallel::comm::World;
+    use mlmd_qxmd::integrator::VelocityVerlet;
+    use mlmd_qxmd::perovskite::PerovskiteLattice;
+
+    fn small_system() -> AtomsSystem {
+        PerovskiteLattice::uniform(2, 2, 2, Vec3::new(0.0, 0.0, 0.1)).system
+    }
+
+    fn model() -> AllegroLite {
+        AllegroLite::new(
+            ModelConfig {
+                hidden: 6,
+                k_max: 4,
+                rcut: 3.5,
+            },
+            41,
+        )
+    }
+
+    #[test]
+    fn nn_force_field_runs_md() {
+        let mut sys = small_system();
+        let mut rng = Xoshiro256::new(1);
+        sys.thermalize(50.0, &mut rng);
+        let ff = NnForceField::new(model());
+        let vv = VelocityVerlet::new(0.1);
+        let (_, drift) = vv.run(&mut sys, &ff, 50);
+        assert!(drift.is_finite());
+        assert!(sys.positions.iter().all(|p| p.x.is_finite()));
+    }
+
+    #[test]
+    fn parallel_forces_match_serial() {
+        let sys = small_system();
+        let m = model();
+        let serial = m.evaluate(&sys.species, &sys.positions, sys.box_lengths);
+        for ranks in [1usize, 2, 4] {
+            let out = World::run(ranks, |comm| parallel_forces(&comm, &m, &sys));
+            for (energy, forces) in &out {
+                assert!(
+                    (energy - serial.energy).abs() < 1e-8,
+                    "{ranks} ranks: energy {} vs {}",
+                    energy,
+                    serial.energy
+                );
+                for (a, b) in forces.iter().zip(&serial.forces) {
+                    assert!((*a - *b).norm() < 1e-8, "{ranks} ranks: force mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xsgs_force_field_responds_to_excitation() {
+        let sys = small_system();
+        let gs = model();
+        let xs = AllegroLite::new(
+            ModelConfig {
+                hidden: 6,
+                k_max: 4,
+                rcut: 3.5,
+            },
+            42,
+        );
+        let mut mixed = XsGsModel::new(gs, xs, 0.05);
+        mixed.set_excitation(0.0, sys.len());
+        let ff = XsGsForceField { model: mixed };
+        let mut s1 = sys.clone();
+        let e_gs = ff.compute(&mut s1);
+        let mut ff = ff;
+        ff.model.set_excitation(1e9, sys.len());
+        let mut s2 = sys.clone();
+        let e_xs = ff.compute(&mut s2);
+        assert!((e_gs - e_xs).abs() > 1e-9, "different surfaces must differ");
+    }
+}

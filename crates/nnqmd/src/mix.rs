@@ -1,0 +1,136 @@
+//! XS/GS force mixing — paper Eq. (4), MSA type 3 (Sec. V.A.8).
+//!
+//! "In each MD step, GS- and XS-NNQMD models independently predict atomic
+//! force … then the predicted forces are combined as
+//! `F_i = (1−w)·F_GS,i + w·F_XS,i`, where `w` is the fraction of XS model
+//! determined by the electronic excitation number `n_exc^(α)`."
+
+use crate::model::AllegroLite;
+use mlmd_numerics::vec3::Vec3;
+use mlmd_qxmd::atoms::Species;
+
+/// The paired ground-state / excited-state model with the mixing rule.
+pub struct XsGsModel {
+    pub gs: AllegroLite,
+    pub xs: AllegroLite,
+    /// Excitation count (per atom) at which the XS model fully takes over.
+    pub n_sat_per_atom: f64,
+    /// Current mixing weight `w ∈ [0, 1]`.
+    w: f64,
+}
+
+impl XsGsModel {
+    pub fn new(gs: AllegroLite, xs: AllegroLite, n_sat_per_atom: f64) -> Self {
+        assert!(n_sat_per_atom > 0.0);
+        Self {
+            gs,
+            xs,
+            n_sat_per_atom,
+            w: 0.0,
+        }
+    }
+
+    /// Update `w` from the excitation count delivered by DC-MESH for a
+    /// domain of `n_atoms` atoms.
+    pub fn set_excitation(&mut self, n_exc: f64, n_atoms: usize) {
+        let per_atom = n_exc / n_atoms.max(1) as f64;
+        self.w = (per_atom / self.n_sat_per_atom).clamp(0.0, 1.0);
+    }
+
+    pub fn weight(&self) -> f64 {
+        self.w
+    }
+
+    /// Mixed energy and forces (Eq. 4).
+    pub fn evaluate(
+        &self,
+        species: &[Species],
+        positions: &[Vec3],
+        box_lengths: Vec3,
+    ) -> (f64, Vec<Vec3>) {
+        let w = self.w;
+        if w == 0.0 {
+            let r = self.gs.evaluate(species, positions, box_lengths);
+            return (r.energy, r.forces);
+        }
+        if w == 1.0 {
+            let r = self.xs.evaluate(species, positions, box_lengths);
+            return (r.energy, r.forces);
+        }
+        let g = self.gs.evaluate(species, positions, box_lengths);
+        let x = self.xs.evaluate(species, positions, box_lengths);
+        let energy = (1.0 - w) * g.energy + w * x.energy;
+        let forces = g
+            .forces
+            .iter()
+            .zip(&x.forces)
+            .map(|(fg, fx)| *fg * (1.0 - w) + *fx * w)
+            .collect();
+        (energy, forces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use mlmd_numerics::rng::{Rng64, Xoshiro256};
+
+    fn setup() -> (XsGsModel, Vec<Species>, Vec<Vec3>, Vec3) {
+        let gs = AllegroLite::new(ModelConfig::default(), 1);
+        let xs = AllegroLite::new(ModelConfig::default(), 2);
+        let model = XsGsModel::new(gs, xs, 0.05);
+        let mut rng = Xoshiro256::new(3);
+        let species = vec![Species::Ti, Species::O, Species::O, Species::Pb];
+        let positions: Vec<Vec3> = (0..4)
+            .map(|_| Vec3::new(rng.range(4.0, 8.0), rng.range(4.0, 8.0), rng.range(4.0, 8.0)))
+            .collect();
+        (model, species, positions, Vec3::splat(12.0))
+    }
+
+    #[test]
+    fn zero_excitation_is_pure_gs() {
+        let (mut m, s, p, b) = setup();
+        m.set_excitation(0.0, 4);
+        let (e, f) = m.evaluate(&s, &p, b);
+        let g = m.gs.evaluate(&s, &p, b);
+        assert_eq!(e, g.energy);
+        assert_eq!(f[0], g.forces[0]);
+        assert_eq!(m.weight(), 0.0);
+    }
+
+    #[test]
+    fn saturation_is_pure_xs() {
+        let (mut m, s, p, b) = setup();
+        m.set_excitation(10.0, 4); // far beyond saturation
+        assert_eq!(m.weight(), 1.0);
+        let (e, _) = m.evaluate(&s, &p, b);
+        let x = m.xs.evaluate(&s, &p, b);
+        assert_eq!(e, x.energy);
+    }
+
+    #[test]
+    fn half_mix_is_linear() {
+        let (mut m, s, p, b) = setup();
+        // w = 0.5 → n_exc/atom = 0.025.
+        m.set_excitation(0.025 * 4.0, 4);
+        assert!((m.weight() - 0.5).abs() < 1e-12);
+        let (e, f) = m.evaluate(&s, &p, b);
+        let g = m.gs.evaluate(&s, &p, b);
+        let x = m.xs.evaluate(&s, &p, b);
+        assert!((e - 0.5 * (g.energy + x.energy)).abs() < 1e-12);
+        for i in 0..4 {
+            let expect = (g.forces[i] + x.forces[i]) * 0.5;
+            assert!((f[i] - expect).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weight_clamped() {
+        let (mut m, _, _, _) = setup();
+        m.set_excitation(-5.0, 4);
+        assert_eq!(m.weight(), 0.0);
+        m.set_excitation(1e9, 4);
+        assert_eq!(m.weight(), 1.0);
+    }
+}

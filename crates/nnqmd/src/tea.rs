@@ -1,0 +1,173 @@
+//! Total Energy Alignment (TEA) — MSA type 2 (paper Sec. V.A.7, ref [49]).
+//!
+//! Foundation-model training unifies datasets computed at different levels
+//! of theory (different xc functionals, codes, pseudopotentials). Their
+//! total energies differ by smooth, nearly-affine transformations; TEA
+//! fits per-dataset `(scale, shift)` pairs mapping each dataset's energy
+//! axis onto a chosen reference — "affine (shift and scale)
+//! transformations in a metamodel space".
+//!
+//! Alignment uses *overlap structures*: configurations present (or
+//! re-labeled) in both the reference and the foreign dataset.
+
+use crate::train::{Dataset, Frame};
+use mlmd_numerics::stats::affine_align;
+
+/// A fitted alignment `E_ref ≈ scale·E_foreign + shift`.
+#[derive(Clone, Copy, Debug)]
+pub struct TeaMap {
+    pub scale: f64,
+    pub shift: f64,
+}
+
+impl TeaMap {
+    pub fn apply(&self, e: f64) -> f64 {
+        self.scale * e + self.shift
+    }
+}
+
+/// Fit the alignment from paired energies (foreign, reference).
+pub fn fit(foreign: &[f64], reference: &[f64]) -> TeaMap {
+    assert_eq!(foreign.len(), reference.len());
+    assert!(foreign.len() >= 2, "need ≥ 2 overlap structures");
+    let (scale, shift) = affine_align(foreign, reference);
+    TeaMap { scale, shift }
+}
+
+/// Align a whole dataset onto the reference scale: energies are remapped,
+/// forces are scaled by the same factor (`F = −∇E` transforms linearly).
+pub fn align_dataset(data: &Dataset, map: TeaMap) -> Dataset {
+    let frames = data
+        .frames
+        .iter()
+        .map(|f| Frame {
+            species: f.species.clone(),
+            positions: f.positions.clone(),
+            box_lengths: f.box_lengths,
+            energy: map.apply(f.energy),
+            forces: f.forces.iter().map(|v| *v * map.scale).collect(),
+        })
+        .collect();
+    Dataset { frames }
+}
+
+/// Unify several datasets onto the first one's energy scale using
+/// per-dataset overlap pairs. `overlaps[d]` holds (foreign_energy,
+/// reference_energy) pairs for dataset `d` (d ≥ 1).
+pub fn unify(datasets: &[Dataset], overlaps: &[Vec<(f64, f64)>]) -> Dataset {
+    assert!(!datasets.is_empty());
+    assert_eq!(overlaps.len() + 1, datasets.len());
+    let mut out = datasets[0].clone();
+    for (d, pairs) in overlaps.iter().enumerate() {
+        let foreign: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let reference: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let map = fit(&foreign, &reference);
+        let aligned = align_dataset(&datasets[d + 1], map);
+        out.frames.extend(aligned.frames);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn recovers_known_affine_map() {
+        let ref_e: Vec<f64> = (0..20).map(|i| -310.0 + 0.83 * i as f64).collect();
+        let foreign: Vec<f64> = ref_e.iter().map(|e| (e + 55.0) / 0.75).collect();
+        let map = fit(&foreign, &ref_e);
+        assert!((map.scale - 0.75).abs() < 1e-10);
+        assert!((map.shift + 55.0).abs() < 1e-7);
+        for (f, r) in foreign.iter().zip(&ref_e) {
+            assert!((map.apply(*f) - r).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn aligned_dataset_matches_reference_labels() {
+        // Build a "foreign fidelity" by affine-transforming the reference.
+        let reference = generate(GenConfig {
+            cells: (2, 2, 2),
+            n_frames: 8,
+            seed: 1,
+            ..Default::default()
+        });
+        let scale = 1.2;
+        let shift = -40.0;
+        let foreign = Dataset {
+            frames: reference
+                .frames
+                .iter()
+                .map(|f| Frame {
+                    species: f.species.clone(),
+                    positions: f.positions.clone(),
+                    box_lengths: f.box_lengths,
+                    energy: (f.energy - shift) / scale,
+                    forces: f.forces.iter().map(|v| *v / scale).collect(),
+                })
+                .collect(),
+        };
+        // Overlap pairs from the first 4 structures.
+        let pairs: Vec<(f64, f64)> = foreign
+            .frames
+            .iter()
+            .zip(&reference.frames)
+            .take(4)
+            .map(|(a, b)| (a.energy, b.energy))
+            .collect();
+        let map = fit(
+            &pairs.iter().map(|p| p.0).collect::<Vec<_>>(),
+            &pairs.iter().map(|p| p.1).collect::<Vec<_>>(),
+        );
+        let aligned = align_dataset(&foreign, map);
+        for (a, r) in aligned.frames.iter().zip(&reference.frames) {
+            assert!((a.energy - r.energy).abs() < 1e-6);
+            for (fa, fr) in a.forces.iter().zip(&r.forces) {
+                assert!((*fa - *fr).norm() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn unify_concatenates_on_common_scale() {
+        let a = generate(GenConfig {
+            cells: (2, 2, 2),
+            n_frames: 4,
+            seed: 2,
+            ..Default::default()
+        });
+        let b = generate(GenConfig {
+            cells: (2, 2, 2),
+            n_frames: 4,
+            seed: 3,
+            ..Default::default()
+        });
+        // Foreign version of b: shifted by +100.
+        let foreign_b = Dataset {
+            frames: b
+                .frames
+                .iter()
+                .map(|f| Frame {
+                    energy: f.energy + 100.0,
+                    species: f.species.clone(),
+                    positions: f.positions.clone(),
+                    box_lengths: f.box_lengths,
+                    forces: f.forces.clone(),
+                })
+                .collect(),
+        };
+        let overlaps = vec![b
+            .frames
+            .iter()
+            .map(|f| (f.energy + 100.0, f.energy))
+            .collect::<Vec<_>>()];
+        let unified = unify(&[a.clone(), foreign_b], &overlaps);
+        assert_eq!(unified.len(), 8);
+        // The aligned copies of b match the true b energies.
+        for (u, t) in unified.frames[4..].iter().zip(&b.frames) {
+            assert!((u.energy - t.energy).abs() < 1e-8);
+        }
+    }
+}

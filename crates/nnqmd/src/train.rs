@@ -1,0 +1,418 @@
+//! Training: Adam, sharpness-aware minimization (SAM = the Legato recipe),
+//! and the energy+force loss.
+//!
+//! * Energy-term parameter gradients are the exact reverse-mode `dE/dθ`.
+//! * Force-term gradients need `∂²E/∂θ∂x`; rather than hand-writing the
+//!   full second-order graph, we use the exact directional-derivative
+//!   identity: for the force loss `L_F = Σ ΔF·ΔF`,
+//!   `dL_F/dθ = −2 Σ ΔF · ∇_x(dE/dθ) = −2 |ΔF| · D_v[dE/dθ]` with
+//!   `v = ΔF/|ΔF|`, and the directional derivative is evaluated by a
+//!   central difference of the *analytic* `dE/dθ` at `x ± εv` — two extra
+//!   gradient evaluations per frame, exact to O(ε²).
+//! * SAM (ref [46]): gradients are evaluated at the adversarially-perturbed
+//!   point `θ + ρ·g/|g|`, flattening the loss landscape — the
+//!   Allegro-Legato robustness mechanism of paper Sec. V.A.6.
+
+use crate::model::AllegroLite;
+use mlmd_numerics::vec3::Vec3;
+use mlmd_qxmd::atoms::Species;
+
+/// One labeled configuration.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    pub species: Vec<Species>,
+    pub positions: Vec<Vec3>,
+    pub box_lengths: Vec3,
+    pub energy: f64,
+    pub forces: Vec<Vec3>,
+}
+
+/// A set of frames.
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    pub frames: Vec<Frame>,
+}
+
+impl Dataset {
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Split into (train, validation) at `fraction` (of training data).
+    pub fn split(mut self, fraction: f64) -> (Dataset, Dataset) {
+        let n_train = ((self.frames.len() as f64) * fraction).round() as usize;
+        let val = self.frames.split_off(n_train.min(self.frames.len()));
+        (Dataset { frames: self.frames }, Dataset { frames: val })
+    }
+}
+
+/// Loss weights and normalization.
+#[derive(Clone, Copy, Debug)]
+pub struct LossConfig {
+    pub w_energy: f64,
+    pub w_force: f64,
+}
+
+impl Default for LossConfig {
+    fn default() -> Self {
+        Self {
+            w_energy: 1.0,
+            w_force: 10.0,
+        }
+    }
+}
+
+/// Evaluate loss (and optionally its parameter gradient) over a dataset.
+pub fn loss_and_grad(
+    model: &AllegroLite,
+    data: &Dataset,
+    cfg: LossConfig,
+    want_grad: bool,
+) -> (f64, Option<Vec<f64>>) {
+    let mut loss = 0.0;
+    let mut grad = if want_grad {
+        Some(vec![0.0; model.n_params()])
+    } else {
+        None
+    };
+    for frame in &data.frames {
+        let n = frame.positions.len() as f64;
+        let (res, ge) = if want_grad {
+            let (r, g) = model.evaluate_grad(&frame.species, &frame.positions, frame.box_lengths);
+            (r, Some(g))
+        } else {
+            (
+                model.evaluate(&frame.species, &frame.positions, frame.box_lengths),
+                None,
+            )
+        };
+        // Energy term (per-atom normalized).
+        let de = (res.energy - frame.energy) / n;
+        loss += cfg.w_energy * de * de;
+        // Force term.
+        let mut f_loss = 0.0;
+        let mut dfs: Vec<Vec3> = Vec::with_capacity(frame.forces.len());
+        for (fp, fr) in res.forces.iter().zip(&frame.forces) {
+            let df = *fp - *fr;
+            f_loss += df.norm_sqr();
+            dfs.push(df);
+        }
+        loss += cfg.w_force * f_loss / (3.0 * n);
+        if let Some(g) = grad.as_deref_mut() {
+            let ge = ge.unwrap();
+            // Energy-term gradient.
+            let ce = 2.0 * cfg.w_energy * de / n;
+            for (gi, gei) in g.iter_mut().zip(&ge) {
+                *gi += ce * gei;
+            }
+            // Force-term gradient via directional derivative of dE/dθ.
+            let v_norm: f64 = dfs.iter().map(|d| d.norm_sqr()).sum::<f64>().sqrt();
+            if v_norm > 1e-14 {
+                let eps = 1e-5;
+                let perturb = |sign: f64| -> Vec<f64> {
+                    let moved: Vec<Vec3> = frame
+                        .positions
+                        .iter()
+                        .zip(&dfs)
+                        .map(|(p, d)| *p + *d * (sign * eps / v_norm))
+                        .collect();
+                    model
+                        .evaluate_grad(&frame.species, &moved, frame.box_lengths)
+                        .1
+                };
+                let gp = perturb(1.0);
+                let gm = perturb(-1.0);
+                // dL_F/dθ = (2 w_F/3n)·Σ ΔF·dF/dθ = −(2 w_F/3n)·v_norm·D_v[dE/dθ]
+                let cf = -2.0 * cfg.w_force / (3.0 * n) * v_norm / (2.0 * eps);
+                for ((gi, gpi), gmi) in g.iter_mut().zip(&gp).zip(&gm) {
+                    *gi += cf * (gpi - gmi);
+                }
+            }
+        }
+    }
+    let scale = 1.0 / data.frames.len().max(1) as f64;
+    loss *= scale;
+    if let Some(g) = grad.as_deref_mut() {
+        for gi in g.iter_mut() {
+            *gi *= scale;
+        }
+    }
+    (loss, grad)
+}
+
+/// Force RMSE (eV/Å) over a dataset — the headline accuracy metric.
+pub fn force_rmse(model: &AllegroLite, data: &Dataset) -> f64 {
+    let mut ss = 0.0;
+    let mut count = 0usize;
+    for frame in &data.frames {
+        let res = model.evaluate(&frame.species, &frame.positions, frame.box_lengths);
+        for (fp, fr) in res.forces.iter().zip(&frame.forces) {
+            ss += (*fp - *fr).norm_sqr();
+            count += 3;
+        }
+    }
+    (ss / count.max(1) as f64).sqrt()
+}
+
+/// Per-atom energy MAE (eV/atom).
+pub fn energy_mae(model: &AllegroLite, data: &Dataset) -> f64 {
+    let mut s = 0.0;
+    for frame in &data.frames {
+        let res = model.evaluate(&frame.species, &frame.positions, frame.box_lengths);
+        s += ((res.energy - frame.energy) / frame.positions.len() as f64).abs();
+    }
+    s / data.frames.len().max(1) as f64
+}
+
+/// Adam optimizer state.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    pub lr: f64,
+    pub beta1: f64,
+    pub beta2: f64,
+    pub eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    pub fn new(n_params: usize, lr: f64) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n_params],
+            v: vec![0.0; n_params],
+            t: 0,
+        }
+    }
+
+    /// Apply one update in place.
+    pub fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), self.m.len());
+        assert_eq!(grad.len(), self.m.len());
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let mh = self.m[i] / b1t;
+            let vh = self.v[i] / b2t;
+            params[i] -= self.lr * mh / (vh.sqrt() + self.eps);
+        }
+    }
+}
+
+/// SAM settings (None = plain Adam = "Allegro"; Some = "Allegro-Legato").
+#[derive(Clone, Copy, Debug)]
+pub struct SamConfig {
+    /// Perturbation radius ρ.
+    pub rho: f64,
+}
+
+/// The training driver.
+pub struct Trainer {
+    pub loss_cfg: LossConfig,
+    pub sam: Option<SamConfig>,
+    pub adam: Adam,
+}
+
+impl Trainer {
+    pub fn new(model: &AllegroLite, lr: f64, sam: Option<SamConfig>) -> Self {
+        Self {
+            loss_cfg: LossConfig::default(),
+            sam,
+            adam: Adam::new(model.n_params(), lr),
+        }
+    }
+
+    /// One full-batch epoch; returns the pre-update loss.
+    pub fn epoch(&mut self, model: &mut AllegroLite, data: &Dataset) -> f64 {
+        let (loss, grad) = loss_and_grad(model, data, self.loss_cfg, true);
+        let grad = grad.unwrap();
+        let final_grad = match self.sam {
+            None => grad,
+            Some(sam) => {
+                // Ascend to the adversarial point, re-evaluate, restore.
+                let gnorm = grad.iter().map(|g| g * g).sum::<f64>().sqrt().max(1e-12);
+                let original = model.params.clone();
+                for (p, g) in model.params.iter_mut().zip(&grad) {
+                    *p += sam.rho * g / gnorm;
+                }
+                let (_, g2) = loss_and_grad(model, data, self.loss_cfg, true);
+                model.params = original;
+                g2.unwrap()
+            }
+        };
+        self.adam.step(&mut model.params, &final_grad);
+        loss
+    }
+
+    /// Train for `epochs`; returns the loss history.
+    pub fn fit(&mut self, model: &mut AllegroLite, data: &Dataset, epochs: usize) -> Vec<f64> {
+        (0..epochs).map(|_| self.epoch(model, data)).collect()
+    }
+}
+
+/// Loss-landscape sharpness: the adversarial (gradient-ascent) loss
+/// increase at radius ρ — exactly the quantity SAM minimizes
+/// (`max_{|ε|≤ρ} L(θ+ε) − L(θ)`, evaluated at the first-order maximizer
+/// `ε = ρ·g/|g|`). Ref [27] correlates this with time-to-failure.
+pub fn sharpness(model: &AllegroLite, data: &Dataset, rho: f64) -> f64 {
+    let (l0, g) = loss_and_grad(model, data, LossConfig::default(), true);
+    let g = g.unwrap();
+    let gnorm = g.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+    let mut probe = model.clone();
+    for (p, gi) in probe.params.iter_mut().zip(&g) {
+        *p += rho * gi / gnorm;
+    }
+    let (l1, _) = loss_and_grad(&probe, data, LossConfig::default(), false);
+    l1 - l0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use crate::model::ModelConfig;
+
+    fn tiny_data(seed: u64) -> Dataset {
+        generate(GenConfig {
+            cells: (2, 2, 2),
+            n_frames: 6,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    fn tiny_model(seed: u64) -> AllegroLite {
+        AllegroLite::new(
+            ModelConfig {
+                hidden: 8,
+                k_max: 5,
+                rcut: 4.5,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn loss_gradient_matches_finite_difference() {
+        let data = Dataset {
+            frames: tiny_data(1).frames.into_iter().take(2).collect(),
+        };
+        let mut model = tiny_model(2);
+        let cfg = LossConfig::default();
+        let (_, g) = loss_and_grad(&model, &data, cfg, true);
+        let g = g.unwrap();
+        let h = 1e-5;
+        let n = model.n_params();
+        for idx in [0usize, n / 4, n / 2, n - 2] {
+            let orig = model.params[idx];
+            model.params[idx] = orig + h;
+            let (lp, _) = loss_and_grad(&model, &data, cfg, false);
+            model.params[idx] = orig - h;
+            let (lm, _) = loss_and_grad(&model, &data, cfg, false);
+            model.params[idx] = orig;
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (g[idx] - fd).abs() < 2e-4 * (1.0 + fd.abs()),
+                "param {idx}: {} vs {fd}",
+                g[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data = tiny_data(3);
+        let mut model = tiny_model(4);
+        let mut trainer = Trainer::new(&model, 1e-2, None);
+        let history = trainer.fit(&mut model, &data, 60);
+        let first = history[0];
+        let last = *history.last().unwrap();
+        assert!(
+            last < 0.5 * first,
+            "loss must at least halve: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn training_improves_force_rmse_on_heldout() {
+        let (train, val) = tiny_data(5).split(0.7);
+        let mut model = tiny_model(6);
+        let before = force_rmse(&model, &val);
+        let mut trainer = Trainer::new(&model, 5e-3, None);
+        trainer.fit(&mut model, &train, 40);
+        let after = force_rmse(&model, &val);
+        assert!(
+            after < before,
+            "held-out force RMSE must improve: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn sam_converges_too() {
+        let data = tiny_data(7);
+        let mut model = tiny_model(8);
+        let mut trainer = Trainer::new(&model, 5e-3, Some(SamConfig { rho: 1e-3 }));
+        let history = trainer.fit(&mut model, &data, 25);
+        assert!(*history.last().unwrap() < history[0]);
+    }
+
+    #[test]
+    fn sam_flattens_the_landscape() {
+        // Train two identical models, one plain and one with SAM; the SAM
+        // model must end up in a flatter minimum (smaller sharpness) —
+        // the Allegro-Legato property.
+        // Flatness separates once plain Adam has descended into a sharp
+        // region (it needs enough epochs; probed at 400 the effect is
+        // ~5–10× in adversarial sharpness).
+        let data = Dataset {
+            frames: tiny_data(9).frames.into_iter().take(4).collect(),
+        };
+        let mut plain = tiny_model(10);
+        let mut legato = plain.clone();
+        Trainer::new(&plain, 1e-2, None).fit(&mut plain, &data, 400);
+        Trainer::new(&legato, 1e-2, Some(SamConfig { rho: 5e-2 }))
+            .fit(&mut legato, &data, 400);
+        let (l_plain, _) = loss_and_grad(&plain, &data, LossConfig::default(), false);
+        let (l_legato, _) = loss_and_grad(&legato, &data, LossConfig::default(), false);
+        let s_plain = sharpness(&plain, &data, 5e-2) / l_plain;
+        let s_legato = sharpness(&legato, &data, 5e-2) / l_legato;
+        assert!(
+            s_legato < s_plain,
+            "SAM must flatten: relative sharpness {s_legato} (SAM) vs {s_plain} (plain)"
+        );
+    }
+
+    #[test]
+    fn adam_moves_toward_minimum_of_quadratic() {
+        // Sanity check of the optimizer alone on f(x) = Σ (x−3)².
+        let mut params = vec![0.0; 4];
+        let mut adam = Adam::new(4, 0.1);
+        for _ in 0..500 {
+            let grad: Vec<f64> = params.iter().map(|x| 2.0 * (x - 3.0)).collect();
+            adam.step(&mut params, &grad);
+        }
+        for x in params {
+            assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn dataset_split() {
+        let ds = tiny_data(11);
+        let total = ds.len();
+        let (a, b) = ds.split(0.5);
+        assert_eq!(a.len() + b.len(), total);
+        assert!(a.len() >= 2);
+    }
+}

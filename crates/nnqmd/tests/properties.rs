@@ -1,0 +1,132 @@
+//! Property tests: the equivariance and gradient-exactness guarantees of
+//! the Allegro-lite network over random clusters — the group-theoretic
+//! foundation of the Allegro family (paper Sec. V.A.6).
+
+use mlmd_nnqmd::model::{AllegroLite, ModelConfig};
+use mlmd_numerics::rng::{Rng64, Xoshiro256};
+use mlmd_numerics::vec3::Vec3;
+use mlmd_qxmd::atoms::Species;
+use proptest::prelude::*;
+
+fn cluster(n: usize, seed: u64) -> (Vec<Species>, Vec<Vec3>, Vec3) {
+    let mut rng = Xoshiro256::new(seed);
+    let species: Vec<Species> = (0..n)
+        .map(|i| match i % 3 {
+            0 => Species::Pb,
+            1 => Species::Ti,
+            _ => Species::O,
+        })
+        .collect();
+    let positions: Vec<Vec3> = (0..n)
+        .map(|_| {
+            Vec3::new(
+                50.0 + rng.range(-3.0, 3.0),
+                50.0 + rng.range(-3.0, 3.0),
+                50.0 + rng.range(-3.0, 3.0),
+            )
+        })
+        .collect();
+    (species, positions, Vec3::splat(100.0))
+}
+
+fn model(seed: u64) -> AllegroLite {
+    AllegroLite::new(
+        ModelConfig {
+            hidden: 6,
+            k_max: 4,
+            rcut: 5.0,
+        },
+        seed,
+    )
+}
+
+fn rotate_z(v: Vec3, th: f64) -> Vec3 {
+    Vec3::new(
+        v.x * th.cos() - v.y * th.sin(),
+        v.x * th.sin() + v.y * th.cos(),
+        v.z,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn energy_invariant_under_rotation_and_translation(
+        seed in 0u64..10_000, th in 0.0f64..6.28,
+        tx in -2.0f64..2.0, ty in -2.0f64..2.0, tz in -2.0f64..2.0
+    ) {
+        let (species, positions, bl) = cluster(6, seed);
+        let m = model(seed ^ 0xabc);
+        let e0 = m.evaluate(&species, &positions, bl).energy;
+        let center = Vec3::splat(50.0);
+        let shift = Vec3::new(tx, ty, tz);
+        let moved: Vec<Vec3> = positions
+            .iter()
+            .map(|&p| center + rotate_z(p - center, th) + shift)
+            .collect();
+        let e1 = m.evaluate(&species, &moved, bl).energy;
+        prop_assert!((e0 - e1).abs() < 1e-8 * (1.0 + e0.abs()));
+    }
+
+    #[test]
+    fn forces_corotate(seed in 0u64..10_000, th in 0.0f64..6.28) {
+        let (species, positions, bl) = cluster(5, seed);
+        let m = model(seed ^ 0xdef);
+        let r0 = m.evaluate(&species, &positions, bl);
+        let center = Vec3::splat(50.0);
+        let rotated: Vec<Vec3> = positions
+            .iter()
+            .map(|&p| center + rotate_z(p - center, th))
+            .collect();
+        let r1 = m.evaluate(&species, &rotated, bl);
+        for (f0, f1) in r0.forces.iter().zip(&r1.forces) {
+            prop_assert!((rotate_z(*f0, th) - *f1).norm() < 1e-8 * (1.0 + f0.norm()));
+        }
+    }
+
+    #[test]
+    fn forces_are_exact_negative_gradients(seed in 0u64..10_000, atom in 0usize..5) {
+        let (species, positions, bl) = cluster(5, seed);
+        let m = model(seed ^ 0x123);
+        let res = m.evaluate(&species, &positions, bl);
+        let h = 1e-6;
+        for axis in 0..3 {
+            let mut plus = positions.clone();
+            plus[atom][axis] += h;
+            let mut minus = positions.clone();
+            minus[atom][axis] -= h;
+            let fd = -(m.evaluate(&species, &plus, bl).energy
+                - m.evaluate(&species, &minus, bl).energy)
+                / (2.0 * h);
+            prop_assert!(
+                (res.forces[atom][axis] - fd).abs() < 1e-5 * (1.0 + fd.abs()),
+                "atom {} axis {}: {} vs {}", atom, axis, res.forces[atom][axis], fd
+            );
+        }
+    }
+
+    #[test]
+    fn newtons_third_law_always(seed in 0u64..10_000, n in 3usize..9) {
+        let (species, positions, bl) = cluster(n, seed);
+        let m = model(seed ^ 0x777);
+        let res = m.evaluate(&species, &positions, bl);
+        let total: Vec3 = res.forces.iter().copied().sum();
+        prop_assert!(total.norm() < 1e-8, "net force {:?}", total);
+    }
+
+    #[test]
+    fn block_inference_lossless_for_any_batching(
+        seed in 0u64..10_000, n_batches in 1usize..6
+    ) {
+        use mlmd_nnqmd::infer::block_evaluate;
+        let (species, positions, bl) = cluster(8, seed);
+        let m = model(seed ^ 0x999);
+        let reference = m.evaluate(&species, &positions, bl);
+        let blocked = block_evaluate(&m, &species, &positions, bl, n_batches);
+        prop_assert!((blocked.energy - reference.energy).abs() < 1e-8);
+        for (a, b) in blocked.forces.iter().zip(&reference.forces) {
+            prop_assert!((*a - *b).norm() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Complex GEMM with transpose options — the `nlp_prop` hotspot kernels.
+//!
+//! The nonlocal correction of paper Eq. (5),
+//! `Ψ(t) ← Ψ(t) − δ·Ψ(0)·[Ψ(0)†·Ψ(t)]`, needs exactly two CGEMM shapes
+//! (paper Table V):
+//!
+//! 1. **CGEMM(1)** — overlap matrix `S = Ψ(0)† Ψ(t)`: (Norb×Ngrid)·(Ngrid×Norb),
+//!    i.e. op(A) = conjugate transpose;
+//! 2. **CGEMM(2)** — correction `Ψ(t) −= δ Ψ(0) S`: (Ngrid×Norb)·(Norb×Norb).
+//!
+//! [`cgemm`] provides the general BLAS-style entry point; [`overlap`] and
+//! [`rank_update`] are the tuned fast paths for those two shapes. Mixed
+//! precision (split-BF16 with f32 accumulation) is provided by
+//! [`cgemm_c32_split`].
+
+use crate::bf16::{split_slice, SplitMode};
+use crate::complex::{Complex, Real};
+use crate::gemm::{gemm_blocked, gemm_parallel};
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Transpose operation applied to a GEMM operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// No transpose.
+    N,
+    /// Transpose (no conjugation).
+    T,
+    /// Conjugate (Hermitian) transpose.
+    H,
+}
+
+impl Op {
+    fn dims(self, rows: usize, cols: usize) -> (usize, usize) {
+        match self {
+            Op::N => (rows, cols),
+            Op::T | Op::H => (cols, rows),
+        }
+    }
+}
+
+/// General complex GEMM: `C = alpha·op(A)·op(B) + beta·C`.
+///
+/// `Op::N/Op::N` dispatches to the blocked kernel; other combinations
+/// materialize the transposed operand first (they are off the hot path —
+/// `nlp_prop` only ever uses H·N and N·N, both of which avoid full
+/// materialization via [`overlap`]).
+pub fn cgemm<T: Real>(
+    opa: Op,
+    opb: Op,
+    alpha: Complex<T>,
+    a: &Matrix<Complex<T>>,
+    b: &Matrix<Complex<T>>,
+    beta: Complex<T>,
+    c: &mut Matrix<Complex<T>>,
+) {
+    let (ma, ka) = opa.dims(a.rows(), a.cols());
+    let (kb, nb) = opb.dims(b.rows(), b.cols());
+    assert_eq!(ka, kb, "CGEMM inner dimensions differ");
+    assert_eq!(c.rows(), ma, "CGEMM C row mismatch");
+    assert_eq!(c.cols(), nb, "CGEMM C col mismatch");
+    match (opa, opb) {
+        (Op::N, Op::N) => gemm_blocked(alpha, a, b, beta, c),
+        (Op::H, Op::N) => overlap(alpha, a, b, beta, c),
+        (opa, opb) => {
+            let at = match opa {
+                Op::N => a.clone(),
+                Op::T => a.transpose(),
+                Op::H => a.conj_transpose(),
+            };
+            let bt = match opb {
+                Op::N => b.clone(),
+                Op::T => b.transpose(),
+                Op::H => b.conj_transpose(),
+            };
+            gemm_blocked(alpha, &at, &bt, beta, c);
+        }
+    }
+}
+
+/// CGEMM(1) of Table V: `C = alpha·A†·B + beta·C` without materializing A†.
+///
+/// Since A and B are column-major with long columns (Ngrid entries —
+/// orbitals on the grid), `(A†B)[i,j]` is a dot product of two contiguous
+/// columns: perfectly streaming access, parallelized over output columns.
+pub fn overlap<T: Real>(
+    alpha: Complex<T>,
+    a: &Matrix<Complex<T>>,
+    b: &Matrix<Complex<T>>,
+    beta: Complex<T>,
+    c: &mut Matrix<Complex<T>>,
+) {
+    assert_eq!(a.rows(), b.rows(), "overlap: grid dimensions differ");
+    let (ma, nb) = (a.cols(), b.cols());
+    assert_eq!(c.rows(), ma);
+    assert_eq!(c.cols(), nb);
+    let a_ref = &*a;
+    let b_ref = &*b;
+    c.as_mut_slice()
+        .par_chunks_mut(ma)
+        .enumerate()
+        .for_each(|(j, c_col)| {
+            let b_col = b_ref.col(j);
+            for (i, cij) in c_col.iter_mut().enumerate() {
+                let a_col = a_ref.col(i);
+                let mut acc = Complex::<T>::zero();
+                for (&ap, &bp) in a_col.iter().zip(b_col) {
+                    acc = acc.mul_acc(ap.conj(), bp);
+                }
+                *cij = alpha * acc + beta * *cij;
+            }
+        });
+}
+
+/// CGEMM(2) of Table V: `C += alpha·A·S` where S is small (Norb×Norb).
+/// This is the rank-Norb update writing back into the wave-function panel.
+pub fn rank_update<T: Real>(
+    alpha: Complex<T>,
+    a: &Matrix<Complex<T>>,
+    s: &Matrix<Complex<T>>,
+    c: &mut Matrix<Complex<T>>,
+) {
+    gemm_parallel(alpha, a, s, Complex::one(), c);
+}
+
+/// Mixed-precision complex GEMM (`C = A·B`, f32 complex inputs) using the
+/// split-BF16 modes: each of the four real sub-products
+/// (`ReRe, ImIm, ReIm, ImRe`) is computed with the component-split kernel
+/// and accumulated in f32 — mirroring how the PVC systolic array is fed by
+/// oneMKL for complex workloads.
+pub fn cgemm_c32_split(
+    mode: SplitMode,
+    a: &Matrix<Complex<f32>>,
+    b: &Matrix<Complex<f32>>,
+    c: &mut Matrix<Complex<f32>>,
+) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k);
+    assert_eq!(c.rows(), m);
+    assert_eq!(c.cols(), n);
+    let plane = |mat: &Matrix<Complex<f32>>, im: bool| -> Vec<f32> {
+        mat.as_slice()
+            .iter()
+            .map(|z| if im { z.im } else { z.re })
+            .collect()
+    };
+    let (ar, ai) = (plane(a, false), plane(a, true));
+    let (br, bi) = (plane(b, false), plane(b, true));
+    let mul = |x: &[f32], y: &[f32], xr: usize, xc: usize, yc: usize| -> Vec<f32> {
+        let ncomp = mode.components();
+        let xp = split_slice(x, ncomp);
+        let yp = split_slice(y, ncomp);
+        let mut out = vec![0.0f32; xr * yc];
+        for &(ix, iy) in mode.product_pairs() {
+            let xm = Matrix::from_vec(xr, xc, xp[ix].clone());
+            let ym = Matrix::from_vec(xc, yc, yp[iy].clone());
+            let mut partial = Matrix::<f32>::zeros(xr, yc);
+            gemm_blocked(1.0, &xm, &ym, 0.0, &mut partial);
+            for (o, p) in out.iter_mut().zip(partial.as_slice()) {
+                *o += p;
+            }
+        }
+        out
+    };
+    let rr = mul(&ar, &br, m, k, n);
+    let ii = mul(&ai, &bi, m, k, n);
+    let ri = mul(&ar, &bi, m, k, n);
+    let ir = mul(&ai, &br, m, k, n);
+    for (idx, cz) in c.as_mut_slice().iter_mut().enumerate() {
+        *cz = Complex::new(rr[idx] - ii[idx], ri[idx] + ir[idx]);
+    }
+}
+
+/// FLOP count of one complex GEMM (8 flops per complex MAC).
+#[inline]
+pub fn cgemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    crate::gemm::gemm_flops::<Complex<f64>>(m, n, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c32, c64};
+    use crate::rng::{Rng64, SplitMix64};
+
+    fn random_c64(rows: usize, cols: usize, seed: u64) -> Matrix<c64> {
+        let mut rng = SplitMix64::new(seed);
+        Matrix::from_fn(rows, cols, |_, _| {
+            c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)
+        })
+    }
+
+    fn reference(
+        opa: Op,
+        opb: Op,
+        alpha: c64,
+        a: &Matrix<c64>,
+        b: &Matrix<c64>,
+        beta: c64,
+        c: &Matrix<c64>,
+    ) -> Matrix<c64> {
+        let at = match opa {
+            Op::N => a.clone(),
+            Op::T => a.transpose(),
+            Op::H => a.conj_transpose(),
+        };
+        let bt = match opb {
+            Op::N => b.clone(),
+            Op::T => b.transpose(),
+            Op::H => b.conj_transpose(),
+        };
+        let mut out = c.clone();
+        crate::gemm::gemm_naive(alpha, &at, &bt, beta, &mut out);
+        out
+    }
+
+    #[test]
+    fn all_op_combinations_match_reference() {
+        let a = random_c64(12, 9, 1);
+        let b = random_c64(9, 7, 2);
+        for (opa, opb, ad, bd) in [
+            (Op::N, Op::N, (12, 9), (9, 7)),
+            (Op::H, Op::N, (9, 12), (9, 7)),
+            (Op::T, Op::N, (9, 12), (9, 7)),
+            (Op::N, Op::H, (12, 9), (7, 9)),
+            (Op::N, Op::T, (12, 9), (7, 9)),
+            (Op::H, Op::H, (9, 12), (7, 9)),
+        ] {
+            let a = random_c64(ad.0, ad.1, 3);
+            let b = random_c64(bd.0, bd.1, 4);
+            let c0 = random_c64(12, 7, 5);
+            let mut c = c0.clone();
+            let alpha = c64::new(0.3, -0.8);
+            let beta = c64::new(0.1, 0.2);
+            cgemm(opa, opb, alpha, &a, &b, beta, &mut c);
+            let r = reference(opa, opb, alpha, &a, &b, beta, &c0);
+            assert!(c.max_abs_diff(&r) < 1e-12, "ops {opa:?},{opb:?}");
+            let _ = a;
+            let _ = b;
+        }
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn overlap_is_hermitian_for_self_overlap() {
+        let a = random_c64(64, 6, 11);
+        let mut s = Matrix::<c64>::zeros(6, 6);
+        overlap(c64::one(), &a, &a, c64::zero(), &mut s);
+        for i in 0..6 {
+            for j in 0..6 {
+                let d = s[(i, j)] - s[(j, i)].conj();
+                assert!(d.abs() < 1e-12, "S must be Hermitian");
+            }
+            assert!(s[(i, i)].im.abs() < 1e-12, "diagonal must be real");
+            assert!(s[(i, i)].re > 0.0, "diagonal must be positive");
+        }
+    }
+
+    #[test]
+    fn rank_update_accumulates() {
+        let a = random_c64(40, 5, 21);
+        let s = random_c64(5, 5, 22);
+        let mut c = random_c64(40, 5, 23);
+        let expected = {
+            let mut e = c.clone();
+            crate::gemm::gemm_naive(c64::new(-0.05, 0.0), &a, &s, c64::one(), &mut e);
+            e
+        };
+        rank_update(c64::new(-0.05, 0.0), &a, &s, &mut c);
+        assert!(c.max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn eq5_nonlocal_correction_shape() {
+        // Full Eq. (5): Psi(t) -= delta * Psi0 * (Psi0^H Psi(t)).
+        let ngrid = 100;
+        let norb = 8;
+        let psi0 = random_c64(ngrid, norb, 31);
+        let mut psi_t = random_c64(ngrid, norb, 32);
+        let orig = psi_t.clone();
+        let delta = c64::new(0.0, -0.01);
+        let mut s = Matrix::<c64>::zeros(norb, norb);
+        overlap(c64::one(), &psi0, &psi_t, c64::zero(), &mut s);
+        rank_update(-delta, &psi0, &s, &mut psi_t);
+        // Reference: dense computation.
+        let sh = {
+            let p0h = psi0.conj_transpose();
+            let mut sh = Matrix::<c64>::zeros(norb, norb);
+            crate::gemm::gemm_naive(c64::one(), &p0h, &orig, c64::zero(), &mut sh);
+            sh
+        };
+        let mut expected = orig.clone();
+        crate::gemm::gemm_naive(-delta, &psi0, &sh, c64::one(), &mut expected);
+        assert!(psi_t.max_abs_diff(&expected) < 1e-11);
+    }
+
+    #[test]
+    fn split_complex_matches_f32_for_x3() {
+        let mut rng = SplitMix64::new(9);
+        let a = Matrix::from_fn(24, 24, |_, _| {
+            c32::new(rng.next_f64() as f32 - 0.5, rng.next_f64() as f32 - 0.5)
+        });
+        let b = Matrix::from_fn(24, 24, |_, _| {
+            c32::new(rng.next_f64() as f32 - 0.5, rng.next_f64() as f32 - 0.5)
+        });
+        let mut c_split = Matrix::<c32>::zeros(24, 24);
+        cgemm_c32_split(SplitMode::Bf16x3, &a, &b, &mut c_split);
+        let mut c_f32 = Matrix::<c32>::zeros(24, 24);
+        gemm_blocked(c32::one(), &a, &b, c32::zero(), &mut c_f32);
+        assert!(c_split.max_abs_diff(&c_f32) < 5e-4);
+    }
+
+    #[test]
+    fn split_complex_accuracy_ladder() {
+        let mut rng = SplitMix64::new(10);
+        let a = Matrix::from_fn(32, 32, |_, _| {
+            c32::new(rng.next_f64() as f32 - 0.5, rng.next_f64() as f32 - 0.5)
+        });
+        let b = Matrix::from_fn(32, 32, |_, _| {
+            c32::new(rng.next_f64() as f32 - 0.5, rng.next_f64() as f32 - 0.5)
+        });
+        let mut reference = Matrix::<c32>::zeros(32, 32);
+        gemm_blocked(c32::one(), &a, &b, c32::zero(), &mut reference);
+        let err = |mode| {
+            let mut c = Matrix::<c32>::zeros(32, 32);
+            cgemm_c32_split(mode, &a, &b, &mut c);
+            c.max_abs_diff(&reference)
+        };
+        let (e1, e2, e3) = (
+            err(SplitMode::Bf16),
+            err(SplitMode::Bf16x2),
+            err(SplitMode::Bf16x3),
+        );
+        assert!(e1 > e2 && e2 > e3, "ladder violated: {e1} {e2} {e3}");
+    }
+
+    #[test]
+    fn flops() {
+        assert_eq!(cgemm_flops(2, 3, 4), 8 * 24);
+    }
+}

@@ -1,0 +1,429 @@
+//! Complex FFT for arbitrary lengths: iterative radix-2 Cooley–Tukey with a
+//! Bluestein (chirp-z) fallback for non-power-of-two sizes.
+//!
+//! The LFD subprogram represents local KS wave functions and solves the
+//! Hartree problem spectrally (paper Sec. V.A.2: "FFT to represent local KS
+//! wave functions"); DC domain meshes like 70×70×72 are not powers of two,
+//! so arbitrary-length transforms are required.
+
+use crate::complex::c64;
+
+/// A planned 1-D FFT of fixed length (twiddles precomputed).
+#[derive(Clone, Debug)]
+pub struct Fft1d {
+    n: usize,
+    plan: Plan,
+}
+
+#[derive(Clone, Debug)]
+enum Plan {
+    /// n is a power of two: iterative in-place radix-2.
+    Radix2 { twiddles: Vec<c64> },
+    /// Arbitrary n: Bluestein's chirp-z via a padded radix-2 convolution.
+    Bluestein {
+        m: usize,
+        chirp: Vec<c64>,
+        /// FFT (length m) of the conjugate chirp filter, precomputed.
+        filter_hat: Vec<c64>,
+        inner: Box<Fft1d>,
+    },
+}
+
+impl Fft1d {
+    /// Plan a transform of length `n` (n ≥ 1).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "FFT length must be positive");
+        if n.is_power_of_two() {
+            let mut twiddles = Vec::with_capacity(n / 2);
+            for k in 0..n / 2 {
+                let theta = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                twiddles.push(c64::cis(theta));
+            }
+            Self {
+                n,
+                plan: Plan::Radix2 { twiddles },
+            }
+        } else {
+            // Bluestein: x_k chirped, convolved with conjugate chirp.
+            let m = (2 * n - 1).next_power_of_two();
+            let mut chirp = Vec::with_capacity(n);
+            for k in 0..n {
+                // w_k = e^{-i π k² / n}; compute k² mod 2n to avoid
+                // catastrophic phase error at large k.
+                let k2 = (k * k) % (2 * n);
+                let theta = -std::f64::consts::PI * k2 as f64 / n as f64;
+                chirp.push(c64::cis(theta));
+            }
+            let inner = Fft1d::new(m);
+            let mut filter = vec![c64::zero(); m];
+            filter[0] = chirp[0].conj();
+            for k in 1..n {
+                filter[k] = chirp[k].conj();
+                filter[m - k] = chirp[k].conj();
+            }
+            inner.forward_pow2(&mut filter);
+            Self {
+                n,
+                plan: Plan::Bluestein {
+                    m,
+                    chirp,
+                    filter_hat: filter,
+                    inner: Box::new(inner),
+                },
+            }
+        }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT: `X[k] = Σ_j x[j] e^{-2πi jk/n}`.
+    pub fn forward(&self, x: &mut [c64]) {
+        assert_eq!(x.len(), self.n);
+        match &self.plan {
+            Plan::Radix2 { .. } => self.forward_pow2(x),
+            Plan::Bluestein {
+                m,
+                chirp,
+                filter_hat,
+                inner,
+            } => {
+                let n = self.n;
+                let mut work = vec![c64::zero(); *m];
+                for k in 0..n {
+                    work[k] = x[k] * chirp[k];
+                }
+                inner.forward_pow2(&mut work);
+                for (w, f) in work.iter_mut().zip(filter_hat) {
+                    *w = *w * *f;
+                }
+                inner.inverse_pow2(&mut work);
+                for k in 0..n {
+                    x[k] = work[k] * chirp[k];
+                }
+            }
+        }
+    }
+
+    /// In-place inverse DFT (normalized by 1/n): `x[j] = (1/n) Σ X[k] e^{+2πi jk/n}`.
+    pub fn inverse(&self, x: &mut [c64]) {
+        assert_eq!(x.len(), self.n);
+        // inverse(x) = conj(forward(conj(x))) / n
+        for v in x.iter_mut() {
+            *v = v.conj();
+        }
+        self.forward(x);
+        let scale = 1.0 / self.n as f64;
+        for v in x.iter_mut() {
+            *v = v.conj().scale(scale);
+        }
+    }
+
+    /// Radix-2 forward transform (n must be a power of two).
+    fn forward_pow2(&self, x: &mut [c64]) {
+        let n = x.len();
+        debug_assert!(n.is_power_of_two());
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        let shift = n.leading_zeros() + 1;
+        for i in 0..n {
+            let j = (i as u64).reverse_bits() >> shift;
+            let j = j as usize;
+            if i < j {
+                x.swap(i, j);
+            }
+        }
+        // Butterflies. Twiddles: reuse the planned table when lengths match
+        // (the plan's table is for self.n; inner Bluestein calls pass other
+        // lengths, recompute per stage there).
+        let planned = match &self.plan {
+            Plan::Radix2 { twiddles } if self.n == n => Some(twiddles),
+            _ => None,
+        };
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let w = match planned {
+                        Some(tw) => tw[k * step],
+                        None => {
+                            let theta =
+                                -2.0 * std::f64::consts::PI * (k * step) as f64 / n as f64;
+                            c64::cis(theta)
+                        }
+                    };
+                    let u = x[start + k];
+                    let v = x[start + k + half] * w;
+                    x[start + k] = u + v;
+                    x[start + k + half] = u - v;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    fn inverse_pow2(&self, x: &mut [c64]) {
+        let n = x.len();
+        for v in x.iter_mut() {
+            *v = v.conj();
+        }
+        self.forward_pow2(x);
+        let scale = 1.0 / n as f64;
+        for v in x.iter_mut() {
+            *v = v.conj().scale(scale);
+        }
+    }
+}
+
+/// 3-D FFT over a contiguous x-fastest (`i + nx*(j + ny*k)`) array.
+#[derive(Clone, Debug)]
+pub struct Fft3d {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    fx: Fft1d,
+    fy: Fft1d,
+    fz: Fft1d,
+}
+
+impl Fft3d {
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Self {
+            nx,
+            ny,
+            nz,
+            fx: Fft1d::new(nx),
+            fy: Fft1d::new(ny),
+            fz: Fft1d::new(nz),
+        }
+    }
+
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forward 3-D transform, in place.
+    pub fn forward(&self, data: &mut [c64]) {
+        self.apply(data, true);
+    }
+
+    /// Inverse 3-D transform (normalized), in place.
+    pub fn inverse(&self, data: &mut [c64]) {
+        self.apply(data, false);
+    }
+
+    fn apply(&self, data: &mut [c64], fwd: bool) {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        assert_eq!(data.len(), nx * ny * nz);
+        let mut line = vec![c64::zero(); nx.max(ny).max(nz)];
+        // x lines (contiguous).
+        for c in 0..ny * nz {
+            let base = c * nx;
+            let seg = &mut data[base..base + nx];
+            if fwd {
+                self.fx.forward(seg);
+            } else {
+                self.fx.inverse(seg);
+            }
+        }
+        // y lines (stride nx).
+        for k in 0..nz {
+            for i in 0..nx {
+                let base = i + k * nx * ny;
+                for j in 0..ny {
+                    line[j] = data[base + j * nx];
+                }
+                let seg = &mut line[..ny];
+                if fwd {
+                    self.fy.forward(seg);
+                } else {
+                    self.fy.inverse(seg);
+                }
+                for j in 0..ny {
+                    data[base + j * nx] = line[j];
+                }
+            }
+        }
+        // z lines (stride nx*ny).
+        let sxy = nx * ny;
+        for j in 0..ny {
+            for i in 0..nx {
+                let base = i + j * nx;
+                for k in 0..nz {
+                    line[k] = data[base + k * sxy];
+                }
+                let seg = &mut line[..nz];
+                if fwd {
+                    self.fz.forward(seg);
+                } else {
+                    self.fz.inverse(seg);
+                }
+                for k in 0..nz {
+                    data[base + k * sxy] = line[k];
+                }
+            }
+        }
+    }
+}
+
+/// Naive O(n²) DFT used as the correctness oracle in tests.
+pub fn dft_reference(x: &[c64]) -> Vec<c64> {
+    let n = x.len();
+    let mut out = vec![c64::zero(); n];
+    for (k, o) in out.iter_mut().enumerate() {
+        for (j, &v) in x.iter().enumerate() {
+            let theta = -2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64;
+            *o += v * c64::cis(theta);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng64, SplitMix64};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<c64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect()
+    }
+
+    fn max_diff(a: &[c64], b: &[c64]) -> f64 {
+        a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_reference_pow2() {
+        for n in [1usize, 2, 4, 8, 16, 64, 128] {
+            let x = random_signal(n, n as u64);
+            let mut y = x.clone();
+            Fft1d::new(n).forward(&mut y);
+            assert!(max_diff(&y, &dft_reference(&x)) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_arbitrary() {
+        for n in [3usize, 5, 6, 7, 9, 12, 35, 70, 72, 100] {
+            let x = random_signal(n, 1000 + n as u64);
+            let mut y = x.clone();
+            Fft1d::new(n).forward(&mut y);
+            assert!(max_diff(&y, &dft_reference(&x)) < 1e-8, "n={n}");
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        for n in [4usize, 7, 64, 70, 81] {
+            let x = random_signal(n, 7 * n as u64);
+            let fft = Fft1d::new(n);
+            let mut y = x.clone();
+            fft.forward(&mut y);
+            fft.inverse(&mut y);
+            assert!(max_diff(&x, &y) < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parseval() {
+        let n = 70;
+        let x = random_signal(n, 3);
+        let mut y = x.clone();
+        Fft1d::new(n).forward(&mut y);
+        let t: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let f: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((t - f).abs() < 1e-9 * t.max(1.0));
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat() {
+        let n = 35;
+        let mut x = vec![c64::zero(); n];
+        x[0] = c64::one();
+        Fft1d::new(n).forward(&mut x);
+        for v in x {
+            assert!((v - c64::one()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_mode_peaks_at_its_frequency() {
+        let n = 64;
+        let k0 = 5;
+        let mut x: Vec<c64> = (0..n)
+            .map(|j| c64::cis(2.0 * std::f64::consts::PI * (k0 * j) as f64 / n as f64))
+            .collect();
+        Fft1d::new(n).forward(&mut x);
+        for (k, v) in x.iter().enumerate() {
+            if k == k0 {
+                assert!((v.abs() - n as f64).abs() < 1e-8);
+            } else {
+                assert!(v.abs() < 1e-8, "leak at {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft3d_round_trip_mixed_sizes() {
+        // Includes the paper's 70×70×72 LFD mesh (scaled down to keep the
+        // test fast while retaining non-pow2 behaviour).
+        let (nx, ny, nz) = (10, 7, 8);
+        let x = random_signal(nx * ny * nz, 77);
+        let fft = Fft3d::new(nx, ny, nz);
+        let mut y = x.clone();
+        fft.forward(&mut y);
+        fft.inverse(&mut y);
+        assert!(max_diff(&x, &y) < 1e-9);
+    }
+
+    #[test]
+    fn fft3d_separability() {
+        // A product signal f(i)g(j)h(k) transforms to F(a)G(b)H(c).
+        let (nx, ny, nz) = (4usize, 3, 5);
+        let f = random_signal(nx, 1);
+        let g = random_signal(ny, 2);
+        let h = random_signal(nz, 3);
+        let mut data = vec![c64::zero(); nx * ny * nz];
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    data[i + nx * (j + ny * k)] = f[i] * g[j] * h[k];
+                }
+            }
+        }
+        Fft3d::new(nx, ny, nz).forward(&mut data);
+        let fh = dft_reference(&f);
+        let gh = dft_reference(&g);
+        let hh = dft_reference(&h);
+        for c in 0..nz {
+            for b in 0..ny {
+                for a in 0..nx {
+                    let expect = fh[a] * gh[b] * hh[c];
+                    let got = data[a + nx * (b + ny * c)];
+                    assert!((expect - got).abs() < 1e-8);
+                }
+            }
+        }
+    }
+}

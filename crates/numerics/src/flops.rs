@@ -1,0 +1,143 @@
+//! Floating-point-operation accounting.
+//!
+//! The paper measures FLOP/s by counting operations (Intel SDE) and timing
+//! kernels (unitrace), then dividing (Sec. VI.B). This module is the Rust
+//! analogue: kernels increment a [`FlopCounter`] as they run, and
+//! [`FlopReport`] turns (count, wall-time) pairs into the GFLOP/s and
+//! percent-of-peak columns of Tables IV–V.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Thread-safe FLOP accumulator shared by the kernels of one module.
+#[derive(Debug, Default)]
+pub struct FlopCounter {
+    count: AtomicU64,
+}
+
+impl FlopCounter {
+    pub const fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record `n` floating-point operations.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total recorded so far.
+    pub fn total(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero, returning the previous total.
+    pub fn reset(&self) -> u64 {
+        self.count.swap(0, Ordering::Relaxed)
+    }
+}
+
+impl Clone for FlopCounter {
+    fn clone(&self) -> Self {
+        Self {
+            count: AtomicU64::new(self.total()),
+        }
+    }
+}
+
+/// A measured kernel: FLOPs and wall-clock time.
+#[derive(Clone, Copy, Debug)]
+pub struct FlopReport {
+    pub flops: u64,
+    pub elapsed: Duration,
+}
+
+impl FlopReport {
+    pub fn new(flops: u64, elapsed: Duration) -> Self {
+        Self { flops, elapsed }
+    }
+
+    /// Achieved GFLOP/s.
+    pub fn gflops(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.flops as f64 / secs / 1e9
+    }
+
+    /// Achieved TFLOP/s (the paper's unit).
+    pub fn tflops(&self) -> f64 {
+        self.gflops() / 1e3
+    }
+
+    /// Percent of a given peak rate (peak in GFLOP/s).
+    pub fn percent_of_peak(&self, peak_gflops: f64) -> f64 {
+        if peak_gflops <= 0.0 {
+            return 0.0;
+        }
+        100.0 * self.gflops() / peak_gflops
+    }
+}
+
+/// Run a closure and produce a [`FlopReport`] from a counter delta.
+pub fn measure<F: FnOnce()>(counter: &FlopCounter, f: F) -> FlopReport {
+    let before = counter.total();
+    let start = std::time::Instant::now();
+    f();
+    let elapsed = start.elapsed();
+    FlopReport::new(counter.total() - before, elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = FlopCounter::new();
+        c.add(10);
+        c.add(32);
+        assert_eq!(c.total(), 42);
+        assert_eq!(c.reset(), 42);
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn counter_is_thread_safe() {
+        let c = FlopCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.total(), 8000);
+    }
+
+    #[test]
+    fn gflops_math() {
+        let r = FlopReport::new(2_000_000_000, Duration::from_secs(1));
+        assert!((r.gflops() - 2.0).abs() < 1e-12);
+        assert!((r.tflops() - 0.002).abs() < 1e-12);
+        assert!((r.percent_of_peak(4.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_is_safe() {
+        let r = FlopReport::new(100, Duration::ZERO);
+        assert_eq!(r.gflops(), 0.0);
+    }
+
+    #[test]
+    fn measure_wraps_closure() {
+        let c = FlopCounter::new();
+        let r = measure(&c, || c.add(1234));
+        assert_eq!(r.flops, 1234);
+    }
+}

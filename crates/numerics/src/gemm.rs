@@ -1,0 +1,286 @@
+//! GEMM kernels: the computational core of "GEMMification" (paper Sec. V.B.5).
+//!
+//! Three implementation tiers mirror the optimization story of the paper:
+//!
+//! * [`gemm_naive`] — reference triple loop (correctness oracle).
+//! * [`gemm_blocked`] — cache-blocked with a column-panel microkernel
+//!   (the CPU "blocking/tiling" tier, Sec. V.B.3).
+//! * [`gemm_parallel`] — rayon-parallel over column panels (the
+//!   "hierarchical parallel regions" tier mapped to the GPU in Sec. V.B.4).
+//!
+//! plus the mixed-precision split-BF16 modes of Sec. VI.C in [`mixed`].
+//!
+//! All kernels compute `C = alpha·op(A)·op(B) + beta·C` for column-major
+//! matrices; op is identity here (transposed variants live in [`crate::cgemm`]
+//! where the physics needs them).
+
+use crate::bf16::{split_slice, SplitMode};
+use crate::matrix::{Matrix, Scalar};
+use rayon::prelude::*;
+
+/// FLOP count of a (real or complex) GEMM of shape m×k · k×n.
+#[inline]
+pub fn gemm_flops<T: Scalar>(m: usize, n: usize, k: usize) -> u64 {
+    T::MAC_FLOPS * m as u64 * n as u64 * k as u64
+}
+
+/// Reference GEMM: `C = alpha·A·B + beta·C`. Triple loop, no blocking.
+/// This is the Table III "baseline" tier for dense algebra and the
+/// correctness oracle for every other kernel in this module.
+pub fn gemm_naive<T: Scalar>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mut Matrix<T>) {
+    let (m, k, n) = check_shapes(a, b, c);
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = T::zero();
+            for p in 0..k {
+                acc += a[(i, p)] * b[(p, j)];
+            }
+            let old = c[(i, j)];
+            c[(i, j)] = alpha * acc + beta * old;
+        }
+    }
+}
+
+/// Cache-blocked GEMM. Panels of `B` columns are processed against blocks
+/// of `A` sized to stay cache-resident; the innermost loop runs down
+/// contiguous columns of `A` so LLVM can vectorize it.
+pub fn gemm_blocked<T: Scalar>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mut Matrix<T>) {
+    let (m, k, n) = check_shapes(a, b, c);
+    scale_in_place(c, beta);
+    let mc = 128.min(m.max(1));
+    let kc = 256.min(k.max(1));
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    for p0 in (0..k).step_by(kc) {
+        let pb = kc.min(k - p0);
+        for i0 in (0..m).step_by(mc) {
+            let ib = mc.min(m - i0);
+            for j in 0..n {
+                let b_col = &b_s[j * k + p0..j * k + p0 + pb];
+                let c_col = &mut c.as_mut_slice()[j * m + i0..j * m + i0 + ib];
+                for (p, &bpj) in b_col.iter().enumerate() {
+                    let ab = alpha * bpj;
+                    let a_col = &a_s[(p0 + p) * m + i0..(p0 + p) * m + i0 + ib];
+                    for (ci, &aip) in c_col.iter_mut().zip(a_col) {
+                        *ci += aip * ab;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parallel GEMM: the blocked kernel fanned out over column panels with
+/// rayon — the data-parallel "SIMT" tier of Sec. V.B.4.
+pub fn gemm_parallel<T: Scalar>(
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let (m, k, n) = check_shapes(a, b, c);
+    if m * n * k < 32_768 {
+        // Parallel dispatch overhead dominates below this size.
+        return gemm_blocked(alpha, a, b, beta, c);
+    }
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    c.as_mut_slice()
+        .par_chunks_mut(m)
+        .enumerate()
+        .for_each(|(j, c_col)| {
+            for ci in c_col.iter_mut() {
+                *ci = beta * *ci;
+            }
+            let b_col = &b_s[j * k..(j + 1) * k];
+            for (p, &bpj) in b_col.iter().enumerate() {
+                let ab = alpha * bpj;
+                let a_col = &a_s[p * m..(p + 1) * m];
+                for (ci, &aip) in c_col.iter_mut().zip(a_col) {
+                    *ci += aip * ab;
+                }
+            }
+        });
+}
+
+fn scale_in_place<T: Scalar>(c: &mut Matrix<T>, beta: T) {
+    if beta == T::one() {
+        return;
+    }
+    for x in c.as_mut_slice() {
+        *x = beta * *x;
+    }
+}
+
+fn check_shapes<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, c: &Matrix<T>) -> (usize, usize, usize) {
+    assert_eq!(a.cols(), b.rows(), "GEMM inner dimensions differ");
+    assert_eq!(a.rows(), c.rows(), "GEMM C row mismatch");
+    assert_eq!(b.cols(), c.cols(), "GEMM C col mismatch");
+    (a.rows(), a.cols(), b.cols())
+}
+
+/// Mixed-precision GEMM emulating the XMX/systolic-array compute modes.
+pub mod mixed {
+    use super::*;
+
+    /// `C = A·B` on f32 inputs where each input is decomposed into BF16
+    /// components per `mode`, component products are exact BF16×BF16
+    /// multiplies, and accumulation is FP32 — bit-faithful to the MKL
+    /// `float_to_BF16*` modes on the PVC systolic arrays (paper Sec. VI.C).
+    pub fn gemm_f32_split(mode: SplitMode, a: &Matrix<f32>, b: &Matrix<f32>, c: &mut Matrix<f32>) {
+        let (m, k, n) = super::check_shapes(a, b, c);
+        let ncomp = mode.components();
+        let a_planes = split_slice(a.as_slice(), ncomp);
+        let b_planes = split_slice(b.as_slice(), ncomp);
+        for x in c.as_mut_slice() {
+            *x = 0.0;
+        }
+        for &(ia, ib) in mode.product_pairs() {
+            let ap = Matrix::from_vec(m, k, a_planes[ia].clone());
+            let bp = Matrix::from_vec(k, n, b_planes[ib].clone());
+            let mut partial = Matrix::<f32>::zeros(m, n);
+            gemm_blocked(1.0, &ap, &bp, 0.0, &mut partial);
+            for (ci, pi) in c.as_mut_slice().iter_mut().zip(partial.as_slice()) {
+                *ci += pi;
+            }
+        }
+    }
+
+    /// Worst-case relative error of a split-mode GEMM against the f64
+    /// reference, used by the accuracy ladder tests and the Table IV
+    /// accuracy column.
+    pub fn gemm_relative_error(mode: SplitMode, a: &Matrix<f32>, b: &Matrix<f32>) -> f64 {
+        let (m, n) = (a.rows(), b.cols());
+        let mut c = Matrix::<f32>::zeros(m, n);
+        gemm_f32_split(mode, a, b, &mut c);
+        // f64 reference
+        let a64 = Matrix::from_fn(a.rows(), a.cols(), |i, j| a[(i, j)] as f64);
+        let b64 = Matrix::from_fn(b.rows(), b.cols(), |i, j| b[(i, j)] as f64);
+        let mut r = Matrix::<f64>::zeros(m, n);
+        gemm_blocked(1.0, &a64, &b64, 0.0, &mut r);
+        let scale = r.frobenius_norm().max(f64::MIN_POSITIVE);
+        let mut err = 0.0f64;
+        for j in 0..n {
+            for i in 0..m {
+                err = err.max((c[(i, j)] as f64 - r[(i, j)]).abs());
+            }
+        }
+        err * (m as f64 * n as f64).sqrt() / scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::rng::{Rng64, SplitMix64};
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+        let mut rng = SplitMix64::new(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.next_f64() - 0.5)
+    }
+
+    fn random_cmatrix(rows: usize, cols: usize, seed: u64) -> Matrix<c64> {
+        let mut rng = SplitMix64::new(seed);
+        Matrix::from_fn(rows, cols, |_, _| {
+            c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)
+        })
+    }
+
+    #[test]
+    fn naive_matches_hand_computed() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = Matrix::from_vec(2, 2, vec![1.0, 3.0, 2.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 7.0, 6.0, 8.0]);
+        let mut c = Matrix::<f64>::zeros(2, 2);
+        gemm_naive(1.0, &a, &b, 0.0, &mut c);
+        assert_eq!(c.as_slice(), &[19.0, 43.0, 22.0, 50.0]);
+    }
+
+    #[test]
+    fn blocked_matches_naive_odd_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 31, 13), (130, 64, 70), (257, 129, 3)] {
+            let a = random_matrix(m, k, 1);
+            let b = random_matrix(k, n, 2);
+            let mut c0 = random_matrix(m, n, 3);
+            let mut c1 = c0.clone();
+            gemm_naive(1.3, &a, &b, 0.4, &mut c0);
+            gemm_blocked(1.3, &a, &b, 0.4, &mut c1);
+            assert!(c0.max_abs_diff(&c1) < 1e-11, "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_naive() {
+        let (m, k, n) = (96, 87, 64);
+        let a = random_matrix(m, k, 4);
+        let b = random_matrix(k, n, 5);
+        let mut c0 = random_matrix(m, n, 6);
+        let mut c1 = c0.clone();
+        gemm_naive(0.7, &a, &b, -0.2, &mut c0);
+        gemm_parallel(0.7, &a, &b, -0.2, &mut c1);
+        assert!(c0.max_abs_diff(&c1) < 1e-11);
+    }
+
+    #[test]
+    fn complex_blocked_matches_naive() {
+        let (m, k, n) = (24, 40, 18);
+        let a = random_cmatrix(m, k, 7);
+        let b = random_cmatrix(k, n, 8);
+        let mut c0 = Matrix::<c64>::zeros(m, n);
+        let mut c1 = c0.clone();
+        gemm_naive(c64::new(0.5, 0.5), &a, &b, c64::zero(), &mut c0);
+        gemm_blocked(c64::new(0.5, 0.5), &a, &b, c64::zero(), &mut c1);
+        assert!(c0.max_abs_diff(&c1) < 1e-12);
+    }
+
+    #[test]
+    fn beta_zero_overwrites_garbage() {
+        // beta = 0 must ignore pre-existing NaN-free garbage in C.
+        let a = Matrix::<f64>::eye(3);
+        let b = random_matrix(3, 3, 9);
+        let mut c = Matrix::from_fn(3, 3, |_, _| 1e300);
+        gemm_blocked(1.0, &a, &b, 0.0, &mut c);
+        assert!(c.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let b = random_matrix(8, 5, 10);
+        let mut c = Matrix::<f64>::zeros(8, 5);
+        gemm_parallel(1.0, &Matrix::eye(8), &b, 0.0, &mut c);
+        assert!(c.max_abs_diff(&b) < 1e-14);
+    }
+
+    #[test]
+    fn flops_accounting() {
+        assert_eq!(gemm_flops::<f64>(10, 20, 30), 2 * 10 * 20 * 30);
+        assert_eq!(gemm_flops::<c64>(10, 20, 30), 8 * 10 * 20 * 30);
+    }
+
+    #[test]
+    fn mixed_precision_accuracy_ladder() {
+        let mut rng = SplitMix64::new(42);
+        let a = Matrix::from_fn(48, 48, |_, _| (rng.next_f64() as f32 - 0.5) * 2.0);
+        let b = Matrix::from_fn(48, 48, |_, _| (rng.next_f64() as f32 - 0.5) * 2.0);
+        let e1 = mixed::gemm_relative_error(SplitMode::Bf16, &a, &b);
+        let e2 = mixed::gemm_relative_error(SplitMode::Bf16x2, &a, &b);
+        let e3 = mixed::gemm_relative_error(SplitMode::Bf16x3, &a, &b);
+        assert!(e1 > e2 && e2 > e3, "ladder violated: {e1} {e2} {e3}");
+        assert!(e1 < 1e-1, "single BF16 should still be ~2-digit accurate");
+        assert!(e3 < 1e-5, "BF16x3 should be f32-comparable, got {e3}");
+    }
+
+    #[test]
+    fn mixed_mode_bf16x3_close_to_f32() {
+        let mut rng = SplitMix64::new(77);
+        let a = Matrix::from_fn(32, 32, |_, _| rng.next_f64() as f32 - 0.5);
+        let b = Matrix::from_fn(32, 32, |_, _| rng.next_f64() as f32 - 0.5);
+        let mut c_split = Matrix::<f32>::zeros(32, 32);
+        mixed::gemm_f32_split(SplitMode::Bf16x3, &a, &b, &mut c_split);
+        let mut c_f32 = Matrix::<f32>::zeros(32, 32);
+        gemm_blocked(1.0, &a, &b, 0.0, &mut c_f32);
+        assert!(c_split.max_abs_diff(&c_f32) < 1e-4);
+    }
+}

@@ -1,0 +1,258 @@
+//! 3-vectors for the atomistic modules (positions, velocities, forces,
+//! polarizations, electromagnetic field components).
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3-component f64 vector.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const EX: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const EY: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const EZ: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    #[inline(always)]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        Self::new(v, v, v)
+    }
+
+    #[inline(always)]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline(always)]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.dot(self)
+    }
+
+    #[inline(always)]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Unit vector; zero vector maps to zero (callers guard physics).
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n > 0.0 {
+            self / n
+        } else {
+            Vec3::ZERO
+        }
+    }
+
+    /// Component-wise minimum-image wrap into a periodic box of lengths `l`.
+    #[inline]
+    pub fn min_image(self, l: Vec3) -> Vec3 {
+        Vec3::new(
+            self.x - l.x * (self.x / l.x).round(),
+            self.y - l.y * (self.y / l.y).round(),
+            self.z - l.z * (self.z / l.z).round(),
+        )
+    }
+
+    /// Wrap a position into [0, L) per component.
+    #[inline]
+    pub fn wrap_into(self, l: Vec3) -> Vec3 {
+        let w = |x: f64, l: f64| x - l * (x / l).floor();
+        Vec3::new(w(self.x, l.x), w(self.y, l.y), w(self.z, l.z))
+    }
+
+    #[inline]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    #[inline]
+    pub fn from_array(a: [f64; 3]) -> Self {
+        Self::new(a[0], a[1], a[2])
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline(always)]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline(always)]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline(always)]
+    fn mul_assign(&mut self, s: f64) {
+        *self = *self * s;
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline(always)]
+    fn div_assign(&mut self, s: f64) {
+        *self = *self / s;
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, |a, b| a + b)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline(always)]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline(always)]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_cross() {
+        assert_eq!(Vec3::EX.dot(Vec3::EY), 0.0);
+        assert_eq!(Vec3::EX.cross(Vec3::EY), Vec3::EZ);
+        assert_eq!(Vec3::EY.cross(Vec3::EZ), Vec3::EX);
+    }
+
+    #[test]
+    fn cross_is_antisymmetric() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-0.5, 4.0, 1.5);
+        assert_eq!(a.cross(b), -(b.cross(a)));
+        assert!(a.cross(b).dot(a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.normalized().norm(), 1.0);
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn min_image_wraps() {
+        let l = Vec3::splat(10.0);
+        let d = Vec3::new(9.0, -9.0, 4.0).min_image(l);
+        assert!((d.x + 1.0).abs() < 1e-12);
+        assert!((d.y - 1.0).abs() < 1e-12);
+        assert!((d.z - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_into_box() {
+        let l = Vec3::splat(5.0);
+        let p = Vec3::new(-0.5, 5.5, 2.0).wrap_into(l);
+        assert!((p.x - 4.5).abs() < 1e-12);
+        assert!((p.y - 0.5).abs() < 1e-12);
+        assert!((p.z - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indexing() {
+        let mut v = Vec3::new(1.0, 2.0, 3.0);
+        v[2] = 7.0;
+        assert_eq!(v[0] + v[1] + v[2], 10.0);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Vec3 = (0..4).map(|i| Vec3::splat(i as f64)).sum();
+        assert_eq!(total, Vec3::splat(6.0));
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests (proptest) for the numerical substrate: the
+//! invariants every kernel above this crate silently assumes.
+
+use mlmd_numerics::bf16::{split_f32, SplitMode};
+use mlmd_numerics::cgemm::{cgemm, Op};
+use mlmd_numerics::complex::c64;
+use mlmd_numerics::eigen::{eigh_hermitian, residual_hermitian};
+use mlmd_numerics::fft::{dft_reference, Fft1d};
+use mlmd_numerics::gemm::{gemm_blocked, gemm_naive, gemm_parallel};
+use mlmd_numerics::matrix::Matrix;
+use mlmd_numerics::ortho::{gram_schmidt, orthonormality_error};
+use mlmd_numerics::vec3::Vec3;
+use proptest::prelude::*;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    (-10.0f64..10.0).prop_filter("finite", |x| x.is_finite())
+}
+
+fn complex_vec(max_len: usize) -> impl Strategy<Value = Vec<c64>> {
+    prop::collection::vec((small_f64(), small_f64()).prop_map(|(r, i)| c64::new(r, i)), 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // ---- FFT ----
+
+    #[test]
+    fn fft_round_trip_any_length(x in complex_vec(48)) {
+        let fft = Fft1d::new(x.len());
+        let mut y = x.clone();
+        fft.forward(&mut y);
+        fft.inverse(&mut y);
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft(x in complex_vec(24)) {
+        let fft = Fft1d::new(x.len());
+        let mut y = x.clone();
+        fft.forward(&mut y);
+        let reference = dft_reference(&x);
+        for (a, b) in y.iter().zip(&reference) {
+            prop_assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(x in complex_vec(24), s in small_f64()) {
+        let fft = Fft1d::new(x.len());
+        let mut fx = x.clone();
+        fft.forward(&mut fx);
+        let scaled: Vec<c64> = x.iter().map(|z| z.scale(s)).collect();
+        let mut fsx = scaled;
+        fft.forward(&mut fsx);
+        for (a, b) in fx.iter().zip(&fsx) {
+            prop_assert!((a.scale(s) - *b).abs() < 1e-7 * (1.0 + s.abs()));
+        }
+    }
+
+    #[test]
+    fn parseval_holds(x in complex_vec(40)) {
+        let n = x.len();
+        let fft = Fft1d::new(n);
+        let mut y = x.clone();
+        fft.forward(&mut y);
+        let t: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let f: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((t - f).abs() < 1e-6 * (1.0 + t));
+    }
+
+    // ---- GEMM ----
+
+    #[test]
+    fn blocked_and_parallel_match_naive(
+        m in 1usize..20, k in 1usize..20, n in 1usize..20, seed in 0u64..1000
+    ) {
+        use mlmd_numerics::rng::{Rng64, SplitMix64};
+        let mut rng = SplitMix64::new(seed);
+        let a = Matrix::from_fn(m, k, |_, _| rng.next_f64() - 0.5);
+        let b = Matrix::from_fn(k, n, |_, _| rng.next_f64() - 0.5);
+        let mut c0 = Matrix::<f64>::zeros(m, n);
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        gemm_naive(1.0, &a, &b, 0.0, &mut c0);
+        gemm_blocked(1.0, &a, &b, 0.0, &mut c1);
+        gemm_parallel(1.0, &a, &b, 0.0, &mut c2);
+        prop_assert!(c0.max_abs_diff(&c1) < 1e-10);
+        prop_assert!(c0.max_abs_diff(&c2) < 1e-10);
+    }
+
+    #[test]
+    fn cgemm_hermitian_transpose_identity(m in 2usize..10, n in 2usize..10, seed in 0u64..500) {
+        // (A† A) must be Hermitian positive semidefinite for any A.
+        use mlmd_numerics::rng::{Rng64, SplitMix64};
+        let mut rng = SplitMix64::new(seed);
+        let a = Matrix::from_fn(m, n, |_, _| c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5));
+        let mut s = Matrix::<c64>::zeros(n, n);
+        cgemm(Op::H, Op::N, c64::one(), &a, &a, c64::zero(), &mut s);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((s[(i, j)] - s[(j, i)].conj()).abs() < 1e-10);
+            }
+            prop_assert!(s[(i, i)].re > -1e-12);
+        }
+    }
+
+    // ---- BF16 split ----
+
+    #[test]
+    fn bf16_split_reconstruction_ladder(x in -1e4f32..1e4) {
+        prop_assume!(x.abs() > 1e-6);
+        let err = |n: usize| {
+            let c = split_f32(x, n);
+            let rec: f32 = c.iter().take(n).sum();
+            ((x - rec) / x).abs()
+        };
+        // Monotone non-increasing reconstruction error.
+        prop_assert!(err(1) >= err(2) - 1e-12);
+        prop_assert!(err(2) >= err(3) - 1e-12);
+        prop_assert!(err(3) < 1e-5);
+    }
+
+    #[test]
+    fn split_mode_product_counts(_x in 0..1) {
+        prop_assert_eq!(SplitMode::Bf16.product_count(), 1);
+        prop_assert_eq!(SplitMode::Bf16x2.product_count(), 3);
+        prop_assert_eq!(SplitMode::Bf16x3.product_count(), 6);
+    }
+
+    // ---- Eigen / ortho ----
+
+    #[test]
+    fn hermitian_eigendecomposition_reconstructs(n in 2usize..7, seed in 0u64..200) {
+        use mlmd_numerics::rng::{Rng64, SplitMix64};
+        let mut rng = SplitMix64::new(seed);
+        let raw = Matrix::from_fn(n, n, |_, _| c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5));
+        let h = Matrix::from_fn(n, n, |i, j| (raw[(i, j)] + raw[(j, i)].conj()).scale(0.5));
+        let e = eigh_hermitian(&h);
+        prop_assert!(residual_hermitian(&h, &e) < 1e-8);
+        // Trace preserved.
+        let tr: f64 = (0..n).map(|i| h[(i, i)].re).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((tr - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn gram_schmidt_always_orthonormalizes(m in 4usize..30, n in 1usize..4, seed in 0u64..200) {
+        use mlmd_numerics::rng::{Rng64, SplitMix64};
+        prop_assume!(m > n);
+        let mut rng = SplitMix64::new(seed);
+        let mut psi = Matrix::from_fn(m, n, |_, _| {
+            c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)
+        });
+        gram_schmidt(&mut psi);
+        prop_assert!(orthonormality_error(&psi) < 1e-9);
+    }
+
+    // ---- Vec3 ----
+
+    #[test]
+    fn cross_product_orthogonality(
+        ax in small_f64(), ay in small_f64(), az in small_f64(),
+        bx in small_f64(), by in small_f64(), bz in small_f64()
+    ) {
+        let a = Vec3::new(ax, ay, az);
+        let b = Vec3::new(bx, by, bz);
+        let c = a.cross(b);
+        prop_assert!(c.dot(a).abs() < 1e-8 * (1.0 + a.norm() * b.norm() * a.norm()));
+        prop_assert!(c.dot(b).abs() < 1e-8 * (1.0 + a.norm() * b.norm() * b.norm()));
+    }
+
+    #[test]
+    fn min_image_within_half_box(
+        x in -50.0f64..50.0, y in -50.0f64..50.0, z in -50.0f64..50.0,
+        l in 1.0f64..20.0
+    ) {
+        let d = Vec3::new(x, y, z).min_image(Vec3::splat(l));
+        prop_assert!(d.x.abs() <= l / 2.0 + 1e-9);
+        prop_assert!(d.y.abs() <= l / 2.0 + 1e-9);
+        prop_assert!(d.z.abs() <= l / 2.0 + 1e-9);
+    }
+}

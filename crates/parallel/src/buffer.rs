@@ -1,0 +1,171 @@
+//! `DeviceBuffer` — the OMPallocator analogue (paper Sec. V.B.6).
+//!
+//! The paper keeps the large wave-function arrays GPU-resident for the
+//! whole run via a custom C++ allocator that issues
+//! `#pragma omp target enter data map(alloc)` at construction and
+//! `exit data map(delete)` at destruction, with explicit `update`
+//! transfers only for the small shadow-dynamics quantities.
+//!
+//! [`DeviceBuffer`] mirrors that lifecycle: construction allocates on the
+//! (modeled) device, `upload`/`download` are the only operations that move
+//! bytes across the ledger, and `Drop` releases device storage. Because the
+//! ledger is shared with the [`crate::device::Device`], tests can assert
+//! that e.g. a thousand QD steps move *zero* wave-function bytes while the
+//! occupation handshake moves O(Norb) floats (the central claim of shadow
+//! dynamics).
+
+use crate::device::TransferLedger;
+use std::sync::Arc;
+
+/// A container whose contents live on a modeled device.
+///
+/// Host-side staging storage and device-side storage are physically the
+/// same `Vec<T>` (we are simulating the device), but access is funneled
+/// through methods that account every modeled transfer.
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    ledger: Arc<TransferLedger>,
+    len_bytes: u64,
+}
+
+impl<T: Copy> DeviceBuffer<T> {
+    /// `enter data map(alloc)`: allocate device storage without a transfer.
+    pub fn alloc(len: usize, fill: T, ledger: Arc<TransferLedger>) -> Self {
+        let len_bytes = (len * std::mem::size_of::<T>()) as u64;
+        ledger.record_alloc(len_bytes);
+        Self {
+            data: vec![fill; len],
+            ledger,
+            len_bytes,
+        }
+    }
+
+    /// `enter data map(to)`: allocate and upload initial contents.
+    pub fn from_host(host: &[T], ledger: Arc<TransferLedger>) -> Self {
+        let len_bytes = std::mem::size_of_val(host) as u64;
+        ledger.record_alloc(len_bytes);
+        ledger.record_h2d(len_bytes);
+        Self {
+            data: host.to_vec(),
+            ledger,
+            len_bytes,
+        }
+    }
+
+    /// `update to(…)`: replace device contents from a host slice (counts as
+    /// an H2D transfer of the slice's size).
+    pub fn upload(&mut self, host: &[T]) {
+        assert_eq!(host.len(), self.data.len(), "upload size mismatch");
+        self.ledger.record_h2d(std::mem::size_of_val(host) as u64);
+        self.data.copy_from_slice(host);
+    }
+
+    /// Partial `update to(…)` of a sub-range.
+    pub fn upload_range(&mut self, offset: usize, host: &[T]) {
+        self.ledger.record_h2d(std::mem::size_of_val(host) as u64);
+        self.data[offset..offset + host.len()].copy_from_slice(host);
+    }
+
+    /// `update from(…)`: copy device contents back to the host (D2H).
+    pub fn download(&self) -> Vec<T> {
+        self.ledger.record_d2h(self.len_bytes);
+        self.data.clone()
+    }
+
+    /// Partial `update from(…)`.
+    pub fn download_range(&self, offset: usize, len: usize) -> Vec<T> {
+        self.ledger
+            .record_d2h((len * std::mem::size_of::<T>()) as u64);
+        self.data[offset..offset + len].to_vec()
+    }
+
+    /// Device-side view for kernels running *on* the device — no transfer,
+    /// exactly like `use_device_ptr` inside a target region (Sec. V.B.5).
+    #[inline]
+    pub fn device_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable device-side view (no transfer).
+    #[inline]
+    pub fn device_slice_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the device allocation in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.len_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_moves_no_bytes() {
+        let ledger = Arc::new(TransferLedger::new());
+        let buf = DeviceBuffer::alloc(1000, 0.0f64, Arc::clone(&ledger));
+        assert_eq!(ledger.total_bytes(), 0);
+        assert_eq!(ledger.device_allocs(), 1);
+        assert_eq!(buf.len(), 1000);
+    }
+
+    #[test]
+    fn from_host_counts_one_upload() {
+        let ledger = Arc::new(TransferLedger::new());
+        let host = vec![1.0f32; 256];
+        let _buf = DeviceBuffer::from_host(&host, Arc::clone(&ledger));
+        assert_eq!(ledger.h2d_bytes(), 1024);
+        assert_eq!(ledger.h2d_events(), 1);
+    }
+
+    #[test]
+    fn device_side_work_is_free() {
+        let ledger = Arc::new(TransferLedger::new());
+        let mut buf = DeviceBuffer::alloc(64, 1.0f64, Arc::clone(&ledger));
+        // A thousand "QD steps" of device-resident computation.
+        for _ in 0..1000 {
+            for x in buf.device_slice_mut() {
+                *x *= 1.000001;
+            }
+        }
+        assert_eq!(ledger.total_bytes(), 0, "GPU-resident work must be free");
+    }
+
+    #[test]
+    fn partial_updates_count_their_size_only() {
+        let ledger = Arc::new(TransferLedger::new());
+        let mut buf = DeviceBuffer::alloc(1_000_000, 0.0f64, Arc::clone(&ledger));
+        // Shadow handshake: ship 8 occupation numbers, not the wave function.
+        buf.upload_range(0, &[0.5f64; 8]);
+        let _ = buf.download_range(0, 8);
+        assert_eq!(ledger.h2d_bytes(), 64);
+        assert_eq!(ledger.d2h_bytes(), 64);
+    }
+
+    #[test]
+    fn download_counts_full_size() {
+        let ledger = Arc::new(TransferLedger::new());
+        let buf = DeviceBuffer::alloc(128, 2.0f32, Arc::clone(&ledger));
+        let host = buf.download();
+        assert_eq!(host.len(), 128);
+        assert_eq!(ledger.d2h_bytes(), 512);
+    }
+
+    #[test]
+    fn upload_replaces_contents() {
+        let ledger = Arc::new(TransferLedger::new());
+        let mut buf = DeviceBuffer::alloc(4, 0u32, Arc::clone(&ledger));
+        buf.upload(&[1, 2, 3, 4]);
+        assert_eq!(buf.device_slice(), &[1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,438 @@
+//! Simulated MPI: ranks as threads, typed point-to-point messages over
+//! crossbeam channels, collectives built on top, and `MPI_Comm_split`.
+//!
+//! The goal is functional fidelity, not wire-level fidelity: the DC-MESH
+//! and XS-NNQMD drivers are written against this API exactly as the paper's
+//! Fortran/C++ is written against MPI, so halo exchanges, excitation-count
+//! gathers, and hierarchical band/space decompositions run for real on tens
+//! of ranks (the remaining 10⁴× of Aurora is handled by `mlmd-exasim`).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+type Payload = Box<dyn Any + Send>;
+
+struct Envelope {
+    tag: u64,
+    payload: Payload,
+}
+
+type Channel = (Sender<Envelope>, Receiver<Envelope>);
+
+/// Shared message fabric: lazily-created channels keyed by
+/// (communicator id, global source, global destination).
+struct Fabric {
+    channels: Mutex<HashMap<(u64, usize, usize), Channel>>,
+    comm_ids: AtomicU64,
+}
+
+impl Fabric {
+    fn new() -> Self {
+        Self {
+            channels: Mutex::new(HashMap::new()),
+            comm_ids: AtomicU64::new(1),
+        }
+    }
+
+    fn endpoint(&self, comm: u64, src: usize, dst: usize) -> Channel {
+        let mut map = self.channels.lock();
+        let (s, r) = map
+            .entry((comm, src, dst))
+            .or_insert_with(unbounded)
+            .clone();
+        (s, r)
+    }
+
+    fn fresh_comm_id(&self) -> u64 {
+        self.comm_ids.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// A communicator handle owned by one rank (thread).
+///
+/// Cheap to clone within a rank; every method is collective or
+/// point-to-point exactly as its MPI namesake.
+#[derive(Clone)]
+pub struct Comm {
+    fabric: Arc<Fabric>,
+    id: u64,
+    /// Global thread ids of the members, ordered by local rank.
+    members: Arc<Vec<usize>>,
+    /// This rank's index into `members`.
+    me: usize,
+}
+
+impl Comm {
+    /// This rank's index within the communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.me
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Blocking typed send to local rank `dst`.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) {
+        let g_src = self.members[self.me];
+        let g_dst = self.members[dst];
+        let (s, _) = self.fabric.endpoint(self.id, g_src, g_dst);
+        s.send(Envelope {
+            tag,
+            payload: Box::new(value),
+        })
+        .expect("simulated MPI channel closed");
+    }
+
+    /// Blocking typed receive from local rank `src`. Messages between a
+    /// given (src, dst) pair are delivered in order; a tag mismatch is a
+    /// protocol error and panics (as MPI would deadlock or corrupt).
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        let g_src = self.members[src];
+        let g_dst = self.members[self.me];
+        let (_, r) = self.fabric.endpoint(self.id, g_src, g_dst);
+        let env = r.recv().expect("simulated MPI channel closed");
+        assert_eq!(
+            env.tag, tag,
+            "tag mismatch on recv (rank {} <- {}): expected {tag}, got {}",
+            self.me, src, env.tag
+        );
+        *env.payload
+            .downcast::<T>()
+            .expect("message type mismatch in simulated MPI")
+    }
+
+    /// Synchronize all ranks (gather-to-0 + broadcast of unit).
+    pub fn barrier(&self) {
+        const TAG: u64 = u64::MAX - 1;
+        if self.me == 0 {
+            for src in 1..self.size() {
+                let () = self.recv(src, TAG);
+            }
+            for dst in 1..self.size() {
+                self.send(dst, TAG, ());
+            }
+        } else {
+            self.send(0, TAG, ());
+            let () = self.recv(0, TAG);
+        }
+    }
+
+    /// Broadcast `value` from `root` to every rank; returns the value on
+    /// all ranks.
+    pub fn bcast<T: Send + Clone + 'static>(&self, root: usize, value: Option<T>) -> T {
+        const TAG: u64 = u64::MAX - 2;
+        if self.me == root {
+            let v = value.expect("root must supply the broadcast value");
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send(dst, TAG, v.clone());
+                }
+            }
+            v
+        } else {
+            self.recv(root, TAG)
+        }
+    }
+
+    /// Gather one value per rank to `root` (None on non-roots).
+    pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        const TAG: u64 = u64::MAX - 3;
+        if self.me == root {
+            let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            out[root] = Some(value);
+            for src in 0..self.size() {
+                if src != root {
+                    out[src] = Some(self.recv(src, TAG));
+                }
+            }
+            Some(out.into_iter().map(Option::unwrap).collect())
+        } else {
+            self.send(root, TAG, value);
+            None
+        }
+    }
+
+    /// Gather one value per rank to every rank.
+    pub fn allgather<T: Send + Clone + 'static>(&self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.bcast(0, gathered)
+    }
+
+    /// Reduce with a binary op to `root` (None on non-roots).
+    pub fn reduce<T, F>(&self, root: usize, value: T, op: F) -> Option<T>
+    where
+        T: Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        self.gather(root, value)
+            .map(|vs| vs.into_iter().reduce(&op).expect("non-empty communicator"))
+    }
+
+    /// Allreduce with a binary op.
+    pub fn allreduce<T, F>(&self, value: T, op: F) -> T
+    where
+        T: Send + Clone + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let reduced = self.reduce(0, value, op);
+        self.bcast(0, reduced)
+    }
+
+    /// Sum-allreduce for f64 (the most common physics reduction).
+    pub fn allreduce_sum(&self, value: f64) -> f64 {
+        self.allreduce(value, |a, b| a + b)
+    }
+
+    /// Element-wise sum-allreduce for vectors.
+    pub fn allreduce_sum_vec(&self, value: Vec<f64>) -> Vec<f64> {
+        self.allreduce(value, |mut a, b| {
+            assert_eq!(a.len(), b.len(), "allreduce_sum_vec length mismatch");
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        })
+    }
+
+    /// `MPI_Comm_split`: ranks with equal `color` form a new communicator,
+    /// ordered by `(key, parent rank)`. Collective over the parent.
+    pub fn split(&self, color: u64, key: u64) -> Comm {
+        const TAG: u64 = u64::MAX - 4;
+        // Gather (color, key, parent-rank, global-id) at parent root.
+        let triple = (color, key, self.me, self.members[self.me]);
+        let gathered = self.gather(0, triple);
+        let plan: Vec<(u64, Vec<usize>)> = if self.me == 0 {
+            let mut all = gathered.unwrap();
+            all.sort_by_key(|&(c, k, r, _)| (c, k, r));
+            let mut plan: Vec<(u64, u64, Vec<usize>)> = Vec::new(); // (color, id, members)
+            for (c, _, _, g) in all {
+                match plan.last_mut() {
+                    Some((pc, _, mem)) if *pc == c => mem.push(g),
+                    _ => plan.push((c, self.fabric.fresh_comm_id(), vec![g])),
+                }
+            }
+            let plan: Vec<(u64, Vec<usize>)> =
+                plan.into_iter().map(|(_, id, mem)| (id, mem)).collect();
+            for dst in 1..self.size() {
+                self.send(dst, TAG, plan.clone());
+            }
+            plan
+        } else {
+            self.recv(0, TAG)
+        };
+        let my_global = self.members[self.me];
+        for (id, mem) in plan {
+            if let Some(pos) = mem.iter().position(|&g| g == my_global) {
+                return Comm {
+                    fabric: Arc::clone(&self.fabric),
+                    id,
+                    members: Arc::new(mem),
+                    me: pos,
+                };
+            }
+        }
+        unreachable!("every rank belongs to exactly one split group");
+    }
+}
+
+/// The launcher: spawns `n` ranks as threads and runs `f` on each.
+pub struct World;
+
+impl World {
+    /// Run an SPMD region on `n` ranks; returns each rank's result, indexed
+    /// by rank.
+    pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
+        assert!(n > 0, "world must have at least one rank");
+        let fabric = Arc::new(Fabric::new());
+        let members: Arc<Vec<usize>> = Arc::new((0..n).collect());
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for rank in 0..n {
+                let comm = Comm {
+                    fabric: Arc::clone(&fabric),
+                    id: 0,
+                    members: Arc::clone(&members),
+                    me: rank,
+                };
+                let f = &f;
+                handles.push(scope.spawn(move || f(comm)));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                results[rank] = Some(h.join().expect("rank panicked"));
+            }
+        });
+        results.into_iter().map(Option::unwrap).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_runs_all_ranks() {
+        let out = World::run(6, |c| c.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let n = 5;
+        let out = World::run(n, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 7, c.rank());
+            c.recv::<usize>(prev, 7)
+        });
+        assert_eq!(out, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn messages_are_ordered_per_pair() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..100u64 {
+                    c.send(1, i, i);
+                }
+                0
+            } else {
+                let mut sum = 0;
+                for i in 0..100u64 {
+                    sum += c.recv::<u64>(0, i);
+                }
+                sum
+            }
+        });
+        assert_eq!(out[1], 4950);
+    }
+
+    #[test]
+    fn allreduce_sum_matches_serial() {
+        let n = 7;
+        let out = World::run(n, |c| c.allreduce_sum((c.rank() + 1) as f64));
+        let expect = (1..=n).sum::<usize>() as f64;
+        for v in out {
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn allreduce_vec() {
+        let out = World::run(4, |c| c.allreduce_sum_vec(vec![c.rank() as f64; 3]));
+        for v in out {
+            assert_eq!(v, vec![6.0, 6.0, 6.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_collects_in_rank_order() {
+        let out = World::run(5, |c| c.allgather(c.rank() as u32 * 2));
+        for v in out {
+            assert_eq!(v, vec![0, 2, 4, 6, 8]);
+        }
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let out = World::run(4, |c| {
+            let v = if c.rank() == 2 { Some(99u8) } else { None };
+            c.bcast(2, v)
+        });
+        assert_eq!(out, vec![99, 99, 99, 99]);
+    }
+
+    #[test]
+    fn gather_only_root_sees_values() {
+        let out = World::run(3, |c| c.gather(1, c.rank() as i64).map(|v| v.len()));
+        assert_eq!(out, vec![None, Some(3), None]);
+    }
+
+    #[test]
+    fn reduce_with_max() {
+        let out = World::run(6, |c| c.allreduce((c.rank() * 7 % 5) as u64, u64::max));
+        for v in out {
+            assert_eq!(v, 4);
+        }
+    }
+
+    #[test]
+    fn barrier_does_not_deadlock() {
+        let out = World::run(8, |c| {
+            for _ in 0..10 {
+                c.barrier();
+            }
+            true
+        });
+        assert!(out.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn split_into_domains() {
+        // 6 ranks → 3 domains of 2 ranks each (the DC-MESH pattern).
+        let out = World::run(6, |c| {
+            let domain = (c.rank() / 2) as u64;
+            let sub = c.split(domain, c.rank() as u64);
+            // Sum ranks within each domain.
+            let s = sub.allreduce_sum(c.rank() as f64);
+            (sub.size(), sub.rank(), s)
+        });
+        assert_eq!(out[0], (2, 0, 1.0)); // domain 0: ranks 0+1
+        assert_eq!(out[1], (2, 1, 1.0));
+        assert_eq!(out[2], (2, 0, 5.0)); // domain 1: ranks 2+3
+        assert_eq!(out[5], (2, 1, 9.0)); // domain 2: ranks 4+5
+    }
+
+    #[test]
+    fn split_key_controls_ordering() {
+        // Reverse ordering via key.
+        let out = World::run(4, |c| {
+            let sub = c.split(0, (c.size() - c.rank()) as u64);
+            sub.rank()
+        });
+        assert_eq!(out, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn nested_split_band_space() {
+        // 8 ranks → 2 domains × (2 bands × 2 spatial) hierarchy.
+        let out = World::run(8, |c| {
+            let domain = c.split((c.rank() / 4) as u64, c.rank() as u64);
+            let band = domain.split((domain.rank() / 2) as u64, domain.rank() as u64);
+            (domain.size(), band.size(), band.allreduce_sum(1.0))
+        });
+        for v in out {
+            assert_eq!(v, (4, 2, 2.0));
+        }
+    }
+
+    #[test]
+    fn typed_messages_of_various_kinds() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![1.0f64, 2.0, 3.0]);
+                c.send(1, 2, String::from("occupations"));
+                c.send(1, 3, (42usize, 2.5f64));
+                0.0
+            } else {
+                let v: Vec<f64> = c.recv(0, 1);
+                let s: String = c.recv(0, 2);
+                let (a, b): (usize, f64) = c.recv(0, 3);
+                v.iter().sum::<f64>() + s.len() as f64 + a as f64 + b
+            }
+        });
+        assert_eq!(out[1], 6.0 + 11.0 + 42.0 + 2.5);
+    }
+}

@@ -1,0 +1,32 @@
+//! # mlmd-parallel
+//!
+//! The parallel-hardware substrate of MLMD: a thread-backed simulated MPI
+//! (communicators, point-to-point messages, collectives, hierarchical
+//! splits) and a heterogeneous-node model (CPU/GPU execution pools with an
+//! explicit, byte-accounted host↔device transfer ledger).
+//!
+//! The paper's DC-MESH uses hierarchical MPI parallelization — "one MPI
+//! communicator per domain, each handled by multiple MPI ranks through
+//! hybrid band-space decomposition" (Sec. V.A.1) — and claims its shadow
+//! dynamics makes CPU↔GPU traffic *O(occupation numbers)* rather than
+//! *O(wave functions)* (Sec. V.A.3). Both properties are reproduced here in
+//! a form that unit tests can assert:
+//!
+//! * [`comm`] — `World::run(n, |comm| …)` spawns ranks as threads;
+//!   [`comm::Comm`] offers `send`/`recv`, `barrier`, `allreduce`,
+//!   `gather`/`allgather`, `bcast`, and MPI_Comm_split-style [`comm::Comm::split`].
+//! * [`hier`] — the domain / band-space hierarchy of DC-MESH.
+//! * [`device`] — CPU and GPU execution resources (rayon pools of different
+//!   widths) plus the [`device::TransferLedger`].
+//! * [`buffer`] — [`buffer::DeviceBuffer`], the OMPallocator analogue:
+//!   GPU-resident containers with `enter data`/`exit data` lifetimes and
+//!   explicit `update to/from` transfers that hit the ledger.
+
+pub mod buffer;
+pub mod comm;
+pub mod device;
+pub mod hier;
+
+pub use buffer::DeviceBuffer;
+pub use comm::{Comm, World};
+pub use device::{Device, DeviceKind, TransferLedger};

@@ -1,0 +1,71 @@
+//! Property tests: simulated-MPI collectives agree with their serial
+//! definitions for arbitrary rank counts and payloads.
+
+use mlmd_parallel::comm::World;
+use mlmd_parallel::hier::partition;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn allreduce_sum_matches_serial(n in 1usize..9, values in prop::collection::vec(-100.0f64..100.0, 9)) {
+        let expect: f64 = values[..n].iter().sum();
+        let vals = values.clone();
+        let out = World::run(n, move |c| c.allreduce_sum(vals[c.rank()]));
+        for v in out {
+            prop_assert!((v - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn allgather_ordering_preserved(n in 1usize..8, base in 0u32..1000) {
+        let out = World::run(n, move |c| c.allgather(base + c.rank() as u32));
+        let expect: Vec<u32> = (0..n as u32).map(|r| base + r).collect();
+        for v in out {
+            prop_assert_eq!(&v, &expect);
+        }
+    }
+
+    #[test]
+    fn split_partitions_preserve_membership(n in 2usize..9, colors in prop::collection::vec(0u64..3, 9)) {
+        let cols = colors.clone();
+        let out = World::run(n, move |c| {
+            let color = cols[c.rank()];
+            let sub = c.split(color, c.rank() as u64);
+            (color, sub.size(), sub.allreduce_sum(1.0) as usize)
+        });
+        // Each subcommunicator's size equals the number of ranks with
+        // that color, and its own allreduce confirms it.
+        for (color, size, counted) in &out {
+            let expect = colors[..n].iter().filter(|&&c| c == *color).count();
+            prop_assert_eq!(*size, expect);
+            prop_assert_eq!(*counted, expect);
+        }
+    }
+
+    #[test]
+    fn partition_is_exact_and_balanced(n in 0usize..200, parts in 1usize..17) {
+        let mut total = 0;
+        let mut sizes = Vec::new();
+        for p in 0..parts {
+            let r = partition(n, parts, p);
+            total += r.len();
+            sizes.push(r.len());
+        }
+        prop_assert_eq!(total, n);
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "imbalance: {:?}", sizes);
+    }
+
+    #[test]
+    fn reduce_with_max_matches_serial(n in 1usize..8, values in prop::collection::vec(0u64..10_000, 8)) {
+        let expect = *values[..n].iter().max().unwrap();
+        let vals = values.clone();
+        let out = World::run(n, move |c| c.allreduce(vals[c.rank()], u64::max));
+        for v in out {
+            prop_assert_eq!(v, expect);
+        }
+    }
+}

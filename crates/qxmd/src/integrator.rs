@@ -1,0 +1,222 @@
+//! MD integration: velocity Verlet over a [`ForceField`].
+//!
+//! Positions in Å, velocities in Å/fs, forces in eV/Å, masses in amu.
+//! The acceleration conversion `a = F/m / MASS_TIME_UNIT` keeps the unit
+//! system consistent (1 amu·Å/fs² = 103.64 eV/Å).
+
+use crate::atoms::{AtomsSystem, MASS_TIME_UNIT};
+use mlmd_numerics::vec3::Vec3;
+
+/// Anything that can produce forces and a potential energy.
+pub trait ForceField {
+    /// Add this term's forces into `sys.forces` and return its energy.
+    fn accumulate(&self, sys: &mut AtomsSystem) -> f64;
+
+    /// Zero the force array and accumulate (the full-evaluation entry).
+    fn compute(&self, sys: &mut AtomsSystem) -> f64 {
+        for f in &mut sys.forces {
+            *f = Vec3::ZERO;
+        }
+        self.accumulate(sys)
+    }
+}
+
+impl ForceField for crate::pair::Buckingham {
+    fn accumulate(&self, sys: &mut AtomsSystem) -> f64 {
+        crate::pair::Buckingham::accumulate(self, sys)
+    }
+}
+
+impl ForceField for crate::ferro::FerroModel {
+    fn accumulate(&self, sys: &mut AtomsSystem) -> f64 {
+        crate::ferro::FerroModel::accumulate(self, sys)
+    }
+}
+
+/// Sum of force-field terms (e.g. ferroelectric model + short-range guard).
+pub struct Composite {
+    pub terms: Vec<Box<dyn ForceField + Send + Sync>>,
+}
+
+impl Composite {
+    pub fn new(terms: Vec<Box<dyn ForceField + Send + Sync>>) -> Self {
+        Self { terms }
+    }
+}
+
+impl ForceField for Composite {
+    fn accumulate(&self, sys: &mut AtomsSystem) -> f64 {
+        self.terms.iter().map(|t| t.accumulate(sys)).sum()
+    }
+}
+
+/// Velocity Verlet NVE integrator.
+pub struct VelocityVerlet {
+    /// Time step (fs).
+    pub dt: f64,
+}
+
+impl VelocityVerlet {
+    pub fn new(dt: f64) -> Self {
+        assert!(dt > 0.0);
+        Self { dt }
+    }
+
+    /// One step; returns the potential energy at the new positions.
+    /// `sys.forces` must hold the forces at the current positions (call
+    /// `ff.compute(sys)` once before the first step).
+    pub fn step(&self, sys: &mut AtomsSystem, ff: &impl ForceField) -> f64 {
+        let dt = self.dt;
+        let n = sys.len();
+        // Half kick + drift.
+        for i in 0..n {
+            let inv_m = 1.0 / (sys.species[i].mass() * MASS_TIME_UNIT);
+            sys.velocities[i] += sys.forces[i] * (0.5 * dt * inv_m);
+            let v = sys.velocities[i];
+            sys.positions[i] += v * dt;
+        }
+        // New forces.
+        let pe = ff.compute(sys);
+        // Half kick.
+        for i in 0..n {
+            let inv_m = 1.0 / (sys.species[i].mass() * MASS_TIME_UNIT);
+            sys.velocities[i] += sys.forces[i] * (0.5 * dt * inv_m);
+        }
+        pe
+    }
+
+    /// Run `n_steps` and return (final potential energy, energy drift
+    /// |E_tot(end) − E_tot(start)|).
+    pub fn run(&self, sys: &mut AtomsSystem, ff: &impl ForceField, n_steps: usize) -> (f64, f64) {
+        let mut pe = ff.compute(sys);
+        let e0 = pe + sys.kinetic_energy();
+        for _ in 0..n_steps {
+            pe = self.step(sys, ff);
+        }
+        let e1 = pe + sys.kinetic_energy();
+        (pe, (e1 - e0).abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atoms::Species;
+
+    /// Harmonic tether to the origin — an analytic testbed.
+    struct Harmonic {
+        k: f64,
+    }
+
+    impl ForceField for Harmonic {
+        fn accumulate(&self, sys: &mut AtomsSystem) -> f64 {
+            let mut e = 0.0;
+            for i in 0..sys.len() {
+                let d = sys.positions[i];
+                e += 0.5 * self.k * d.norm_sqr();
+                sys.forces[i] -= d * self.k;
+            }
+            e
+        }
+    }
+
+    fn oscillator() -> AtomsSystem {
+        let mut sys = AtomsSystem::new(
+            vec![Species::O],
+            vec![Vec3::new(0.5, 0.0, 0.0)],
+            Vec3::splat(100.0),
+        );
+        sys.velocities[0] = Vec3::ZERO;
+        sys
+    }
+
+    #[test]
+    fn harmonic_period() {
+        // ω = √(k/m'), m' = m·MASS_TIME_UNIT in eV·fs²/Å².
+        let k = 5.0;
+        let m_eff = Species::O.mass() * MASS_TIME_UNIT;
+        let period = 2.0 * std::f64::consts::PI * (m_eff / k).sqrt();
+        let mut sys = oscillator();
+        let ff = Harmonic { k };
+        let dt = period / 1000.0;
+        let vv = VelocityVerlet::new(dt);
+        ff.compute(&mut sys);
+        for _ in 0..1000 {
+            vv.step(&mut sys, &ff);
+        }
+        // One full period: back at start.
+        assert!(
+            (sys.positions[0].x - 0.5).abs() < 1e-3,
+            "x after one period: {}",
+            sys.positions[0].x
+        );
+    }
+
+    #[test]
+    fn energy_conservation() {
+        let mut sys = oscillator();
+        sys.velocities[0] = Vec3::new(0.01, 0.02, 0.0);
+        let ff = Harmonic { k: 3.0 };
+        let vv = VelocityVerlet::new(0.5);
+        let (_, drift) = vv.run(&mut sys, &ff, 5000);
+        let e_scale = 0.5 * 3.0 * 0.25;
+        assert!(drift / e_scale < 1e-3, "drift {drift}");
+    }
+
+    #[test]
+    fn time_reversibility() {
+        let mut sys = oscillator();
+        sys.velocities[0] = Vec3::new(0.05, 0.0, 0.0);
+        let ff = Harmonic { k: 2.0 };
+        let vv = VelocityVerlet::new(0.2);
+        let x0 = sys.positions[0];
+        ff.compute(&mut sys);
+        for _ in 0..100 {
+            vv.step(&mut sys, &ff);
+        }
+        // Reverse velocities and integrate back.
+        sys.velocities[0] = -sys.velocities[0];
+        for _ in 0..100 {
+            vv.step(&mut sys, &ff);
+        }
+        assert!((sys.positions[0] - x0).norm() < 1e-9);
+    }
+
+    #[test]
+    fn composite_sums_terms() {
+        let mut sys = oscillator();
+        let single = Harmonic { k: 4.0 };
+        let composite = Composite::new(vec![
+            Box::new(Harmonic { k: 1.0 }),
+            Box::new(Harmonic { k: 3.0 }),
+        ]);
+        let e1 = single.compute(&mut sys.clone());
+        let mut sys2 = sys.clone();
+        let e2 = composite.compute(&mut sys2);
+        assert!((e1 - e2).abs() < 1e-14);
+        single.compute(&mut sys);
+        assert!((sys.forces[0] - sys2.forces[0]).norm() < 1e-14);
+    }
+
+    #[test]
+    fn ferroelectric_lattice_stable_under_md() {
+        // The coupled minimum must survive thermal-free NVE dynamics.
+        use crate::ferro::{FerroModel, FerroParams};
+        use crate::perovskite::PerovskiteLattice;
+        let p = FerroParams::pbtio3();
+        let u_star = ((3.0 * p.j_nn - p.a2) / (2.0 * p.a4)).sqrt();
+        let lat = PerovskiteLattice::uniform(3, 3, 3, Vec3::new(0.0, 0.0, u_star));
+        let mut sys = lat.system.clone();
+        let ff = FerroModel::new(&lat, p);
+        let vv = VelocityVerlet::new(0.2);
+        let (_, drift) = vv.run(&mut sys, &ff, 500);
+        assert!(drift < 1e-3, "energy drift {drift} eV");
+        // Polarization persists.
+        let u = ff.displacement_field(&sys);
+        let mean_uz: f64 = u.iter().map(|v| v.z).sum::<f64>() / u.len() as f64;
+        assert!(
+            (mean_uz - u_star).abs() < 0.02,
+            "polarization drifted: {mean_uz} vs {u_star}"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # mlmd-qxmd — Quantum eXcitation Molecular Dynamics
+//!
+//! The "CPU side" of DC-MESH (paper Fig. 2b): atoms, forces, integrators,
+//! and the electron–atom coupling machinery (nonadiabatic couplings and
+//! surface hopping) that drives longer-time structural response.
+//!
+//! The PbTiO3 substrate is an *effective ferroelectric lattice model*
+//! (see DESIGN.md substitution table): Buckingham short-range repulsion
+//! between all atoms plus a double-well energy on the Ti off-centering
+//! vector `u` with ferroelectric nearest-neighbour coupling — the minimal
+//! Hamiltonian that hosts polar topological textures. Photoexcitation
+//! flattens the double well proportionally to the excitation density
+//! (the mechanism established in ref [11]), which is what makes
+//! light-induced switching possible.
+//!
+//! * [`atoms`] — the atomistic system state (positions, velocities,
+//!   forces, species, periodic box).
+//! * [`perovskite`] — PbTiO3 supercell builder with polar displacement
+//!   textures.
+//! * [`neighbor`] — O(N) cell-list neighbor search.
+//! * [`pair`] — Buckingham pair potential.
+//! * [`ferro`] — the ferroelectric double-well model, ground and excited
+//!   state variants.
+//! * [`integrator`] — velocity Verlet NVE driver over a [`ForceField`].
+//! * [`thermostat`] — Berendsen and Langevin thermostats.
+//! * [`nac`] — nonadiabatic couplings from orbital overlaps.
+//! * [`hopping`] — surface hopping as occupation kinetics (master
+//!   equation with detailed balance), the `Û_SH` of paper Eq. (2).
+
+pub mod atoms;
+pub mod ferro;
+pub mod hopping;
+pub mod integrator;
+pub mod nac;
+pub mod neighbor;
+pub mod pair;
+pub mod perovskite;
+pub mod thermostat;
+
+pub use atoms::{AtomsSystem, Species};
+pub use ferro::FerroModel;
+pub use integrator::{ForceField, VelocityVerlet};
+pub use perovskite::PerovskiteLattice;

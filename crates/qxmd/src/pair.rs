@@ -1,0 +1,166 @@
+//! Buckingham pair potential: the short-range repulsion/dispersion
+//! substrate of the PbTiO3 effective model.
+//!
+//! `V(r) = A·exp(−r/ρ) − C/r⁶`, shifted to zero at the cutoff. Parameters
+//! are of the magnitude used in classical perovskite force fields; the
+//! ferroelectric physics lives in [`crate::ferro`], this term keeps the
+//! lattice from collapsing and carries phonons.
+
+use crate::atoms::{AtomsSystem, Species};
+use crate::neighbor::CellList;
+
+/// Buckingham parameters for one species pair.
+#[derive(Clone, Copy, Debug)]
+pub struct BuckinghamParams {
+    pub a: f64,
+    pub rho: f64,
+    pub c: f64,
+}
+
+/// Parameter table over the three PbTiO3 species.
+#[derive(Clone, Debug)]
+pub struct Buckingham {
+    table: [[BuckinghamParams; 3]; 3],
+    pub rcut: f64,
+}
+
+fn species_idx(s: Species) -> usize {
+    match s {
+        Species::Pb => 0,
+        Species::Ti => 1,
+        Species::O => 2,
+    }
+}
+
+impl Buckingham {
+    /// Default PbTiO3-like parameter set (eV, Å).
+    pub fn pbtio3() -> Self {
+        let z = BuckinghamParams { a: 0.0, rho: 1.0, c: 0.0 };
+        let mut table = [[z; 3]; 3];
+        let set = |t: &mut [[BuckinghamParams; 3]; 3], s1: Species, s2: Species, p: BuckinghamParams| {
+            t[species_idx(s1)][species_idx(s2)] = p;
+            t[species_idx(s2)][species_idx(s1)] = p;
+        };
+        // Magnitudes adapted from shell-model perovskite literature,
+        // re-balanced for a rigid-ion model.
+        set(&mut table, Species::Pb, Species::O, BuckinghamParams { a: 2950.0, rho: 0.324, c: 20.0 });
+        set(&mut table, Species::Ti, Species::O, BuckinghamParams { a: 4590.0, rho: 0.261, c: 0.0 });
+        set(&mut table, Species::O, Species::O, BuckinghamParams { a: 1388.0, rho: 0.362, c: 27.0 });
+        set(&mut table, Species::Pb, Species::Pb, BuckinghamParams { a: 8000.0, rho: 0.30, c: 0.0 });
+        set(&mut table, Species::Pb, Species::Ti, BuckinghamParams { a: 7200.0, rho: 0.28, c: 0.0 });
+        set(&mut table, Species::Ti, Species::Ti, BuckinghamParams { a: 6500.0, rho: 0.26, c: 0.0 });
+        Self { table, rcut: 6.0 }
+    }
+
+    #[inline]
+    fn params(&self, s1: Species, s2: Species) -> BuckinghamParams {
+        self.table[species_idx(s1)][species_idx(s2)]
+    }
+
+    /// Pair energy at distance r (unshifted).
+    #[inline]
+    fn pair_energy(&self, p: BuckinghamParams, r: f64) -> f64 {
+        p.a * (-r / p.rho).exp() - p.c / r.powi(6)
+    }
+
+    /// −dV/dr at distance r.
+    #[inline]
+    fn pair_force_mag(&self, p: BuckinghamParams, r: f64) -> f64 {
+        p.a / p.rho * (-r / p.rho).exp() - 6.0 * p.c / r.powi(7)
+    }
+
+    /// Accumulate forces into `sys.forces` and return the total energy.
+    /// Forces are *added* (call after zeroing or after other force terms).
+    pub fn accumulate(&self, sys: &mut AtomsSystem) -> f64 {
+        let cl = CellList::build(&sys.positions, sys.box_lengths, self.rcut);
+        let pairs = cl.pairs(&sys.positions);
+        let mut energy = 0.0;
+        for pr in pairs {
+            let p = self.params(sys.species[pr.i], sys.species[pr.j]);
+            if p.a == 0.0 && p.c == 0.0 {
+                continue;
+            }
+            let shift = self.pair_energy(p, self.rcut);
+            energy += self.pair_energy(p, pr.r) - shift;
+            let fmag = self.pair_force_mag(p, pr.r);
+            // dr points i → j; positive fmag (repulsion) pushes them apart.
+            let dir = pr.dr / pr.r;
+            sys.forces[pr.i] -= dir * fmag;
+            sys.forces[pr.j] += dir * fmag;
+        }
+        energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlmd_numerics::vec3::Vec3;
+
+    fn dimer(r: f64) -> AtomsSystem {
+        AtomsSystem::new(
+            vec![Species::Ti, Species::O],
+            vec![
+                Vec3::new(5.0, 5.0, 5.0),
+                Vec3::new(5.0 + r, 5.0, 5.0),
+            ],
+            Vec3::splat(20.0),
+        )
+    }
+
+    #[test]
+    fn close_pair_repels() {
+        let mut sys = dimer(1.5);
+        let bk = Buckingham::pbtio3();
+        let e = bk.accumulate(&mut sys);
+        assert!(e > 0.0, "close Ti-O should be repulsive, E = {e}");
+        assert!(sys.forces[0].x < 0.0, "atom 0 pushed −x");
+        assert!(sys.forces[1].x > 0.0, "atom 1 pushed +x");
+    }
+
+    #[test]
+    fn forces_opposite_and_equal() {
+        let mut sys = dimer(2.1);
+        Buckingham::pbtio3().accumulate(&mut sys);
+        assert!((sys.forces[0] + sys.forces[1]).norm() < 1e-12);
+    }
+
+    #[test]
+    fn force_matches_numerical_gradient() {
+        let bk = Buckingham::pbtio3();
+        let energy_at = |r: f64| -> f64 {
+            let mut sys = dimer(r);
+            bk.accumulate(&mut sys)
+        };
+        let r = 2.3;
+        let h = 1e-6;
+        let f_numeric = -(energy_at(r + h) - energy_at(r - h)) / (2.0 * h);
+        let mut sys = dimer(r);
+        bk.accumulate(&mut sys);
+        // Force on atom 1 along +x equals −dE/dr.
+        assert!(
+            (sys.forces[1].x - f_numeric).abs() < 1e-5,
+            "analytic {} vs numeric {}",
+            sys.forces[1].x,
+            f_numeric
+        );
+    }
+
+    #[test]
+    fn energy_zero_beyond_cutoff() {
+        let mut sys = dimer(7.0);
+        let e = Buckingham::pbtio3().accumulate(&mut sys);
+        assert_eq!(e, 0.0);
+        assert!(sys.forces[0].norm() < 1e-12);
+    }
+
+    #[test]
+    fn energy_continuous_at_cutoff() {
+        let bk = Buckingham::pbtio3();
+        let e_in = {
+            let mut sys = dimer(bk.rcut - 1e-6);
+            bk.accumulate(&mut sys)
+        };
+        assert!(e_in.abs() < 1e-4, "shifted potential ≈ 0 at cutoff: {e_in}");
+    }
+}

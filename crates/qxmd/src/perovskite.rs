@@ -1,0 +1,172 @@
+//! PbTiO3 perovskite supercell builder.
+//!
+//! The cubic perovskite cell (lattice constant `a ≈ 3.97 Å`) holds five
+//! atoms: Pb at the corner, Ti at the body center, and three O at the face
+//! centers. Ferroelectric polarization appears as the Ti displacement `u`
+//! off the body center (with the oxygen cage counter-displacing); the
+//! per-cell `u` vector is the order-parameter field the topological
+//! analysis (mlmd-topo) operates on, exactly as Ti off-centering maps to
+//! polarization in the paper's PbTiO3 studies.
+
+use crate::atoms::{AtomsSystem, Species};
+use mlmd_numerics::vec3::Vec3;
+
+/// PbTiO3 lattice constant (Å), cubic reference.
+pub const LATTICE_A: f64 = 3.97;
+
+/// A built supercell with cell-index bookkeeping.
+pub struct PerovskiteLattice {
+    pub system: AtomsSystem,
+    /// Supercell dimensions in unit cells.
+    pub n_cells: (usize, usize, usize),
+    /// For each cell (x-fastest order), the atom index of its Ti.
+    pub ti_index: Vec<usize>,
+    /// For each cell, the atom index of its Pb (the cell-frame reference).
+    pub pb_index: Vec<usize>,
+    pub a: f64,
+}
+
+impl PerovskiteLattice {
+    /// Build an `nx × ny × nz` supercell with a per-cell polar displacement
+    /// texture `u(cell) → Vec3` applied to Ti (and −0.4·u to the O cage,
+    /// the usual soft-mode pattern).
+    pub fn build(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        mut displacement: impl FnMut(usize, usize, usize) -> Vec3,
+    ) -> Self {
+        let a = LATTICE_A;
+        let n = nx * ny * nz;
+        let mut species = Vec::with_capacity(5 * n);
+        let mut positions = Vec::with_capacity(5 * n);
+        let mut ti_index = Vec::with_capacity(n);
+        let mut pb_index = Vec::with_capacity(n);
+        for kz in 0..nz {
+            for ky in 0..ny {
+                for kx in 0..nx {
+                    let origin = Vec3::new(kx as f64 * a, ky as f64 * a, kz as f64 * a);
+                    let u = displacement(kx, ky, kz);
+                    // Pb at corner.
+                    pb_index.push(species.len());
+                    species.push(Species::Pb);
+                    positions.push(origin);
+                    // Ti at body center + u.
+                    ti_index.push(species.len());
+                    species.push(Species::Ti);
+                    positions.push(origin + Vec3::splat(0.5 * a) + u);
+                    // O at face centers, counter-displaced.
+                    let counter = u * -0.4;
+                    species.push(Species::O);
+                    positions.push(origin + Vec3::new(0.5 * a, 0.5 * a, 0.0) + counter);
+                    species.push(Species::O);
+                    positions.push(origin + Vec3::new(0.5 * a, 0.0, 0.5 * a) + counter);
+                    species.push(Species::O);
+                    positions.push(origin + Vec3::new(0.0, 0.5 * a, 0.5 * a) + counter);
+                }
+            }
+        }
+        let box_lengths = Vec3::new(nx as f64 * a, ny as f64 * a, nz as f64 * a);
+        let mut system = AtomsSystem::new(species, positions, box_lengths);
+        system.wrap_positions();
+        Self {
+            system,
+            n_cells: (nx, ny, nz),
+            ti_index,
+            pb_index,
+            a,
+        }
+    }
+
+    /// Uniformly-polarized supercell (ground-state ferroelectric).
+    pub fn uniform(nx: usize, ny: usize, nz: usize, u: Vec3) -> Self {
+        Self::build(nx, ny, nz, |_, _, _| u)
+    }
+
+    /// Number of unit cells.
+    pub fn cell_count(&self) -> usize {
+        self.ti_index.len()
+    }
+
+    /// Linear cell index, x-fastest.
+    pub fn cell_idx(&self, kx: usize, ky: usize, kz: usize) -> usize {
+        kx + self.n_cells.0 * (ky + self.n_cells.1 * kz)
+    }
+
+    /// Extract the per-cell Ti off-centering field `u(cell)` from current
+    /// atomic positions (the polarization proxy).
+    pub fn displacement_field(&self) -> Vec<Vec3> {
+        let (nx, ny, nz) = self.n_cells;
+        let a = self.a;
+        let mut field = vec![Vec3::ZERO; self.cell_count()];
+        for kz in 0..nz {
+            for ky in 0..ny {
+                for kx in 0..nx {
+                    let c = self.cell_idx(kx, ky, kz);
+                    let center = Vec3::new(
+                        (kx as f64 + 0.5) * a,
+                        (ky as f64 + 0.5) * a,
+                        (kz as f64 + 0.5) * a,
+                    );
+                    let ti = self.system.positions[self.ti_index[c]];
+                    field[c] = (ti - center).min_image(self.system.box_lengths);
+                }
+            }
+        }
+        field
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_counts() {
+        let lat = PerovskiteLattice::uniform(3, 2, 2, Vec3::ZERO);
+        assert_eq!(lat.system.len(), 5 * 12);
+        assert_eq!(lat.cell_count(), 12);
+        let n_ti = lat.system.species.iter().filter(|s| **s == Species::Ti).count();
+        assert_eq!(n_ti, 12);
+        let n_o = lat.system.species.iter().filter(|s| **s == Species::O).count();
+        assert_eq!(n_o, 36);
+    }
+
+    #[test]
+    fn box_size() {
+        let lat = PerovskiteLattice::uniform(4, 3, 2, Vec3::ZERO);
+        let l = lat.system.box_lengths;
+        assert!((l.x - 4.0 * LATTICE_A).abs() < 1e-12);
+        assert!((l.y - 3.0 * LATTICE_A).abs() < 1e-12);
+        assert!((l.z - 2.0 * LATTICE_A).abs() < 1e-12);
+    }
+
+    #[test]
+    fn displacement_field_round_trip() {
+        let u0 = Vec3::new(0.1, -0.05, 0.2);
+        let lat = PerovskiteLattice::uniform(3, 3, 3, u0);
+        for u in lat.displacement_field() {
+            assert!((u - u0).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn texture_applied_per_cell() {
+        let lat = PerovskiteLattice::build(4, 1, 1, |kx, _, _| {
+            Vec3::new(0.05 * kx as f64, 0.0, 0.0)
+        });
+        let field = lat.displacement_field();
+        for kx in 0..4 {
+            let u = field[lat.cell_idx(kx, 0, 0)];
+            assert!((u.x - 0.05 * kx as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn centrosymmetric_cell_has_zero_u() {
+        let lat = PerovskiteLattice::uniform(2, 2, 2, Vec3::ZERO);
+        for u in lat.displacement_field() {
+            assert!(u.norm() < 1e-12);
+        }
+    }
+}

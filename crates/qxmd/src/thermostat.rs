@@ -1,0 +1,133 @@
+//! Thermostats: Berendsen velocity rescaling and Langevin dynamics.
+//!
+//! QXMD prepares thermal states (e.g. the 300 K skyrmion superlattice of
+//! the Fig. 3 workflow) before the NVE photo-response runs.
+
+use crate::atoms::{AtomsSystem, KB_EV, MASS_TIME_UNIT};
+use mlmd_numerics::rng::Rng64;
+use mlmd_numerics::vec3::Vec3;
+
+/// Berendsen weak-coupling thermostat: velocities are rescaled toward the
+/// target temperature with time constant `tau` (fs).
+#[derive(Clone, Copy, Debug)]
+pub struct Berendsen {
+    pub t_target: f64,
+    pub tau: f64,
+}
+
+impl Berendsen {
+    pub fn new(t_target: f64, tau: f64) -> Self {
+        assert!(t_target >= 0.0 && tau > 0.0);
+        Self { t_target, tau }
+    }
+
+    /// Apply after each MD step of size `dt`.
+    pub fn apply(&self, sys: &mut AtomsSystem, dt: f64) {
+        let t_now = sys.temperature();
+        if t_now <= 0.0 {
+            return;
+        }
+        let lambda = (1.0 + dt / self.tau * (self.t_target / t_now - 1.0)).max(0.0).sqrt();
+        for v in &mut sys.velocities {
+            *v *= lambda;
+        }
+    }
+}
+
+/// Langevin (stochastic) thermostat: friction + matched random kicks,
+/// applied as an operator-split impulse after the deterministic step.
+#[derive(Clone, Copy, Debug)]
+pub struct Langevin {
+    pub t_target: f64,
+    /// Friction coefficient (1/fs).
+    pub gamma: f64,
+}
+
+impl Langevin {
+    pub fn new(t_target: f64, gamma: f64) -> Self {
+        assert!(t_target >= 0.0 && gamma > 0.0);
+        Self { t_target, gamma }
+    }
+
+    /// Ornstein–Uhlenbeck velocity update over `dt`:
+    /// `v ← c₁ v + c₂ ξ` with `c₁ = e^{−γΔt}`,
+    /// `c₂ = √((1−c₁²)·kT/m')` per component.
+    pub fn apply(&self, sys: &mut AtomsSystem, dt: f64, rng: &mut impl Rng64) {
+        let c1 = (-self.gamma * dt).exp();
+        for i in 0..sys.len() {
+            let m_eff = sys.species[i].mass() * MASS_TIME_UNIT;
+            let c2 = ((1.0 - c1 * c1) * KB_EV * self.t_target / m_eff).sqrt();
+            let xi = Vec3::new(rng.next_normal(), rng.next_normal(), rng.next_normal());
+            sys.velocities[i] = sys.velocities[i] * c1 + xi * c2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atoms::Species;
+    use mlmd_numerics::rng::Xoshiro256;
+
+    fn gas(n: usize) -> AtomsSystem {
+        AtomsSystem::new(vec![Species::O; n], vec![Vec3::ZERO; n], Vec3::splat(100.0))
+    }
+
+    #[test]
+    fn berendsen_heats_cold_system() {
+        let mut sys = gas(200);
+        let mut rng = Xoshiro256::new(1);
+        sys.thermalize(100.0, &mut rng);
+        let thermo = Berendsen::new(300.0, 10.0);
+        for _ in 0..2000 {
+            thermo.apply(&mut sys, 0.5);
+        }
+        let t = sys.temperature();
+        assert!((t - 300.0).abs() < 15.0, "T = {t}");
+    }
+
+    #[test]
+    fn berendsen_cools_hot_system() {
+        let mut sys = gas(200);
+        let mut rng = Xoshiro256::new(2);
+        sys.thermalize(900.0, &mut rng);
+        let thermo = Berendsen::new(300.0, 5.0);
+        for _ in 0..2000 {
+            thermo.apply(&mut sys, 0.5);
+        }
+        assert!((sys.temperature() - 300.0).abs() < 15.0);
+    }
+
+    #[test]
+    fn langevin_equilibrates_to_target() {
+        let mut sys = gas(300);
+        let mut rng = Xoshiro256::new(3);
+        let thermo = Langevin::new(400.0, 0.05);
+        // Start cold (v = 0) and let the OU process equilibrate.
+        let mut t_avg = 0.0;
+        let n_samples = 600;
+        for step in 0..3000 {
+            thermo.apply(&mut sys, 0.5, &mut rng);
+            if step >= 3000 - n_samples {
+                t_avg += sys.temperature();
+            }
+        }
+        t_avg /= n_samples as f64;
+        assert!((t_avg - 400.0).abs() < 30.0, "T_avg = {t_avg}");
+    }
+
+    #[test]
+    fn langevin_fluctuates_but_berendsen_is_deterministic() {
+        let mut a = gas(50);
+        let mut b = a.clone();
+        let mut rng = Xoshiro256::new(4);
+        a.thermalize(300.0, &mut rng);
+        b.velocities = a.velocities.clone();
+        let ber = Berendsen::new(300.0, 10.0);
+        ber.apply(&mut a, 0.5);
+        ber.apply(&mut b, 0.5);
+        for (va, vb) in a.velocities.iter().zip(&b.velocities) {
+            assert_eq!(va, vb);
+        }
+    }
+}

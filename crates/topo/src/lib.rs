@@ -1,0 +1,25 @@
+//! # mlmd-topo — Topological analysis of polar textures
+//!
+//! The "topotronics" layer of MLMD (paper Secs. III, VI.A): polar
+//! skyrmions and their superlattices in PbTiO3, their integer topological
+//! charge, and the order parameters used to detect light-induced
+//! switching (Fig. 3).
+//!
+//! * [`polarization`] — the per-cell polarization (Ti off-centering)
+//!   field and its summary statistics.
+//! * [`superlattice`] — texture generators: uniform domains, Néel
+//!   skyrmions, skyrmion superlattices, vortex arrays, 180° stripe
+//!   domains.
+//! * [`charge`] — lattice topological charge by the Berg–Lüscher signed
+//!   spherical-triangle construction (integer-quantized for smooth
+//!   textures, the "topological protection" of Sec. VI.A).
+//! * [`switching`] — before/after metrics for photo-switching runs.
+
+pub mod charge;
+pub mod polarization;
+pub mod superlattice;
+pub mod switching;
+
+pub use charge::topological_charge_slice;
+pub use polarization::PolarizationField;
+pub use superlattice::Texture;

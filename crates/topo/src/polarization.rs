@@ -1,0 +1,144 @@
+//! The polarization order-parameter field.
+//!
+//! A 3-D lattice of per-cell polarization vectors (Ti off-centering in Å;
+//! multiply by the Born charge and divide by the cell volume for C/m² if
+//! absolute units are needed — topology only cares about direction).
+
+use mlmd_numerics::vec3::Vec3;
+
+/// Per-cell polarization vectors on an (nx, ny, nz) cell lattice,
+/// x-fastest storage.
+#[derive(Clone, Debug)]
+pub struct PolarizationField {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    pub u: Vec<Vec3>,
+}
+
+impl PolarizationField {
+    pub fn new(nx: usize, ny: usize, nz: usize, u: Vec<Vec3>) -> Self {
+        assert_eq!(u.len(), nx * ny * nz);
+        Self { nx, ny, nz, u }
+    }
+
+    /// Build from a generator.
+    pub fn from_fn(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        mut f: impl FnMut(usize, usize, usize) -> Vec3,
+    ) -> Self {
+        let mut u = Vec::with_capacity(nx * ny * nz);
+        for kz in 0..nz {
+            for ky in 0..ny {
+                for kx in 0..nx {
+                    u.push(f(kx, ky, kz));
+                }
+            }
+        }
+        Self { nx, ny, nz, u }
+    }
+
+    #[inline]
+    pub fn idx(&self, kx: usize, ky: usize, kz: usize) -> usize {
+        kx + self.nx * (ky + self.ny * kz)
+    }
+
+    #[inline]
+    pub fn at(&self, kx: usize, ky: usize, kz: usize) -> Vec3 {
+        self.u[self.idx(kx, ky, kz)]
+    }
+
+    pub fn len(&self) -> usize {
+        self.u.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.u.is_empty()
+    }
+
+    /// Mean polarization vector.
+    pub fn mean(&self) -> Vec3 {
+        if self.u.is_empty() {
+            return Vec3::ZERO;
+        }
+        self.u.iter().copied().sum::<Vec3>() / self.u.len() as f64
+    }
+
+    /// Mean |u| (polar order magnitude regardless of direction).
+    pub fn mean_magnitude(&self) -> f64 {
+        if self.u.is_empty() {
+            return 0.0;
+        }
+        self.u.iter().map(|v| v.norm()).sum::<f64>() / self.u.len() as f64
+    }
+
+    /// Fraction of cells with u_z > 0 ("up-domain fraction").
+    pub fn up_fraction(&self) -> f64 {
+        if self.u.is_empty() {
+            return 0.0;
+        }
+        self.u.iter().filter(|v| v.z > 0.0).count() as f64 / self.u.len() as f64
+    }
+
+    /// One z-slice as unit direction vectors (skyrmion analysis input).
+    /// Cells with |u| < `floor` are mapped to +ẑ (paraelectric → neutral).
+    pub fn unit_slice(&self, kz: usize, floor: f64) -> Vec<Vec3> {
+        assert!(kz < self.nz);
+        let mut out = Vec::with_capacity(self.nx * self.ny);
+        for ky in 0..self.ny {
+            for kx in 0..self.nx {
+                let v = self.at(kx, ky, kz);
+                if v.norm() < floor {
+                    out.push(Vec3::EZ);
+                } else {
+                    out.push(v.normalized());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_layout() {
+        let f = PolarizationField::from_fn(3, 2, 2, |x, y, z| {
+            Vec3::new(x as f64, y as f64, z as f64)
+        });
+        assert_eq!(f.at(2, 1, 1), Vec3::new(2.0, 1.0, 1.0));
+        assert_eq!(f.len(), 12);
+    }
+
+    #[test]
+    fn mean_and_up_fraction() {
+        let f = PolarizationField::from_fn(2, 2, 1, |x, _, _| {
+            if x == 0 {
+                Vec3::new(0.0, 0.0, 0.3)
+            } else {
+                Vec3::new(0.0, 0.0, -0.3)
+            }
+        });
+        assert!((f.mean().z).abs() < 1e-15);
+        assert!((f.up_fraction() - 0.5).abs() < 1e-15);
+        assert!((f.mean_magnitude() - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unit_slice_floors_paraelectric_cells() {
+        let f = PolarizationField::from_fn(2, 1, 1, |x, _, _| {
+            if x == 0 {
+                Vec3::new(0.0, 0.0, 1e-6)
+            } else {
+                Vec3::new(0.4, 0.0, 0.0)
+            }
+        });
+        let s = f.unit_slice(0, 1e-3);
+        assert_eq!(s[0], Vec3::EZ);
+        assert!((s[1] - Vec3::EX).norm() < 1e-12);
+    }
+}

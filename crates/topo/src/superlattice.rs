@@ -1,0 +1,175 @@
+//! Polar texture generators: skyrmions, superlattices, vortices, stripes.
+//!
+//! Textures are continuous direction fields `n̂(x, y)` (cell coordinates);
+//! multiply by a displacement amplitude to get the Ti off-centering field
+//! a [`mlmd_qxmd::perovskite::PerovskiteLattice`] is built with — the
+//! paper's workflow "first prepare a complex polar topology, i.e. a
+//! superlattice of skyrmions, using GS-NNQMD" (Sec. VI.A).
+
+use mlmd_numerics::vec3::Vec3;
+
+/// A 2-D polar texture (uniform along z).
+#[derive(Clone, Debug)]
+pub enum Texture {
+    /// Uniform polarization along +z.
+    Uniform,
+    /// One Néel skyrmion: core down at (cx, cy), radius r.
+    Skyrmion { cx: f64, cy: f64, r: f64 },
+    /// An sx × sy array of skyrmions on a box of (lx, ly) cells.
+    SkyrmionLattice {
+        sx: usize,
+        sy: usize,
+        lx: f64,
+        ly: f64,
+        r: f64,
+    },
+    /// In-plane vortex centred at (cx, cy).
+    Vortex { cx: f64, cy: f64 },
+    /// 180° stripe domains of the given period (cells) along x.
+    Stripes { period: f64 },
+}
+
+impl Texture {
+    pub fn skyrmion(cx: f64, cy: f64, r: f64) -> Self {
+        Texture::Skyrmion { cx, cy, r }
+    }
+
+    pub fn skyrmion_lattice(sx: usize, sy: usize, lx: f64, ly: f64, r: f64) -> Self {
+        Texture::SkyrmionLattice { sx, sy, lx, ly, r }
+    }
+
+    /// Unit direction at cell coordinates (x, y).
+    pub fn direction(&self, x: f64, y: f64) -> Vec3 {
+        match *self {
+            Texture::Uniform => Vec3::EZ,
+            Texture::Skyrmion { cx, cy, r } => skyrmion_dir(x - cx, y - cy, r),
+            Texture::SkyrmionLattice { sx, sy, lx, ly, r } => {
+                // Each skyrmion sits at the center of its tile.
+                let tx = lx / sx as f64;
+                let ty = ly / sy as f64;
+                let ix = ((x / tx).floor() as isize).clamp(0, sx as isize - 1);
+                let iy = ((y / ty).floor() as isize).clamp(0, sy as isize - 1);
+                let cx = (ix as f64 + 0.5) * tx;
+                let cy = (iy as f64 + 0.5) * ty;
+                skyrmion_dir(x - cx, y - cy, r)
+            }
+            Texture::Vortex { cx, cy } => {
+                let (dx, dy) = (x - cx, y - cy);
+                let rho = (dx * dx + dy * dy).sqrt();
+                if rho < 1e-9 {
+                    Vec3::EZ
+                } else {
+                    // In-plane circulation with a small z-cap at the core.
+                    let cap = (-rho / 2.0).exp();
+                    Vec3::new(-dy / rho * (1.0 - cap), dx / rho * (1.0 - cap), cap)
+                        .normalized()
+                }
+            }
+            Texture::Stripes { period } => {
+                let phase = (x / period) * std::f64::consts::PI;
+                // Néel-rotating stripes (smooth walls).
+                Vec3::new(phase.sin() * 0.3, 0.0, phase.cos()).normalized()
+            }
+        }
+    }
+
+    /// Displacement field for a perovskite builder: `u = u0 · n̂`.
+    pub fn displacement(&self, u0: f64) -> impl Fn(usize, usize, usize) -> Vec3 + '_ {
+        move |kx, ky, _kz| self.direction(kx as f64 + 0.5, ky as f64 + 0.5) * u0
+    }
+}
+
+/// Néel skyrmion profile: polarization down at the core, up outside,
+/// radial in-plane component in between. θ(ρ) = π·(1 − ρ/r) for ρ < r.
+fn skyrmion_dir(dx: f64, dy: f64, r: f64) -> Vec3 {
+    let rho = (dx * dx + dy * dy).sqrt();
+    if rho >= r {
+        return Vec3::EZ;
+    }
+    let theta = std::f64::consts::PI * (1.0 - rho / r);
+    if rho < 1e-9 {
+        return -Vec3::EZ;
+    }
+    let (ex, ey) = (dx / rho, dy / rho);
+    Vec3::new(theta.sin() * ex, theta.sin() * ey, theta.cos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skyrmion_core_down_edge_up() {
+        let t = Texture::skyrmion(10.0, 10.0, 5.0);
+        assert!((t.direction(10.0, 10.0) + Vec3::EZ).norm() < 1e-9);
+        assert_eq!(t.direction(0.0, 0.0), Vec3::EZ);
+        // Mid-radius: mostly in-plane.
+        let mid = t.direction(12.5, 10.0);
+        assert!(mid.z.abs() < 0.1, "mid-radius should be in-plane: {mid:?}");
+        assert!((mid.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skyrmion_is_radial_neel() {
+        let t = Texture::skyrmion(0.0, 0.0, 4.0);
+        // In-plane component points along ±r̂ (Néel, not Bloch).
+        let d = t.direction(2.0, 0.0);
+        assert!(d.y.abs() < 1e-12);
+        assert!(d.x.abs() > 0.1);
+    }
+
+    #[test]
+    fn lattice_tiles_contain_one_skyrmion_each() {
+        let t = Texture::skyrmion_lattice(2, 2, 40.0, 40.0, 6.0);
+        // Tile centers: (10,10), (30,10), (10,30), (30,30).
+        for (cx, cy) in [(10.0, 10.0), (30.0, 10.0), (10.0, 30.0), (30.0, 30.0)] {
+            assert!((t.direction(cx, cy) + Vec3::EZ).norm() < 1e-9);
+        }
+        // Tile corners: up.
+        assert_eq!(t.direction(0.5, 0.5), Vec3::EZ);
+        assert_eq!(t.direction(20.0, 20.0), Vec3::EZ);
+    }
+
+    #[test]
+    fn vortex_circulates() {
+        let t = Texture::Vortex { cx: 5.0, cy: 5.0 };
+        let right = t.direction(8.0, 5.0);
+        let top = t.direction(5.0, 8.0);
+        // 90° rotation between the two probe points.
+        assert!(right.y > 0.5);
+        assert!(top.x < -0.5);
+    }
+
+    #[test]
+    fn stripes_alternate() {
+        let t = Texture::Stripes { period: 8.0 };
+        let a = t.direction(0.0, 0.0);
+        let b = t.direction(8.0, 0.0);
+        assert!(a.z > 0.9);
+        assert!(b.z < -0.9, "half a period flips the domain: {b:?}");
+    }
+
+    #[test]
+    fn displacement_scales() {
+        let t = Texture::Uniform;
+        let f = t.displacement(0.3);
+        assert!((f(3, 4, 5) - Vec3::new(0.0, 0.0, 0.3)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn all_directions_unit() {
+        for t in [
+            Texture::Uniform,
+            Texture::skyrmion(6.0, 6.0, 4.0),
+            Texture::Vortex { cx: 6.0, cy: 6.0 },
+            Texture::Stripes { period: 5.0 },
+        ] {
+            for i in 0..12 {
+                for j in 0..12 {
+                    let d = t.direction(i as f64, j as f64);
+                    assert!((d.norm() - 1.0).abs() < 1e-9, "{t:?} at ({i},{j})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Switching metrics: did the light pulse change the topology?
+//!
+//! The Fig. 3 experiment compares the polar texture before and after
+//! photoexcitation. The observables: total topological charge per layer,
+//! polar order magnitude, and the switching verdict.
+
+use crate::charge::topological_charge_slice;
+use crate::polarization::PolarizationField;
+
+/// Summary of one texture snapshot.
+#[derive(Clone, Debug)]
+pub struct TextureReport {
+    /// Topological charge per z-layer.
+    pub layer_charges: Vec<f64>,
+    /// Total charge (sum over layers) / number of layers.
+    pub mean_charge: f64,
+    /// Mean |u| (polar order).
+    pub polar_order: f64,
+    /// Up-domain fraction.
+    pub up_fraction: f64,
+}
+
+impl TextureReport {
+    pub fn analyze(field: &PolarizationField) -> Self {
+        let layer_charges: Vec<f64> = (0..field.nz)
+            .map(|kz| topological_charge_slice(field, kz))
+            .collect();
+        let mean_charge = if layer_charges.is_empty() {
+            0.0
+        } else {
+            layer_charges.iter().sum::<f64>() / layer_charges.len() as f64
+        };
+        Self {
+            layer_charges,
+            mean_charge,
+            polar_order: field.mean_magnitude(),
+            up_fraction: field.up_fraction(),
+        }
+    }
+}
+
+/// The before/after verdict of a photo-switching run.
+#[derive(Clone, Debug)]
+pub struct SwitchingVerdict {
+    pub before: TextureReport,
+    pub after: TextureReport,
+    /// |ΔQ| ≥ 0.5 in any layer counts as a topological switch.
+    pub topology_switched: bool,
+    /// Relative loss of polar order.
+    pub order_suppression: f64,
+}
+
+/// Compare two snapshots.
+pub fn compare(before: &PolarizationField, after: &PolarizationField) -> SwitchingVerdict {
+    let b = TextureReport::analyze(before);
+    let a = TextureReport::analyze(after);
+    let topology_switched = b
+        .layer_charges
+        .iter()
+        .zip(&a.layer_charges)
+        .any(|(qb, qa)| (qb - qa).abs() >= 0.5);
+    let order_suppression = if b.polar_order > 0.0 {
+        1.0 - a.polar_order / b.polar_order
+    } else {
+        0.0
+    };
+    SwitchingVerdict {
+        before: b,
+        after: a,
+        topology_switched,
+        order_suppression,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::superlattice::Texture;
+    use mlmd_numerics::vec3::Vec3;
+
+    fn textured_field(tex: &Texture, n: usize, u0: f64) -> PolarizationField {
+        PolarizationField::from_fn(n, n, 2, |x, y, _| {
+            tex.direction(x as f64 + 0.5, y as f64 + 0.5) * u0
+        })
+    }
+
+    #[test]
+    fn skyrmion_report_counts_charge() {
+        let tex = Texture::skyrmion(8.0, 8.0, 5.0);
+        let f = textured_field(&tex, 16, 0.3);
+        let r = TextureReport::analyze(&f);
+        assert_eq!(r.layer_charges.len(), 2);
+        for q in &r.layer_charges {
+            assert!((q.abs() - 1.0).abs() < 1e-6, "layer charge {q}");
+        }
+        assert!((r.polar_order - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erasure_is_detected_as_switching() {
+        let tex = Texture::skyrmion(8.0, 8.0, 5.0);
+        let before = textured_field(&tex, 16, 0.3);
+        let after = textured_field(&Texture::Uniform, 16, 0.3);
+        let v = compare(&before, &after);
+        assert!(v.topology_switched, "skyrmion erasure must be a switch");
+        assert!(v.order_suppression.abs() < 1e-9, "order unchanged");
+    }
+
+    #[test]
+    fn pure_suppression_without_topology_change() {
+        let before = textured_field(&Texture::Uniform, 8, 0.3);
+        let mut after = before.clone();
+        for u in &mut after.u {
+            *u = *u * 0.5;
+        }
+        let v = compare(&before, &after);
+        assert!(!v.topology_switched);
+        assert!((v.order_suppression - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paraelectric_after_state() {
+        let tex = Texture::skyrmion(8.0, 8.0, 5.0);
+        let before = textured_field(&tex, 16, 0.3);
+        let after = PolarizationField::from_fn(16, 16, 2, |_, _, _| Vec3::ZERO);
+        let v = compare(&before, &after);
+        assert!(v.topology_switched);
+        assert!((v.order_suppression - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests: topological-charge quantization and invariances —
+//! the "topological protection" the paper's devices rely on.
+
+use mlmd_numerics::vec3::Vec3;
+use mlmd_topo::charge::{quantized_charge, solid_angle, topological_charge};
+use mlmd_topo::superlattice::Texture;
+use proptest::prelude::*;
+
+fn skyrmion_field(n: usize, cx: f64, cy: f64, r: f64) -> Vec<Vec3> {
+    let tex = Texture::skyrmion(cx, cy, r);
+    (0..n * n)
+        .map(|i| tex.direction((i % n) as f64, (i / n) as f64))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn charge_is_integer_for_any_skyrmion_placement(
+        cx in 8.0f64..16.0, cy in 8.0f64..16.0, r in 4.0f64..7.0
+    ) {
+        let n = 24;
+        let field = skyrmion_field(n, cx, cy, r);
+        let (q, resid) = quantized_charge(&field, n, n);
+        prop_assert_eq!(q.abs(), 1, "|Q| = 1 anywhere in the box");
+        prop_assert!(resid < 1e-5, "integer quantization, residual {}", resid);
+    }
+
+    #[test]
+    fn charge_invariant_under_global_xy_rotation(theta in 0.0f64..6.28) {
+        // Rotating every vector in-plane is a global O(3) action: Q fixed.
+        let n = 20;
+        let field = skyrmion_field(n, 10.0, 10.0, 6.0);
+        let rotated: Vec<Vec3> = field
+            .iter()
+            .map(|v| {
+                Vec3::new(
+                    v.x * theta.cos() - v.y * theta.sin(),
+                    v.x * theta.sin() + v.y * theta.cos(),
+                    v.z,
+                )
+            })
+            .collect();
+        let q0 = topological_charge(&field, n, n);
+        let q1 = topological_charge(&rotated, n, n);
+        prop_assert!((q0 - q1).abs() < 1e-8);
+    }
+
+    #[test]
+    fn charge_flips_sign_under_z_mirror(r in 4.0f64..7.0) {
+        let n = 20;
+        let field = skyrmion_field(n, 10.0, 10.0, r);
+        let mirrored: Vec<Vec3> = field.iter().map(|v| Vec3::new(v.x, v.y, -v.z)).collect();
+        let q0 = topological_charge(&field, n, n);
+        let q1 = topological_charge(&mirrored, n, n);
+        prop_assert!((q0 + q1).abs() < 1e-8, "mirror must negate Q: {} vs {}", q0, q1);
+    }
+
+    #[test]
+    fn charge_invariant_under_lattice_translation(dx in 0usize..19, dy in 0usize..19) {
+        // Periodic lattice translation is a relabeling: Q exactly fixed.
+        let n = 20;
+        let field = skyrmion_field(n, 10.0, 10.0, 6.0);
+        let translated: Vec<Vec3> = (0..n * n)
+            .map(|i| {
+                let (x, y) = (i % n, i / n);
+                field[((x + dx) % n) + n * ((y + dy) % n)]
+            })
+            .collect();
+        let q0 = topological_charge(&field, n, n);
+        let q1 = topological_charge(&translated, n, n);
+        prop_assert!((q0 - q1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solid_angle_is_antisymmetric(
+        seed in 0u64..1000
+    ) {
+        use mlmd_numerics::rng::{Rng64, SplitMix64};
+        let mut rng = SplitMix64::new(seed);
+        let mut unit = || {
+            Vec3::new(
+                rng.normal(0.0, 1.0),
+                rng.normal(0.0, 1.0),
+                rng.normal(0.0, 1.0),
+            )
+            .normalized()
+        };
+        let (a, b, c) = (unit(), unit(), unit());
+        let fwd = solid_angle(a, b, c);
+        let rev = solid_angle(a, c, b);
+        prop_assert!((fwd + rev).abs() < 1e-10);
+        // Cyclic permutations agree.
+        prop_assert!((fwd - solid_angle(b, c, a)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn uniform_tilted_field_has_zero_charge(
+        tx in -0.8f64..0.8, ty in -0.8f64..0.8
+    ) {
+        let n = 16;
+        let v = Vec3::new(tx, ty, 1.0).normalized();
+        let field = vec![v; n * n];
+        prop_assert!(topological_charge(&field, n, n).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,61 @@
+//! Fig. 3 reproduction: photo-switching of a ferroelectric skyrmion
+//! *superlattice* in PbTiO3.
+//!
+//! A 2×2 array of polar skyrmions (|Q| = 4 per layer) is prepared with
+//! the ground-state force field, pumped by a femtosecond pulse through
+//! DC-MESH, and evolved on the excitation-reshaped (XS) landscape. The
+//! run prints the layer-resolved topological charges before and after —
+//! the light erases the superlattice, the dark control preserves it.
+//!
+//! ```sh
+//! cargo run --release --example photoswitch_superlattice
+//! ```
+
+use mlmd::core::config::PipelineConfig;
+use mlmd::core::pipeline::Pipeline;
+use mlmd::topo::switching::TextureReport;
+
+fn run_once(pulse_e0: f64) {
+    let mut config = PipelineConfig::superlattice_demo();
+    config.pulse_e0 = pulse_e0;
+    let label = if pulse_e0 > 0.0 { "PUMPED" } else { "DARK CONTROL" };
+    println!("=== {label}: E0 = {pulse_e0} a.u. ===");
+    let mut pipeline = Pipeline::new(config);
+    let before = TextureReport::analyze(&pipeline.polarization());
+    println!(
+        "before: layer charges {:?}  polar order {:.3} Å",
+        before
+            .layer_charges
+            .iter()
+            .map(|q| format!("{q:+.2}"))
+            .collect::<Vec<_>>(),
+        before.polar_order
+    );
+    let outcome = pipeline.run();
+    println!(
+        "pulse:  peak excitation {:.4} -> cell fraction {:.3} (critical: 0.09)",
+        outcome.n_exc_peak, outcome.excitation_fraction
+    );
+    println!(
+        "after:  layer charges {:?}  polar order {:.3} Å",
+        outcome
+            .verdict
+            .after
+            .layer_charges
+            .iter()
+            .map(|q| format!("{q:+.2}"))
+            .collect::<Vec<_>>(),
+        outcome.verdict.after.polar_order
+    );
+    println!(
+        "verdict: switched = {}  (order suppression {:.1}%)\n",
+        outcome.verdict.topology_switched,
+        100.0 * outcome.verdict.order_suppression
+    );
+}
+
+fn main() {
+    println!("Photo-switching of a PbTiO3 skyrmion superlattice (paper Fig. 3)\n");
+    run_once(0.1);
+    run_once(0.0);
+}

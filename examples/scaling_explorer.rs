@@ -1,0 +1,71 @@
+//! Explore the simulated-Aurora performance model: prints the Table I/II
+//! comparisons and the Fig. 4/5 scaling series, then a custom sweep.
+//!
+//! ```sh
+//! cargo run --release --example scaling_explorer
+//! ```
+
+use mlmd::exasim::dcmesh_model::{DcMeshModel, GemmPrecision};
+use mlmd::exasim::nnqmd_model::NnqmdModel;
+use mlmd::exasim::scaling::{self, sweeps};
+use mlmd::exasim::sota;
+
+fn main() {
+    let dcmesh = DcMeshModel::paper_config();
+    let nnqmd = NnqmdModel::paper_config();
+
+    println!("=== Time-to-solution headlines ===");
+    let ours = sota::table_i_this_work(&dcmesh);
+    println!(
+        "DC-MESH : {:.3e} s/(electron·QD step) on {:.2e} electrons ({:.0}x over SOTA)",
+        ours.t2s,
+        ours.electrons,
+        sota::table_i_speedup(&dcmesh)
+    );
+    let ours2 = sota::table_ii_this_work(&nnqmd);
+    println!(
+        "XS-NNQMD: {:.3e} s/(atom·weight·step) ({:.0}x over SOTA)",
+        ours2.t2s,
+        sota::table_ii_speedup(&nnqmd)
+    );
+
+    println!("\n=== Precision ladder (Table IV shape) ===");
+    for (label, prec) in [
+        ("FP64", GemmPrecision::Fp64),
+        ("FP32", GemmPrecision::Fp32),
+        ("FP32/BF16", GemmPrecision::Fp32Bf16),
+    ] {
+        let mut m = dcmesh;
+        m.precision = prec;
+        println!("  {label:<10} QD step: {:.3} s", m.qd_step_time());
+    }
+
+    println!("\n=== Fig. 4a: DC-MESH weak scaling (128 e/rank) ===");
+    for p in scaling::dcmesh_weak(&dcmesh, 128.0, &sweeps::DCMESH_WEAK) {
+        println!(
+            "  {:>7} ranks  {:>10.3e} electrons  {:>8.1} s  eff {:.3}",
+            p.ranks, p.size, p.time, p.efficiency
+        );
+    }
+    println!("\n=== Fig. 4b: DC-MESH strong scaling (12.58M electrons) ===");
+    for p in scaling::dcmesh_strong(&dcmesh, 12_582_912.0, &sweeps::DCMESH_STRONG) {
+        println!("  {:>7} ranks  {:>8.1} s  eff {:.3}", p.ranks, p.time, p.efficiency);
+    }
+    println!("\n=== Fig. 5a: XS-NNQMD weak scaling (10.24M atoms/rank) ===");
+    for p in scaling::nnqmd_weak(&nnqmd, 10_240_000.0, &sweeps::NNQMD_WEAK) {
+        println!("  {:>7} ranks  {:>8.1} s  eff {:.3}", p.ranks, p.time, p.efficiency);
+    }
+    println!("\n=== Fig. 5b: XS-NNQMD strong scaling (984M atoms) ===");
+    for p in scaling::nnqmd_strong(&nnqmd, 984_000_000.0, &sweeps::NNQMD_STRONG) {
+        println!("  {:>7} ranks  {:>8.1} s  eff {:.3}", p.ranks, p.time, p.efficiency);
+    }
+
+    println!("\n=== Custom sweep: trillion-atom frontier ===");
+    for atoms in [1e11, 1.2288e12, 1e13] {
+        let t = nnqmd.md_step_time(120_000, atoms / 120_000.0);
+        println!(
+            "  {atoms:>10.3e} atoms on 120,000 ranks: {t:>10.1} s/MD step ({:.3e} s/(atom·w·step))",
+            nnqmd.t2s(120_000, atoms)
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Integration: divide-and-conquer SCF across domains, through the facade.
+
+use mlmd::dcmesh::domain::{DomainDecomposition, DomainSpec};
+use mlmd::dcmesh::scf::DcScf;
+use mlmd::lfd::potential::AtomSite;
+use mlmd::numerics::grid::Grid3;
+use mlmd::numerics::vec3::Vec3;
+
+#[test]
+fn two_domain_scf_converges_and_conserves_electrons() {
+    let global = Grid3::new(12, 12, 12, 0.6);
+    let dd = DomainDecomposition::new(DomainSpec {
+        global,
+        n_dom: (2, 1, 1),
+        buffer: 3,
+    });
+    assert_eq!(dd.len(), 2);
+    let atoms = vec![
+        AtomSite {
+            pos: Vec3::new(1.8, 3.6, 3.6),
+            z_eff: 3.0,
+            sigma: 0.9,
+        },
+        AtomSite {
+            pos: Vec3::new(5.4, 3.6, 3.6),
+            z_eff: 3.0,
+            sigma: 0.9,
+        },
+    ];
+    let mut scf = DcScf::new(dd, 2, 2.0, atoms, 7);
+    let history = scf.converge(1e-4, 60);
+    let last = history.last().unwrap();
+    assert!(last.delta < 2e-3, "SCF must converge: delta {}", last.delta);
+    assert!(
+        last.band_energy < history[0].band_energy,
+        "band energy must drop"
+    );
+    let n: f64 = scf.global_density().iter().sum::<f64>() * global.dv();
+    assert!((n - 4.0).abs() < 1e-6, "electron count {n}");
+}
+
+#[test]
+fn eight_domain_decomposition_has_paper_overlap() {
+    let dd = DomainDecomposition::new(DomainSpec {
+        global: Grid3::new(16, 16, 16, 0.5),
+        n_dom: (2, 2, 2),
+        buffer: 4,
+    });
+    // Buffer = core/2 → the paper's (1 + 2·½)³ = 8× overlap factor.
+    assert!((dd.overlap_factor() - 8.0).abs() < 1e-12);
+}

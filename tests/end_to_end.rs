@@ -1,0 +1,51 @@
+//! End-to-end integration: the full MLMD pipeline (Fig. 3 workflow)
+//! through the public facade.
+
+use mlmd::core::config::PipelineConfig;
+use mlmd::core::pipeline::Pipeline;
+
+#[test]
+fn photoswitching_pipeline_erases_skyrmion() {
+    let mut pipeline = Pipeline::new(PipelineConfig::small_demo());
+    let outcome = pipeline.run();
+    assert!(
+        outcome.initial_topological_charge.abs() > 0.5,
+        "prepared texture must carry charge"
+    );
+    assert!(outcome.n_exc_peak > 0.05, "pulse must excite");
+    assert!(
+        outcome.verdict.topology_switched,
+        "Q {} -> {}",
+        outcome.initial_topological_charge,
+        outcome.final_topological_charge
+    );
+    assert!(outcome.verdict.order_suppression > 0.3);
+}
+
+#[test]
+fn dark_control_preserves_skyrmion() {
+    let mut config = PipelineConfig::small_demo();
+    config.pulse_e0 = 0.0;
+    let mut pipeline = Pipeline::new(config);
+    let outcome = pipeline.run();
+    assert!(!outcome.verdict.topology_switched);
+    assert!(
+        (outcome.final_topological_charge - outcome.initial_topological_charge).abs() < 0.3,
+        "dark charge drift: {} -> {}",
+        outcome.initial_topological_charge,
+        outcome.final_topological_charge
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let run = || {
+        let mut p = Pipeline::new(PipelineConfig::small_demo());
+        let o = p.run();
+        (o.n_exc_peak, o.final_topological_charge)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "n_exc must be bit-reproducible");
+    assert_eq!(a.1, b.1, "final charge must be bit-reproducible");
+}

@@ -1,0 +1,67 @@
+//! Integration: the XS-NNQMD training → mixing → MD stack through the
+//! facade, plus parallel-force consistency over simulated MPI.
+
+use mlmd::nnqmd::gen::{generate, GenConfig};
+use mlmd::nnqmd::md::parallel_forces;
+use mlmd::nnqmd::mix::XsGsModel;
+use mlmd::nnqmd::model::{AllegroLite, ModelConfig};
+use mlmd::nnqmd::train::{force_rmse, SamConfig, Trainer};
+use mlmd::parallel::comm::World;
+use mlmd::qxmd::perovskite::PerovskiteLattice;
+use mlmd::numerics::vec3::Vec3;
+
+fn cfg() -> ModelConfig {
+    ModelConfig {
+        hidden: 8,
+        k_max: 5,
+        rcut: 4.0,
+    }
+}
+
+#[test]
+fn trained_model_beats_untrained_on_forces() {
+    let data = generate(GenConfig {
+        cells: (2, 2, 2),
+        n_frames: 8,
+        seed: 3,
+        ..Default::default()
+    });
+    let (train, val) = data.split(0.75);
+    let mut model = AllegroLite::new(cfg(), 5);
+    let before = force_rmse(&model, &val);
+    let mut trainer = Trainer::new(&model, 1e-2, Some(SamConfig { rho: 1e-3 }));
+    trainer.fit(&mut model, &train, 40);
+    let after = force_rmse(&model, &val);
+    assert!(after < before, "training must help: {before} -> {after}");
+}
+
+#[test]
+fn gs_xs_mixing_interpolates_energies() {
+    let gs = AllegroLite::new(cfg(), 1);
+    let xs = AllegroLite::new(cfg(), 2);
+    let lat = PerovskiteLattice::uniform(2, 2, 2, Vec3::new(0.0, 0.0, 0.2));
+    let sys = &lat.system;
+    let e_gs = gs.evaluate(&sys.species, &sys.positions, sys.box_lengths).energy;
+    let e_xs = xs.evaluate(&sys.species, &sys.positions, sys.box_lengths).energy;
+    let mut mixed = XsGsModel::new(gs, xs, 0.05);
+    mixed.set_excitation(0.025 * sys.species.len() as f64, sys.species.len());
+    let (e_mid, _) = mixed.evaluate(&sys.species, &sys.positions, sys.box_lengths);
+    assert!((e_mid - 0.5 * (e_gs + e_xs)).abs() < 1e-9);
+}
+
+#[test]
+fn parallel_forces_agree_with_serial_across_rank_counts() {
+    let model = AllegroLite::new(cfg(), 9);
+    let lat = PerovskiteLattice::uniform(2, 2, 2, Vec3::new(0.05, 0.0, 0.15));
+    let sys = lat.system;
+    let serial = model.evaluate(&sys.species, &sys.positions, sys.box_lengths);
+    for ranks in [2usize, 3, 5] {
+        let out = World::run(ranks, |comm| parallel_forces(&comm, &model, &sys));
+        for (energy, forces) in out {
+            assert!((energy - serial.energy).abs() < 1e-8, "{ranks} ranks");
+            for (a, b) in forces.iter().zip(&serial.forces) {
+                assert!((*a - *b).norm() < 1e-8);
+            }
+        }
+    }
+}

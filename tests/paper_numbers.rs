@@ -1,0 +1,122 @@
+//! Integration: the headline numbers of the paper's evaluation, pinned to
+//! tolerance bands (see EXPERIMENTS.md for the paper-vs-measured ledger).
+
+use mlmd::exasim::dcmesh_model::DcMeshModel;
+use mlmd::exasim::nnqmd_model::NnqmdModel;
+use mlmd::exasim::scaling::{self, sweeps};
+use mlmd::exasim::sota;
+
+#[test]
+fn abstract_headline_claims() {
+    // "152- and 3,780-times faster than the state-of-the-art".
+    let dcmesh = DcMeshModel::paper_config();
+    let nnqmd = NnqmdModel::paper_config();
+    let s1 = sota::table_i_speedup(&dcmesh);
+    let s2 = sota::table_ii_speedup(&nnqmd);
+    assert!((100.0..250.0).contains(&s1), "ME speedup {s1} (paper 152)");
+    assert!((3000.0..4500.0).contains(&s2), "XS speedup {s2} (paper 3780)");
+    // "achieving 1.87 EFLOP/s for the former".
+    let flops = dcmesh.sustained_flops(10_000);
+    assert!((1.0e18..3.0e18).contains(&flops), "{flops:e} (paper 1.873e18)");
+}
+
+#[test]
+fn performance_attributes_table() {
+    // T2S: 1.11e-7 s/(electron·step) and 1.88e-15 s/(atom·weight·step).
+    let dcmesh = DcMeshModel::paper_config();
+    let t2s_me = dcmesh.t2s(120_000);
+    assert!((0.6e-7..2.0e-7).contains(&t2s_me), "{t2s_me:e}");
+    let nnqmd = NnqmdModel::paper_config();
+    let t2s_xs = nnqmd.t2s(120_000, 1.2288e12);
+    assert!((1.5e-15..2.5e-15).contains(&t2s_xs), "{t2s_xs:e}");
+    // Weak-scaling efficiencies: ~1.0 (DC-MESH) and 0.997 (XS-NNQMD).
+    let w1 = scaling::dcmesh_weak(&dcmesh, 128.0, &sweeps::DCMESH_WEAK)
+        .last()
+        .unwrap()
+        .efficiency;
+    assert!(w1 > 0.93, "DC-MESH weak {w1}");
+    let w2 = scaling::nnqmd_weak(&nnqmd, 10_240_000.0, &sweeps::NNQMD_WEAK)
+        .last()
+        .unwrap()
+        .efficiency;
+    assert!(w2 > 0.99, "XS-NNQMD weak {w2}");
+}
+
+#[test]
+fn figure_4b_and_5b_strong_scaling() {
+    let dcmesh = DcMeshModel::paper_config();
+    let eff = scaling::dcmesh_strong(&dcmesh, 12_582_912.0, &sweeps::DCMESH_STRONG)
+        .last()
+        .unwrap()
+        .efficiency;
+    assert!((0.75..0.95).contains(&eff), "Fig 4b: {eff} (paper 0.843)");
+    let nnqmd = NnqmdModel::paper_config();
+    let big = scaling::nnqmd_strong(&nnqmd, 984_000_000.0, &sweeps::NNQMD_STRONG)
+        .last()
+        .unwrap()
+        .efficiency;
+    let small = scaling::nnqmd_strong(&nnqmd, 221_400_000.0, &sweeps::NNQMD_STRONG)
+        .last()
+        .unwrap()
+        .efficiency;
+    assert!(big > small, "Fig 5b ordering");
+}
+
+#[test]
+fn table_iii_ladder_shape_on_host() {
+    // The measured ladder on this machine: every tier at least as fast as
+    // baseline, parallel tier strictly faster.
+    use mlmd::numerics::grid::Grid3;
+    // Wall-clock comparison: retry a few times so contention from other
+    // tests running concurrently cannot fail a correct implementation.
+    let mut best_parallel: f64 = 0.0;
+    let mut best_reorder: f64 = 0.0;
+    for _ in 0..4 {
+        let rows = mlmd_bench_ladder(Grid3::new(32, 32, 32, 0.5), 16, 3);
+        best_parallel = best_parallel.max(rows[3].1);
+        best_reorder = best_reorder.max(rows[1].1);
+        if best_parallel > 1.2 && best_reorder > 0.8 {
+            break;
+        }
+    }
+    // Wall-clock claims are only meaningful on optimized builds; debug
+    // builds still exercise the code path (correctness of all four tiers
+    // is asserted separately in mlmd-lfd's unit and property tests).
+    if cfg!(debug_assertions) {
+        assert!(best_parallel > 0.0);
+        return;
+    }
+    assert!(
+        best_parallel > 1.2,
+        "parallel must beat baseline, got {best_parallel}x"
+    );
+    assert!(best_reorder > 0.8, "reordering must not regress badly");
+}
+
+// Minimal local re-implementation to avoid a dev-dependency cycle on
+// mlmd-bench: measure the kin_prop ladder.
+fn mlmd_bench_ladder(
+    grid: mlmd::numerics::grid::Grid3,
+    norb: usize,
+    steps: usize,
+) -> Vec<(f64, f64)> {
+    use mlmd::lfd::kin_prop::{KinImpl, KinProp};
+    use mlmd::lfd::wavefunction::WaveFunctions;
+    use mlmd::numerics::flops::FlopCounter;
+    use mlmd::numerics::vec3::Vec3;
+    let kp = KinProp::new(grid);
+    let flops = FlopCounter::new();
+    let mut rows = Vec::new();
+    let mut baseline = 0.0;
+    for imp in KinImpl::ALL {
+        let mut wf = WaveFunctions::random(grid, norb, 1);
+        let start = std::time::Instant::now();
+        kp.propagate_n(imp, &mut wf, 0.01, Vec3::ZERO, steps, &flops);
+        let secs = start.elapsed().as_secs_f64();
+        if imp == KinImpl::Baseline {
+            baseline = secs;
+        }
+        rows.push((secs, baseline / secs));
+    }
+    rows
+}
