@@ -23,7 +23,15 @@ fn bench_hotspots(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("cgemm1_overlap", |b| {
         let mut s = Matrix::<c64>::zeros(norb, norb);
-        b.iter(|| overlap(c64::one(), &wf0.psi, &wf.psi, c64::zero(), black_box(&mut s)));
+        b.iter(|| {
+            overlap(
+                c64::one(),
+                &wf0.psi,
+                &wf.psi,
+                c64::zero(),
+                black_box(&mut s),
+            )
+        });
     });
     group.bench_function("cgemm2_rank_update", |b| {
         let s = Matrix::<c64>::eye(norb);
@@ -39,7 +47,14 @@ fn bench_hotspots(c: &mut Criterion) {
         let kp = KinProp::new(grid);
         let mut t = wf.clone();
         b.iter(|| {
-            kp.propagate_n(KinImpl::Parallel, black_box(&mut t), 0.01, Vec3::ZERO, 1, &flops)
+            kp.propagate_n(
+                KinImpl::Parallel,
+                black_box(&mut t),
+                0.01,
+                Vec3::ZERO,
+                1,
+                &flops,
+            )
         });
     });
     group.finish();

@@ -16,9 +16,7 @@ fn bench_scaling(c: &mut Criterion) {
         b.iter(|| scaling::dcmesh_weak(black_box(&dcmesh), 128.0, &sweeps::DCMESH_WEAK));
     });
     group.bench_function("fig4b_strong", |b| {
-        b.iter(|| {
-            scaling::dcmesh_strong(black_box(&dcmesh), 12_582_912.0, &sweeps::DCMESH_STRONG)
-        });
+        b.iter(|| scaling::dcmesh_strong(black_box(&dcmesh), 12_582_912.0, &sweeps::DCMESH_STRONG));
     });
     group.bench_function("fig5a_weak", |b| {
         b.iter(|| scaling::nnqmd_weak(black_box(&nnqmd), 10_240_000.0, &sweeps::NNQMD_WEAK));

@@ -30,9 +30,8 @@ pub fn probe(n: usize) -> HostPeaks {
     for _ in 0..reps {
         gemm_parallel(1.0, &a64, &b64, 0.0, &mut c64m);
     }
-    let dgemm = reps as f64 * gemm_flops::<f64>(n, n, n) as f64
-        / start.elapsed().as_secs_f64()
-        / 1e9;
+    let dgemm =
+        reps as f64 * gemm_flops::<f64>(n, n, n) as f64 / start.elapsed().as_secs_f64() / 1e9;
     let a32 = Matrix::from_fn(n, n, |i, j| a64[(i, j)] as f32);
     let b32 = Matrix::from_fn(n, n, |i, j| b64[(i, j)] as f32);
     let mut c32m = Matrix::<f32>::zeros(n, n);
@@ -41,9 +40,8 @@ pub fn probe(n: usize) -> HostPeaks {
     for _ in 0..reps {
         gemm_parallel(1.0f32, &a32, &b32, 0.0, &mut c32m);
     }
-    let sgemm = reps as f64 * gemm_flops::<f32>(n, n, n) as f64
-        / start.elapsed().as_secs_f64()
-        / 1e9;
+    let sgemm =
+        reps as f64 * gemm_flops::<f32>(n, n, n) as f64 / start.elapsed().as_secs_f64() / 1e9;
     HostPeaks {
         dgemm_gflops: dgemm,
         sgemm_gflops: sgemm,

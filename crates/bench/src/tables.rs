@@ -79,12 +79,20 @@ pub fn table2() -> String {
     let model = NnqmdModel::paper_config();
     let mut s = String::new();
     let _ = writeln!(s, "Table II: State-of-the-art XS-NNQMD simulations");
-    let _ = writeln!(s, "{:<24} {:<22} {:>16}", "Work", "Machine", "T2S [s/(atom·w·step)]");
+    let _ = writeln!(
+        s,
+        "{:<24} {:<22} {:>16}",
+        "Work", "Machine", "T2S [s/(atom·w·step)]"
+    );
     for r in sota::table_ii_sota() {
         let _ = writeln!(s, "{:<24} {:<22} {:>16.3e}", r.work, r.machine, r.t2s);
     }
     let ours = sota::table_ii_this_work(&model);
-    let _ = writeln!(s, "{:<24} {:<22} {:>16.3e}", ours.work, ours.machine, ours.t2s);
+    let _ = writeln!(
+        s,
+        "{:<24} {:<22} {:>16.3e}",
+        ours.work, ours.machine, ours.t2s
+    );
     let _ = writeln!(
         s,
         "\nSpeedup over SOTA: {:.0}x   [paper: 3,780x]",
@@ -144,7 +152,11 @@ pub fn table3() -> String {
         "Table III: kin_prop() local time-propagator ladder ({}x{}x{} mesh, {} orbitals, {} steps)",
         grid.nx, grid.ny, grid.nz, norb, steps
     );
-    let _ = writeln!(s, "{:<38} {:>12} {:>10}", "Implementation", "Runtime (s)", "Speedup");
+    let _ = writeln!(
+        s,
+        "{:<38} {:>12} {:>10}",
+        "Implementation", "Runtime (s)", "Speedup"
+    );
     let paper = [
         ("Baseline (paper, CPU)", 8.655, 1.0),
         ("Data & loop re-ordering (paper)", 2.356, 3.67),
@@ -160,7 +172,10 @@ pub fn table3() -> String {
             row.speedup
         );
     }
-    let _ = writeln!(s, "\nPaper reference (Polaris, 70x70x72, 64 orbitals, 1000 steps):");
+    let _ = writeln!(
+        s,
+        "\nPaper reference (Polaris, 70x70x72, 64 orbitals, 1000 steps):"
+    );
     for (name, secs, sp) in paper {
         let _ = writeln!(s, "{name:<38} {secs:>12.3} {sp:>9.2}x");
     }
@@ -241,10 +256,7 @@ pub fn table4() -> String {
         s,
         "\nPaper reference (single PVC tile, 1024 orbitals): FP32 14.98 TF/s (65.2%),"
     );
-    let _ = writeln!(
-        s,
-        "FP32/BF16 17.95 TF/s (78.0%), FP64 7.69 TF/s (33.4%)."
-    );
+    let _ = writeln!(s, "FP32/BF16 17.95 TF/s (78.0%), FP64 7.69 TF/s (33.4%).");
     let _ = writeln!(
         s,
         "Notes: the FP64-vs-FP32 throughput gap on PVC comes from power throttling"
@@ -277,7 +289,10 @@ fn pvc_projection(prec: NlpPrecision) -> String {
     };
     let f = model.qd_step_flops();
     let t = model.qd_step_time();
-    format!("{:.2}", (f.kin + f.nlp + f.obs + f.ortho + f.local) / t / 1e12)
+    format!(
+        "{:.2}",
+        (f.kin + f.nlp + f.obs + f.ortho + f.local) / t / 1e12
+    )
 }
 
 // ---------------------------------------------------------------- Table V
@@ -363,7 +378,10 @@ fn time(f: impl FnOnce()) -> f64 {
 pub fn fig4() -> String {
     let model = DcMeshModel::paper_config();
     let mut s = String::new();
-    let _ = writeln!(s, "Fig. 4a: DC-MESH weak scaling (wall-clock per MD step, s)");
+    let _ = writeln!(
+        s,
+        "Fig. 4a: DC-MESH weak scaling (wall-clock per MD step, s)"
+    );
     for granularity in [32.0, 128.0] {
         let _ = writeln!(s, "  granularity {granularity} electrons/rank:");
         let _ = writeln!(
@@ -379,11 +397,22 @@ pub fn fig4() -> String {
             );
         }
     }
-    let _ = writeln!(s, "  [paper: efficiency 1.0 at 120,000 ranks, 15.36M electrons]");
+    let _ = writeln!(
+        s,
+        "  [paper: efficiency 1.0 at 120,000 ranks, 15.36M electrons]"
+    );
     let _ = writeln!(s, "\nFig. 4b: DC-MESH strong scaling, 12,582,912 electrons");
-    let _ = writeln!(s, "  {:>10} {:>14} {:>12}", "ranks", "time (s)", "efficiency");
+    let _ = writeln!(
+        s,
+        "  {:>10} {:>14} {:>12}",
+        "ranks", "time (s)", "efficiency"
+    );
     for p in scaling::dcmesh_strong(&model, 12_582_912.0, &sweeps::DCMESH_STRONG) {
-        let _ = writeln!(s, "  {:>10} {:>14.1} {:>12.3}", p.ranks, p.time, p.efficiency);
+        let _ = writeln!(
+            s,
+            "  {:>10} {:>14.1} {:>12.3}",
+            p.ranks, p.time, p.efficiency
+        );
     }
     let _ = writeln!(s, "  [paper: efficiency 0.843 at 98,304 ranks]");
     s
@@ -395,20 +424,43 @@ pub fn fig4() -> String {
 pub fn fig5() -> String {
     let model = NnqmdModel::paper_config();
     let mut s = String::new();
-    let _ = writeln!(s, "Fig. 5a: XS-NNQMD weak scaling (wall-clock per MD step, s)");
-    for (g, paper) in [(160_000.0, 0.957), (640_000.0, 0.964), (10_240_000.0, 0.997)] {
+    let _ = writeln!(
+        s,
+        "Fig. 5a: XS-NNQMD weak scaling (wall-clock per MD step, s)"
+    );
+    for (g, paper) in [
+        (160_000.0, 0.957),
+        (640_000.0, 0.964),
+        (10_240_000.0, 0.997),
+    ] {
         let _ = writeln!(s, "  granularity {g} atoms/rank [paper eff: {paper}]:");
-        let _ = writeln!(s, "  {:>10} {:>14} {:>12}", "ranks", "time (s)", "efficiency");
+        let _ = writeln!(
+            s,
+            "  {:>10} {:>14} {:>12}",
+            "ranks", "time (s)", "efficiency"
+        );
         for p in scaling::nnqmd_weak(&model, g, &sweeps::NNQMD_WEAK) {
-            let _ = writeln!(s, "  {:>10} {:>14.2} {:>12.3}", p.ranks, p.time, p.efficiency);
+            let _ = writeln!(
+                s,
+                "  {:>10} {:>14.2} {:>12.3}",
+                p.ranks, p.time, p.efficiency
+            );
         }
     }
     let _ = writeln!(s, "\nFig. 5b: XS-NNQMD strong scaling");
     for (n, paper) in [(221_400_000.0, 0.440), (984_000_000.0, 0.773)] {
         let _ = writeln!(s, "  {n:.3e} atoms [paper eff at 73,800 ranks: {paper}]:");
-        let _ = writeln!(s, "  {:>10} {:>14} {:>12}", "ranks", "time (s)", "efficiency");
+        let _ = writeln!(
+            s,
+            "  {:>10} {:>14} {:>12}",
+            "ranks", "time (s)", "efficiency"
+        );
         for p in scaling::nnqmd_strong(&model, n, &sweeps::NNQMD_STRONG) {
-            let _ = writeln!(s, "  {:>10} {:>14.2} {:>12.3}", p.ranks, p.time, p.efficiency);
+            let _ = writeln!(
+                s,
+                "  {:>10} {:>14.2} {:>12.3}",
+                p.ranks, p.time, p.efficiency
+            );
         }
     }
     s
@@ -420,8 +472,15 @@ pub fn fig5() -> String {
 pub fn fidelity() -> String {
     let sizes: Vec<f64> = (0..6).map(|i| 1e4 * 8f64.powi(i)).collect();
     let mut s = String::new();
-    let _ = writeln!(s, "Fidelity scaling: time-to-failure vs system size (ref [27])");
-    let _ = writeln!(s, "{:>12} {:>18} {:>18}", "atoms", "Allegro t_fail", "Legato t_fail");
+    let _ = writeln!(
+        s,
+        "Fidelity scaling: time-to-failure vs system size (ref [27])"
+    );
+    let _ = writeln!(
+        s,
+        "{:>12} {:>18} {:>18}",
+        "atoms", "Allegro t_fail", "Legato t_fail"
+    );
     let plain = FidelityScalingModel::allegro();
     let legato = FidelityScalingModel::allegro_legato();
     let tp = plain.mean_t_failure(&sizes, 4000, 1);

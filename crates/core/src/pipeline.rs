@@ -90,7 +90,12 @@ impl Pipeline {
     /// Current polarization field of the supercell.
     pub fn polarization(&self) -> PolarizationField {
         let (nx, ny, nz) = self.config.cells;
-        PolarizationField::new(nx, ny, nz, self.ferro.displacement_field(&self.lattice.system))
+        PolarizationField::new(
+            nx,
+            ny,
+            nz,
+            self.ferro.displacement_field(&self.lattice.system),
+        )
     }
 
     /// Stage 1: GS relaxation/thermalization of the texture.
@@ -169,10 +174,7 @@ impl Pipeline {
         } else {
             let mut dark = self.build_mesh_driver(0.0);
             let dark_records = dark.run(cfg.mesh_steps);
-            let peak_dark = dark_records
-                .iter()
-                .map(|r| r.n_exc)
-                .fold(0.0f64, f64::max);
+            let peak_dark = dark_records.iter().map(|r| r.n_exc).fold(0.0f64, f64::max);
             (peak_lit - peak_dark).max(0.0)
         };
         (records, delta)
@@ -262,8 +264,7 @@ mod tests {
         assert!(
             out.verdict.topology_switched,
             "strong pulse must erase the skyrmion: Q {} → {}",
-            out.initial_topological_charge,
-            out.final_topological_charge
+            out.initial_topological_charge, out.final_topological_charge
         );
         assert!(
             out.verdict.order_suppression > 0.3,
@@ -281,8 +282,7 @@ mod tests {
         assert!(
             !out.verdict.topology_switched,
             "no pulse, no switch: Q {} → {}",
-            out.initial_topological_charge,
-            out.final_topological_charge
+            out.initial_topological_charge, out.final_topological_charge
         );
         assert!(out.excitation_fraction < 0.05);
     }

@@ -227,7 +227,10 @@ mod tests {
         let d = &dd.domains[1];
         let local = d.restrict(&g, &field);
         let hits = local.iter().filter(|&&v| v == 1.0).count();
-        assert_eq!(hits, 1, "global corner must appear exactly once in the buffered view");
+        assert_eq!(
+            hits, 1,
+            "global corner must appear exactly once in the buffered view"
+        );
     }
 
     #[test]

@@ -203,11 +203,9 @@ impl MeshDriver {
         let pulse = self.pulse;
         let pol = self.polarization_axis;
         let psi_before = self.shadow.download_wavefunctions_unmetered();
-        let (_, inner) = self.shadow.run_md_step(
-            move |t| pol * pulse.field(t),
-            t0_au,
-            cfg.ehrenfest,
-        );
+        let (_, inner) =
+            self.shadow
+                .run_md_step(move |t| pol * pulse.field(t), t0_au, cfg.ehrenfest);
         let psi_after = self.shadow.download_wavefunctions_unmetered();
         // --- 2. excitation measurement ---
         let n_exc = self.excitation_projection(&psi_after);

@@ -43,7 +43,12 @@ pub fn apply_h(grid: &Grid3, vloc: &[f64], psi: &[c64]) -> Vec<c64> {
     laplacian(grid, &re, &mut lre, Order::Second);
     laplacian(grid, &im, &mut lim, Order::Second);
     (0..n)
-        .map(|i| c64::new(-0.5 * lre[i] + vloc[i] * re[i], -0.5 * lim[i] + vloc[i] * im[i]))
+        .map(|i| {
+            c64::new(
+                -0.5 * lre[i] + vloc[i] * re[i],
+                -0.5 * lim[i] + vloc[i] * im[i],
+            )
+        })
         .collect()
 }
 
@@ -91,13 +96,7 @@ pub fn subspace_rotate(grid: &Grid3, vloc: &[f64], wf: &mut WaveFunctions) -> Ve
 
 /// A few steps of damped steepest descent on the band energies:
 /// `ψ ← ortho(ψ − η (Ĥ − ε_s) ψ)`.
-pub fn refine_orbitals(
-    grid: &Grid3,
-    vloc: &[f64],
-    wf: &mut WaveFunctions,
-    eta: f64,
-    steps: usize,
-) {
+pub fn refine_orbitals(grid: &Grid3, vloc: &[f64], wf: &mut WaveFunctions, eta: f64, steps: usize) {
     let dv = grid.dv();
     for _ in 0..steps {
         for s in 0..wf.norb {
@@ -332,10 +331,7 @@ mod tests {
         assert!(history.len() >= 3, "needs several iterations");
         let first = history[0].band_energy;
         let last = history.last().unwrap().band_energy;
-        assert!(
-            last < first,
-            "band energy must decrease: {first} → {last}"
-        );
+        assert!(last < first, "band energy must decrease: {first} → {last}");
         assert!(
             history.last().unwrap().delta < 1e-3,
             "must converge, final delta {}",

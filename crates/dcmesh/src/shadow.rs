@@ -147,8 +147,7 @@ impl ShadowDomain {
     /// hopping; the new f_s are part of the next step's device inputs but
     /// are O(Norb) — accounted as an upload).
     pub fn set_occupations(&mut self, f: &[f64]) {
-        self.ledger
-            .record_h2d(std::mem::size_of_val(f) as u64);
+        self.ledger.record_h2d(std::mem::size_of_val(f) as u64);
         self.occupations = Occupations::new(f.to_vec());
     }
 
@@ -277,6 +276,9 @@ mod tests {
         let a1 = dom.a;
         dom.run_md_step(|_| Vec3::new(0.05, 0.0, 0.0), 0.5, cfg);
         let a2 = dom.a;
-        assert!(a2.x.abs() > a1.x.abs(), "A keeps integrating: {a1:?} → {a2:?}");
+        assert!(
+            a2.x.abs() > a1.x.abs(),
+            "A keeps integrating: {a1:?} → {a2:?}"
+        );
     }
 }

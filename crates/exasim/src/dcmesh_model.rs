@@ -103,8 +103,7 @@ impl DcMeshModel {
         let stream_bytes = 6.0 * 16.0 * self.ngrid as f64 * self.norb as f64;
         f.kin / self.kin_rate()
             + (f.nlp + f.obs + f.ortho) / self.nlp_rate()
-            + (f.local / (0.05 * self.machine.tile_fp32))
-                .max(stream_bytes / self.machine.hbm_bw)
+            + (f.local / (0.05 * self.machine.tile_fp32)).max(stream_bytes / self.machine.hbm_bw)
     }
 
     /// Per-MD-step overhead that does not scale with rank count's share

@@ -73,7 +73,11 @@ pub fn dcmesh_strong(
 }
 
 /// Weak scaling of XS-NNQMD (Fig. 5a): fixed atoms/rank.
-pub fn nnqmd_weak(model: &NnqmdModel, atoms_per_rank: f64, rank_sweep: &[usize]) -> Vec<ScalePoint> {
+pub fn nnqmd_weak(
+    model: &NnqmdModel,
+    atoms_per_rank: f64,
+    rank_sweep: &[usize],
+) -> Vec<ScalePoint> {
     assert!(!rank_sweep.is_empty());
     let mut out = Vec::with_capacity(rank_sweep.len());
     let mut t0 = 0.0;
@@ -140,7 +144,10 @@ mod tests {
             "weak efficiency {} must stay ≈1",
             last.efficiency
         );
-        assert!((last.size - 15_360_000.0).abs() < 1.0, "largest run = 15.36M electrons");
+        assert!(
+            (last.size - 15_360_000.0).abs() < 1.0,
+            "largest run = 15.36M electrons"
+        );
     }
 
     #[test]
@@ -206,7 +213,10 @@ mod tests {
             .efficiency;
         assert!(big > small, "984M ({big}) must beat 221.4M ({small})");
         assert!((0.55..0.95).contains(&big), "big-problem eff {big} ≈ 0.773");
-        assert!((0.25..0.65).contains(&small), "small-problem eff {small} ≈ 0.440");
+        assert!(
+            (0.25..0.65).contains(&small),
+            "small-problem eff {small} ≈ 0.440"
+        );
     }
 
     #[test]

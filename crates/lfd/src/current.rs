@@ -59,11 +59,7 @@ pub fn macroscopic_current(wf: &WaveFunctions, occ: &Occupations, a: Vec3) -> Cu
                     let gx = (col[grid.idx(ip, j, k)] - col[grid.idx(im, j, k)]).scale(inv_2h);
                     let gy = (col[grid.idx(i, jp, k)] - col[grid.idx(i, jm, k)]).scale(inv_2h);
                     let gz = (col[grid.idx(i, j, kp)] - col[grid.idx(i, j, km)]).scale(inv_2h);
-                    acc += Vec3::new(
-                        im_conj_mul(z, gx),
-                        im_conj_mul(z, gy),
-                        im_conj_mul(z, gz),
-                    );
+                    acc += Vec3::new(im_conj_mul(z, gx), im_conj_mul(z, gy), im_conj_mul(z, gz));
                     norm += z.norm_sqr();
                 }
             }

@@ -241,12 +241,7 @@ fn prolong_add(coarse: &Grid3, fine: &Grid3, e: &[f64], v: &mut [f64]) {
 /// Richardson / heavy-ball iteration on the FD residual.
 ///
 /// Returns (V, iterations used).
-pub fn solve_dsa(
-    grid: &Grid3,
-    rho: &[f64],
-    tol: f64,
-    max_iters: usize,
-) -> (Vec<f64>, usize) {
+pub fn solve_dsa(grid: &Grid3, rho: &[f64], tol: f64, max_iters: usize) -> (Vec<f64>, usize) {
     assert_eq!(rho.len(), grid.len());
     let mut f: Vec<f64> = rho.iter().map(|&r| FOUR_PI * r).collect();
     subtract_mean(&mut f);
@@ -304,7 +299,10 @@ mod tests {
     }
 
     fn max_err(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -313,7 +311,10 @@ mod tests {
         let (rho, v_exact) = cosine_source(&grid);
         let v = solve_fft(&grid, &rho);
         let scale = v_exact.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
-        assert!(max_err(&v, &v_exact) / scale < 1e-10, "spectral must be exact for a single mode");
+        assert!(
+            max_err(&v, &v_exact) / scale < 1e-10,
+            "spectral must be exact for a single mode"
+        );
     }
 
     #[test]
@@ -323,7 +324,10 @@ mod tests {
         let mg = Multigrid::new(grid);
         assert!(mg.depth() >= 2);
         let (v, cycles) = mg.solve(&rho, 1e-8, 40);
-        assert!(cycles < 40, "multigrid should converge well before 40 cycles");
+        assert!(
+            cycles < 40,
+            "multigrid should converge well before 40 cycles"
+        );
         assert!(residual_rms(&grid, &v, &rho) < 1e-6);
     }
 
@@ -373,7 +377,8 @@ mod tests {
             for j in 0..grid.ny {
                 for i in 0..grid.nx {
                     let (x, y, z) = grid.position(i, j, k);
-                    let d2 = (x - lx / 2.0).powi(2) + (y - ly / 2.0).powi(2) + (z - lz / 2.0).powi(2);
+                    let d2 =
+                        (x - lx / 2.0).powi(2) + (y - ly / 2.0).powi(2) + (z - lz / 2.0).powi(2);
                     rho[grid.idx(i, j, k)] = (-d2 / 0.8).exp();
                 }
             }
@@ -382,7 +387,10 @@ mod tests {
         let mut rho_p = rho.clone();
         subtract_mean(&mut rho_p);
         let e = hartree_energy(&grid, &rho_p, &v);
-        assert!(e > 0.0, "self-energy of a localized charge is positive, got {e}");
+        assert!(
+            e > 0.0,
+            "self-energy of a localized charge is positive, got {e}"
+        );
     }
 
     #[test]

@@ -380,7 +380,14 @@ mod tests {
         let kp = KinProp::new(g);
         let reference = {
             let mut wf = WaveFunctions::random(g, 5, 42);
-            kp.propagate_n(KinImpl::Baseline, &mut wf, 0.01, Vec3::new(0.2, 0.0, -0.1), 3, &counter());
+            kp.propagate_n(
+                KinImpl::Baseline,
+                &mut wf,
+                0.01,
+                Vec3::new(0.2, 0.0, -0.1),
+                3,
+                &counter(),
+            );
             wf
         };
         for imp in [KinImpl::Reordered, KinImpl::Blocked, KinImpl::Parallel] {
@@ -441,8 +448,9 @@ mod tests {
         // Candidate energies along each axis (grid is cubic, all equal).
         let e_expect = kp.fd_dispersion(Vec3::new(kmin, 0.0, 0.0), Vec3::ZERO);
         let phase_expect = -(e_expect * t);
-        let wrap = |x: f64| (x + std::f64::consts::PI).rem_euclid(2.0 * std::f64::consts::PI)
-            - std::f64::consts::PI;
+        let wrap = |x: f64| {
+            (x + std::f64::consts::PI).rem_euclid(2.0 * std::f64::consts::PI) - std::f64::consts::PI
+        };
         assert!(
             wrap(phase - phase_expect).abs() < 2e-3,
             "phase {phase} vs expected {phase_expect}"

@@ -332,10 +332,7 @@ mod tests {
     fn flop_count_matches_table_v_shapes() {
         let (_, nlp) = setup();
         let (m, n) = (10 * 8 * 6, 6);
-        assert_eq!(
-            nlp.flop_count(),
-            8 * (n * n * m + m * n * n) as u64
-        );
+        assert_eq!(nlp.flop_count(), 8 * (n * n * m + m * n * n) as u64);
     }
 
     #[test]

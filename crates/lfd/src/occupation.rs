@@ -75,10 +75,7 @@ impl Occupations {
     /// clamped so occupancies stay in [0, 2] and the total is conserved —
     /// the elementary surface-hopping update.
     pub fn transfer(&mut self, from: usize, to: usize, amount: f64) -> f64 {
-        let amount = amount
-            .min(self.f[from])
-            .min(2.0 - self.f[to])
-            .max(0.0);
+        let amount = amount.min(self.f[from]).min(2.0 - self.f[to]).max(0.0);
         self.f[from] -= amount;
         self.f[to] += amount;
         amount

@@ -63,12 +63,7 @@ pub struct LocalPotential {
 
 impl LocalPotential {
     /// Assemble from a density and atom list.
-    pub fn assemble(
-        grid: &Grid3,
-        rho: &[f64],
-        atoms: &[AtomSite],
-        solver: HartreeSolver,
-    ) -> Self {
+    pub fn assemble(grid: &Grid3, rho: &[f64], atoms: &[AtomSite], solver: HartreeSolver) -> Self {
         let v_ion = ionic_potential(grid, atoms);
         let v_h = match solver {
             HartreeSolver::Fft => hartree::solve_fft(grid, rho),
@@ -121,7 +116,10 @@ mod tests {
         let v = ionic_potential(&g, &[atom]);
         let at_atom = v[g.idx(6, 6, 6)]; // 3.0/0.5 = index 6
         let far = v[g.idx(0, 0, 0)];
-        assert!(at_atom < -3.9, "well depth ≈ −Z at the center, got {at_atom}");
+        assert!(
+            at_atom < -3.9,
+            "well depth ≈ −Z at the center, got {at_atom}"
+        );
         assert!(far > at_atom, "potential must decay away from the ion");
     }
 
@@ -144,8 +142,16 @@ mod tests {
     #[test]
     fn superposition_of_two_atoms() {
         let g = grid();
-        let a1 = AtomSite { pos: Vec3::new(1.5, 1.5, 1.5), z_eff: 1.0, sigma: 0.5 };
-        let a2 = AtomSite { pos: Vec3::new(4.0, 4.0, 4.0), z_eff: 1.0, sigma: 0.5 };
+        let a1 = AtomSite {
+            pos: Vec3::new(1.5, 1.5, 1.5),
+            z_eff: 1.0,
+            sigma: 0.5,
+        };
+        let a2 = AtomSite {
+            pos: Vec3::new(4.0, 4.0, 4.0),
+            z_eff: 1.0,
+            sigma: 0.5,
+        };
         let v1 = ionic_potential(&g, &[a1]);
         let v2 = ionic_potential(&g, &[a2]);
         let v12 = ionic_potential(&g, &[a1, a2]);
@@ -157,7 +163,11 @@ mod tests {
     #[test]
     fn assembled_potential_has_all_parts() {
         let g = grid();
-        let atoms = [AtomSite { pos: Vec3::new(3.0, 3.0, 3.0), z_eff: 2.0, sigma: 0.7 }];
+        let atoms = [AtomSite {
+            pos: Vec3::new(3.0, 3.0, 3.0),
+            z_eff: 2.0,
+            sigma: 0.7,
+        }];
         // A blob of density near the atom.
         let mut rho = vec![0.0; g.len()];
         for k in 0..g.nz {
@@ -183,8 +193,16 @@ mod tests {
     #[test]
     fn delta_v_is_the_difference() {
         let g = grid();
-        let atoms1 = [AtomSite { pos: Vec3::new(3.0, 3.0, 3.0), z_eff: 2.0, sigma: 0.7 }];
-        let atoms2 = [AtomSite { pos: Vec3::new(3.2, 3.0, 3.0), z_eff: 2.0, sigma: 0.7 }];
+        let atoms1 = [AtomSite {
+            pos: Vec3::new(3.0, 3.0, 3.0),
+            z_eff: 2.0,
+            sigma: 0.7,
+        }];
+        let atoms2 = [AtomSite {
+            pos: Vec3::new(3.2, 3.0, 3.0),
+            z_eff: 2.0,
+            sigma: 0.7,
+        }];
         let rho = vec![0.01; g.len()];
         let p1 = LocalPotential::assemble(&g, &rho, &atoms1, HartreeSolver::Fft);
         let p2 = LocalPotential::assemble(&g, &rho, &atoms2, HartreeSolver::Fft);
@@ -200,7 +218,11 @@ mod tests {
     #[test]
     fn solvers_agree_on_assembled_hartree() {
         let g = Grid3::new(8, 8, 8, 0.6);
-        let atoms = [AtomSite { pos: Vec3::new(2.0, 2.0, 2.0), z_eff: 1.0, sigma: 0.6 }];
+        let atoms = [AtomSite {
+            pos: Vec3::new(2.0, 2.0, 2.0),
+            z_eff: 1.0,
+            sigma: 0.6,
+        }];
         let mut rho = vec![0.0; g.len()];
         for k in 0..g.nz {
             for j in 0..g.ny {

@@ -70,14 +70,11 @@ impl QdStep {
         // Precompute the phase table once, reuse for all orbitals
         // (the same coefficient-reuse idea as Sec. V.B.2).
         let phases: Vec<c64> = vloc.iter().map(|&v| c64::cis(-dt * v)).collect();
-        wf.psi
-            .as_mut_slice()
-            .par_chunks_mut(ngrid)
-            .for_each(|col| {
-                for (z, p) in col.iter_mut().zip(&phases) {
-                    *z = *z * *p;
-                }
-            });
+        wf.psi.as_mut_slice().par_chunks_mut(ngrid).for_each(|col| {
+            for (z, p) in col.iter_mut().zip(&phases) {
+                *z = *z * *p;
+            }
+        });
     }
 
     /// One symmetric QD step under frozen `vloc` and uniform vector
@@ -240,8 +237,8 @@ mod tests {
         let vloc = vec![0.0; grid.len()];
         let mut wf = WaveFunctions::random(grid, 2, 2);
         qd.step(&mut wf, &vloc, Vec3::ZERO, 0.01);
-        let expected_min = qd.kin.flops_per_steps(2, 1)
-            + 2 * FLOPS_PER_VLOC_POINT * grid.len() as u64 * 2;
+        let expected_min =
+            qd.kin.flops_per_steps(2, 1) + 2 * FLOPS_PER_VLOC_POINT * grid.len() as u64 * 2;
         assert!(qd.flops.total() >= expected_min);
     }
 }

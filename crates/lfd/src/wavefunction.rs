@@ -63,7 +63,8 @@ impl WaveFunctions {
             let (i, j, k) = grid.coords(g);
             let (x, y, z) = grid.position(i, j, k);
             let (mx, my, mz) = modes[s];
-            let phase = 2.0 * std::f64::consts::PI
+            let phase = 2.0
+                * std::f64::consts::PI
                 * (mx as f64 * x / lx + my as f64 * y / ly + mz as f64 * z / lz);
             c64::cis(phase).scale(amp)
         });
@@ -149,7 +150,10 @@ fn low_modes(n: usize) -> Vec<(i32, i32, i32)> {
         }
     }
     modes.sort_by_key(|&(x, y, z)| (x * x + y * y + z * z, x, y, z));
-    assert!(modes.len() >= n, "mode search radius too small for {n} orbitals");
+    assert!(
+        modes.len() >= n,
+        "mode search radius too small for {n} orbitals"
+    );
     modes.truncate(n);
     modes
 }
@@ -179,10 +183,7 @@ mod tests {
             for b in 0..6 {
                 let o = wf.overlap(a, &wf, b);
                 let expect = if a == b { 1.0 } else { 0.0 };
-                assert!(
-                    (o - c64::real(expect)).abs() < 1e-10,
-                    "⟨{a}|{b}⟩ = {o}"
-                );
+                assert!((o - c64::real(expect)).abs() < 1e-10, "⟨{a}|{b}⟩ = {o}");
             }
         }
     }

@@ -157,9 +157,8 @@ mod tests {
                     .cells
                     .iter()
                     .map(|c| {
-                        let e: f64 =
-                            sim.field.ex[c.node0..c.node0 + c.width].iter().sum::<f64>()
-                                / c.width as f64;
+                        let e: f64 = sim.field.ex[c.node0..c.node0 + c.width].iter().sum::<f64>()
+                            / c.width as f64;
                         sigma * e
                     })
                     .collect();

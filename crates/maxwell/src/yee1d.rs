@@ -196,7 +196,13 @@ mod tests {
                 .ex
                 .iter()
                 .enumerate()
-                .map(|(i, &e)| if (100..140).contains(&i) { 0.2 * e } else { 0.0 })
+                .map(|(i, &e)| {
+                    if (100..140).contains(&i) {
+                        0.2 * e
+                    } else {
+                        0.0
+                    }
+                })
                 .collect();
             sim.step(&j, None);
         }

@@ -48,11 +48,7 @@ pub fn md_time_to_failure(
     ff.compute(sys);
     for step in 0..max_steps {
         vv.step(sys, &ff);
-        let worst = sys
-            .forces
-            .iter()
-            .map(|f| f.norm())
-            .fold(0.0f64, f64::max);
+        let worst = sys.forces.iter().map(|f| f.norm()).fold(0.0f64, f64::max);
         if !worst.is_finite() || worst > f_max {
             return step + 1;
         }
@@ -119,7 +115,9 @@ impl FidelityScalingModel {
         sizes
             .iter()
             .map(|&n| {
-                (0..samples).map(|_| self.sample_system(n, &mut rng)).sum::<f64>()
+                (0..samples)
+                    .map(|_| self.sample_system(n, &mut rng))
+                    .sum::<f64>()
                     / samples as f64
             })
             .collect()
@@ -163,7 +161,10 @@ mod tests {
     fn bigger_systems_fail_sooner_statistically() {
         let m = FidelityScalingModel::allegro();
         let t = m.mean_t_failure(&[1e4, 1e6, 1e8], 2000, 3);
-        assert!(t[0] > t[1] && t[1] > t[2], "t_failure must decrease with N: {t:?}");
+        assert!(
+            t[0] > t[1] && t[1] > t[2],
+            "t_failure must decrease with N: {t:?}"
+        );
     }
 
     #[test]
@@ -212,7 +213,10 @@ mod tests {
     fn weibull_minimum_scaling_closed_form() {
         // E[min of n] / E[single] = n^{−1/k}: check the sampler against
         // the analytic ratio.
-        let m = FidelityScalingModel { shape: 4.0, t_scale: 1000.0 };
+        let m = FidelityScalingModel {
+            shape: 4.0,
+            t_scale: 1000.0,
+        };
         let t1 = m.mean_t_failure(&[1.0], 20000, 5)[0];
         let t16 = m.mean_t_failure(&[16.0], 20000, 6)[0];
         let expect = 16f64.powf(-0.25);

@@ -164,7 +164,10 @@ mod tests {
                 "energy mismatch at {n_batches} batches"
             );
             for (a, b) in blocked.forces.iter().zip(&reference.forces) {
-                assert!((*a - *b).norm() < 1e-8, "force mismatch at {n_batches} batches");
+                assert!(
+                    (*a - *b).norm() < 1e-8,
+                    "force mismatch at {n_batches} batches"
+                );
             }
         }
     }

@@ -69,11 +69,7 @@ impl ForceField for XsGsForceField {
 /// the per-atom contributions of its atom block, forces are summed
 /// across ranks (each edge contributes from exactly one owner), and the
 /// energy is allreduced. Returns (energy, forces) replicated on all ranks.
-pub fn parallel_forces(
-    comm: &Comm,
-    model: &AllegroLite,
-    sys: &AtomsSystem,
-) -> (f64, Vec<Vec3>) {
+pub fn parallel_forces(comm: &Comm, model: &AllegroLite, sys: &AtomsSystem) -> (f64, Vec<Vec3>) {
     let n = sys.len();
     let range = partition(n, comm.size(), comm.rank());
     // Evaluate only the owned block via the per-atom path.
@@ -104,10 +100,7 @@ pub fn parallel_forces(
     }
     let energy = comm.allreduce_sum(local_energy);
     // Reduce force components.
-    let flat: Vec<f64> = local_forces
-        .iter()
-        .flat_map(|f| [f.x, f.y, f.z])
-        .collect();
+    let flat: Vec<f64> = local_forces.iter().flat_map(|f| [f.x, f.y, f.z]).collect();
     let total = comm.allreduce_sum_vec(flat);
     let forces = total
         .chunks_exact(3)

@@ -83,7 +83,13 @@ mod tests {
         let mut rng = Xoshiro256::new(3);
         let species = vec![Species::Ti, Species::O, Species::O, Species::Pb];
         let positions: Vec<Vec3> = (0..4)
-            .map(|_| Vec3::new(rng.range(4.0, 8.0), rng.range(4.0, 8.0), rng.range(4.0, 8.0)))
+            .map(|_| {
+                Vec3::new(
+                    rng.range(4.0, 8.0),
+                    rng.range(4.0, 8.0),
+                    rng.range(4.0, 8.0),
+                )
+            })
             .collect();
         (model, species, positions, Vec3::splat(12.0))
     }

@@ -223,7 +223,8 @@ impl AllegroLite {
         positions: &[Vec3],
         box_lengths: Vec3,
     ) -> EvalResult {
-        self.forward(species, positions, box_lengths, false, Some(0)).0
+        self.forward(species, positions, box_lengths, false, Some(0))
+            .0
     }
 
     fn forward(
@@ -478,7 +479,14 @@ mod tests {
     #[test]
     fn param_gradients_are_exact() {
         let (species, positions, bl) = cluster(6, 2);
-        let mut model = AllegroLite::new(ModelConfig { hidden: 6, k_max: 4, rcut: 5.2 }, 3);
+        let mut model = AllegroLite::new(
+            ModelConfig {
+                hidden: 6,
+                k_max: 4,
+                rcut: 5.2,
+            },
+            3,
+        );
         let (_, g) = model.evaluate_grad(&species, &positions, bl);
         let h = 1e-6;
         // Spot-check a spread of parameter indices.

@@ -46,7 +46,12 @@ impl Dataset {
     pub fn split(mut self, fraction: f64) -> (Dataset, Dataset) {
         let n_train = ((self.frames.len() as f64) * fraction).round() as usize;
         let val = self.frames.split_off(n_train.min(self.frames.len()));
-        (Dataset { frames: self.frames }, Dataset { frames: val })
+        (
+            Dataset {
+                frames: self.frames,
+            },
+            Dataset { frames: val },
+        )
     }
 }
 
@@ -381,8 +386,7 @@ mod tests {
         let mut plain = tiny_model(10);
         let mut legato = plain.clone();
         Trainer::new(&plain, 1e-2, None).fit(&mut plain, &data, 400);
-        Trainer::new(&legato, 1e-2, Some(SamConfig { rho: 5e-2 }))
-            .fit(&mut legato, &data, 400);
+        Trainer::new(&legato, 1e-2, Some(SamConfig { rho: 5e-2 })).fit(&mut legato, &data, 400);
         let (l_plain, _) = loss_and_grad(&plain, &data, LossConfig::default(), false);
         let (l_legato, _) = loss_and_grad(&legato, &data, LossConfig::default(), false);
         let s_plain = sharpness(&plain, &data, 5e-2) / l_plain;

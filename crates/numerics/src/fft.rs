@@ -157,8 +157,7 @@ impl Fft1d {
                     let w = match planned {
                         Some(tw) => tw[k * step],
                         None => {
-                            let theta =
-                                -2.0 * std::f64::consts::PI * (k * step) as f64 / n as f64;
+                            let theta = -2.0 * std::f64::consts::PI * (k * step) as f64 / n as f64;
                             c64::cis(theta)
                         }
                     };
@@ -310,7 +309,10 @@ mod tests {
     }
 
     fn max_diff(a: &[c64], b: &[c64]) -> f64 {
-        a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]

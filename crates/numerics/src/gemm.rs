@@ -200,7 +200,13 @@ mod tests {
 
     #[test]
     fn blocked_matches_naive_odd_shapes() {
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 31, 13), (130, 64, 70), (257, 129, 3)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 31, 13),
+            (130, 64, 70),
+            (257, 129, 3),
+        ] {
             let a = random_matrix(m, k, 1);
             let b = random_matrix(k, n, 2);
             let mut c0 = random_matrix(m, n, 3);

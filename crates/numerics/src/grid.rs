@@ -75,7 +75,15 @@ impl Grid3 {
 
     /// Periodic index of (i+di, j+dj, k+dk).
     #[inline]
-    pub fn idx_offset(&self, i: usize, j: usize, k: usize, di: isize, dj: isize, dk: isize) -> usize {
+    pub fn idx_offset(
+        &self,
+        i: usize,
+        j: usize,
+        k: usize,
+        di: isize,
+        dj: isize,
+        dk: isize,
+    ) -> usize {
         let ii = self.wrap(i as isize + di, self.nx);
         let jj = self.wrap(j as isize + dj, self.ny);
         let kk = self.wrap(k as isize + dk, self.nz);

@@ -43,12 +43,7 @@ pub fn gram_schmidt(psi: &mut Matrix<c64>) -> Vec<f64> {
     norms
 }
 
-fn columns_pair<'a>(
-    psi: &'a Matrix<c64>,
-    p: usize,
-    j: usize,
-    m: usize,
-) -> (&'a [c64], &'a [c64]) {
+fn columns_pair<'a>(psi: &'a Matrix<c64>, p: usize, j: usize, m: usize) -> (&'a [c64], &'a [c64]) {
     debug_assert!(p < j);
     let s = psi.as_slice();
     (&s[p * m..(p + 1) * m], &s[j * m..(j + 1) * m])
@@ -79,7 +74,8 @@ pub fn lowdin(psi: &mut Matrix<c64>) {
             let mut acc = c64::zero();
             for k in 0..n {
                 let lam = e.values[k].max(1e-300);
-                acc += e.vectors[(i, k)] * e.vectors[(j, k)].conj() * Complex::real(1.0 / lam.sqrt());
+                acc +=
+                    e.vectors[(i, k)] * e.vectors[(j, k)].conj() * Complex::real(1.0 / lam.sqrt());
             }
             s_inv_half[(i, j)] = acc;
         }

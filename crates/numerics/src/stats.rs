@@ -63,7 +63,11 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64, f64) {
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy > 0.0 { sxy * sxy / (sxx * syy) } else { 1.0 };
+    let r2 = if syy > 0.0 {
+        sxy * sxy / (sxx * syy)
+    } else {
+        1.0
+    };
     (slope, intercept, r2)
 }
 

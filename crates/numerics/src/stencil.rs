@@ -59,11 +59,7 @@ fn laplacian4(grid: &Grid3, f: &[f64], out: &mut [f64]) {
     let (c0, c1, c2) = (-30.0 / 12.0, 16.0 / 12.0, -1.0 / 12.0);
     let (nx, ny, nz) = (grid.nx, grid.ny, grid.nz);
     let at = |i: isize, j: isize, k: isize| -> f64 {
-        f[grid.idx(
-            grid.wrap(i, nx),
-            grid.wrap(j, ny),
-            grid.wrap(k, nz),
-        )]
+        f[grid.idx(grid.wrap(i, nx), grid.wrap(j, ny), grid.wrap(k, nz))]
     };
     for k in 0..nz as isize {
         for j in 0..ny as isize {
@@ -151,7 +147,10 @@ mod tests {
         for idx in 0..grid.len() {
             if f[idx].abs() > 0.5 {
                 let ratio = out[idx] / f[idx];
-                assert!((ratio - lam).abs() / lam.abs() < 0.02, "ratio {ratio} lam {lam}");
+                assert!(
+                    (ratio - lam).abs() / lam.abs() < 0.02,
+                    "ratio {ratio} lam {lam}"
+                );
                 checked += 1;
             }
         }

@@ -2,7 +2,9 @@
 //! polarizations, electromagnetic field components).
 
 use std::iter::Sum;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// A 3-component f64 vector.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -13,10 +15,26 @@ pub struct Vec3 {
 }
 
 impl Vec3 {
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
-    pub const EX: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
-    pub const EY: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
-    pub const EZ: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    pub const EX: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    pub const EY: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
+    pub const EZ: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     #[inline(always)]
     pub const fn new(x: f64, y: f64, z: f64) -> Self {

@@ -1,0 +1,258 @@
+//! Known-value and round-trip identities for the hot kernels every upper
+//! layer leans on: GEMM, FFT, stencils, and the eigensolver. Unlike the
+//! `properties.rs` suite these use hand-checkable inputs, so a failure
+//! points at the kernel, not at the harness.
+
+use mlmd_numerics::complex::c64;
+use mlmd_numerics::eigen::{eigh_hermitian, eigh_real, residual_hermitian};
+use mlmd_numerics::fft::{Fft1d, Fft3d};
+use mlmd_numerics::gemm::{gemm_blocked, gemm_naive, gemm_parallel};
+use mlmd_numerics::grid::Grid3;
+use mlmd_numerics::matrix::Matrix;
+use mlmd_numerics::stencil::{gradient, laplacian, Order};
+
+const TOL: f64 = 1e-12;
+
+// ---------------------------------------------------------------- gemm
+
+#[test]
+fn gemm_identity_is_a_no_op() {
+    let a = Matrix::from_fn(4, 4, |i, j| (3 * i + j) as f64);
+    let eye = Matrix::<f64>::eye(4);
+    let mut c = Matrix::<f64>::zeros(4, 4);
+    gemm_naive(1.0, &a, &eye, 0.0, &mut c);
+    assert!(c.max_abs_diff(&a) < TOL);
+    gemm_naive(1.0, &eye, &a, 0.0, &mut c);
+    assert!(c.max_abs_diff(&a) < TOL);
+}
+
+#[test]
+fn gemm_known_2x2_product() {
+    // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50], column-major storage.
+    let a = Matrix::from_vec(2, 2, vec![1.0, 3.0, 2.0, 4.0]);
+    let b = Matrix::from_vec(2, 2, vec![5.0, 7.0, 6.0, 8.0]);
+    let expect = Matrix::from_vec(2, 2, vec![19.0, 43.0, 22.0, 50.0]);
+    for gemm in [gemm_naive::<f64>, gemm_blocked::<f64>, gemm_parallel::<f64>] {
+        let mut c = Matrix::<f64>::zeros(2, 2);
+        gemm(1.0, &a, &b, 0.0, &mut c);
+        assert!(c.max_abs_diff(&expect) < TOL);
+    }
+}
+
+#[test]
+fn gemm_alpha_beta_accumulate() {
+    // C = alpha*A*B + beta*C with A = B = I: C = alpha*I + beta*C.
+    let eye = Matrix::<f64>::eye(3);
+    let mut c = Matrix::from_fn(3, 3, |i, j| if i == j { 10.0 } else { 1.0 });
+    gemm_naive(2.0, &eye, &eye, 0.5, &mut c);
+    let expect = Matrix::from_fn(3, 3, |i, j| if i == j { 7.0 } else { 0.5 });
+    assert!(c.max_abs_diff(&expect) < TOL);
+}
+
+#[test]
+fn gemm_tiers_agree_on_non_square_shapes() {
+    // Shapes straddling the blocked kernel's tile edges.
+    for &(m, k, n) in &[(1usize, 5usize, 3usize), (7, 2, 9), (33, 17, 65)] {
+        let a = Matrix::from_fn(m, k, |i, j| ((i * 31 + j * 7) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(k, n, |i, j| ((i * 17 + j * 3) % 11) as f64 - 5.0);
+        let mut c0 = Matrix::<f64>::zeros(m, n);
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        gemm_naive(1.5, &a, &b, 0.0, &mut c0);
+        gemm_blocked(1.5, &a, &b, 0.0, &mut c1);
+        gemm_parallel(1.5, &a, &b, 0.0, &mut c2);
+        assert!(
+            c0.max_abs_diff(&c1) < 1e-10,
+            "blocked differs at {m}x{k}x{n}"
+        );
+        assert!(
+            c0.max_abs_diff(&c2) < 1e-10,
+            "parallel differs at {m}x{k}x{n}"
+        );
+    }
+}
+
+// ----------------------------------------------------------------- fft
+
+#[test]
+fn fft_of_unit_impulse_is_flat() {
+    let n = 16;
+    let fft = Fft1d::new(n);
+    let mut x = vec![c64::zero(); n];
+    x[0] = c64::one();
+    fft.forward(&mut x);
+    for z in &x {
+        assert!((z.re - 1.0).abs() < TOL && z.im.abs() < TOL);
+    }
+}
+
+#[test]
+fn fft_of_constant_is_dc_spike() {
+    let n = 12; // non-power-of-two exercises the Bluestein/mixed path
+    let fft = Fft1d::new(n);
+    let mut x = vec![c64::new(2.5, 0.0); n];
+    fft.forward(&mut x);
+    assert!((x[0].re - 2.5 * n as f64).abs() < 1e-9);
+    for z in &x[1..] {
+        assert!(z.abs() < 1e-9, "non-DC bin must vanish, got {}", z.abs());
+    }
+}
+
+#[test]
+fn fft_single_mode_lands_in_single_bin() {
+    let n = 32;
+    let fft = Fft1d::new(n);
+    let k = 5;
+    let mut x: Vec<c64> = (0..n)
+        .map(|j| c64::cis(2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64))
+        .collect();
+    fft.forward(&mut x);
+    for (bin, z) in x.iter().enumerate() {
+        let expect = if bin == k { n as f64 } else { 0.0 };
+        assert!(
+            (z.abs() - expect).abs() < 1e-8,
+            "bin {bin}: |X| = {} expected {expect}",
+            z.abs()
+        );
+    }
+}
+
+#[test]
+fn fft3d_round_trip() {
+    let (nx, ny, nz) = (4, 6, 5);
+    let fft = Fft3d::new(nx, ny, nz);
+    let x: Vec<c64> = (0..nx * ny * nz)
+        .map(|i| c64::new(((i * 29) % 17) as f64 - 8.0, ((i * 13) % 7) as f64))
+        .collect();
+    let mut y = x.clone();
+    fft.forward(&mut y);
+    fft.inverse(&mut y);
+    for (a, b) in x.iter().zip(&y) {
+        assert!((*a - *b).abs() < 1e-9);
+    }
+}
+
+// ------------------------------------------------------------- stencil
+
+#[test]
+fn laplacian_of_constant_vanishes() {
+    let grid = Grid3::new(6, 5, 4, 0.7);
+    let f = vec![3.25; grid.len()];
+    for order in [Order::Second, Order::Fourth] {
+        let mut out = vec![f64::NAN; grid.len()];
+        laplacian(&grid, &f, &mut out, order);
+        for v in &out {
+            assert!(v.abs() < TOL, "{order:?}: got {v}");
+        }
+    }
+}
+
+#[test]
+fn laplacian_eigenfunction_converges_with_order() {
+    // f = cos(2*pi*x/L) is a periodic Laplacian eigenfunction with
+    // eigenvalue -k^2; the 4th-order stencil must beat the 2nd-order one.
+    let n = 24;
+    let h = 0.5;
+    let grid = Grid3::new(n, 4, 4, h);
+    let length = n as f64 * h;
+    let k = 2.0 * std::f64::consts::PI / length;
+    let mut f = vec![0.0; grid.len()];
+    for i in 0..n {
+        for j in 0..4 {
+            for l in 0..4 {
+                f[grid.idx(i, j, l)] = (k * i as f64 * h).cos();
+            }
+        }
+    }
+    let max_err = |order| {
+        let mut out = vec![0.0; grid.len()];
+        laplacian(&grid, &f, &mut out, order);
+        out.iter()
+            .zip(&f)
+            .map(|(lap, val)| (lap + k * k * val).abs())
+            .fold(0.0f64, f64::max)
+    };
+    let e2 = max_err(Order::Second);
+    let e4 = max_err(Order::Fourth);
+    assert!(e2 < 2e-2, "2nd-order error too large: {e2}");
+    assert!(e4 < e2 / 10.0, "4th order must be far closer: {e4} vs {e2}");
+}
+
+#[test]
+fn gradient_of_linear_phase_is_uniform() {
+    // f = sin(k x): df/dx = k cos(k x), df/dy = df/dz = 0.
+    let n = 32;
+    let h = 0.4;
+    let grid = Grid3::new(n, 3, 3, h);
+    let length = n as f64 * h;
+    let k = 2.0 * std::f64::consts::PI / length;
+    let mut f = vec![0.0; grid.len()];
+    for i in 0..n {
+        for j in 0..3 {
+            for l in 0..3 {
+                f[grid.idx(i, j, l)] = (k * i as f64 * h).sin();
+            }
+        }
+    }
+    let mut gx = vec![0.0; grid.len()];
+    let mut gy = vec![0.0; grid.len()];
+    let mut gz = vec![0.0; grid.len()];
+    gradient(&grid, &f, &mut gx, &mut gy, &mut gz);
+    for i in 0..n {
+        let expect = k * (k * i as f64 * h).cos();
+        let got = gx[grid.idx(i, 1, 1)];
+        assert!(
+            (got - expect).abs() < 3e-2,
+            "gx[{i}] = {got} expected {expect}"
+        );
+    }
+    for (y, z) in gy.iter().zip(&gz) {
+        assert!(y.abs() < TOL && z.abs() < TOL);
+    }
+}
+
+// --------------------------------------------------------------- eigen
+
+#[test]
+fn eigh_real_known_2x2() {
+    // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+    let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+    let e = eigh_real(&a);
+    assert!((e.values[0] - 1.0).abs() < 1e-10);
+    assert!((e.values[1] - 3.0).abs() < 1e-10);
+    // Eigenvectors are (1,-1)/sqrt(2) and (1,1)/sqrt(2) up to sign.
+    let v0 = e.vectors.col(0);
+    assert!((v0[0] + v0[1]).abs() < 1e-10, "ground vector must be odd");
+}
+
+#[test]
+fn eigh_hermitian_diagonal_passthrough() {
+    let d = [3.0, -1.0, 0.5, 7.0];
+    let h = Matrix::from_fn(4, 4, |i, j| {
+        if i == j {
+            c64::new(d[i], 0.0)
+        } else {
+            c64::zero()
+        }
+    });
+    let e = eigh_hermitian(&h);
+    let mut sorted = d;
+    sorted.sort_by(f64::total_cmp);
+    for (got, want) in e.values.iter().zip(&sorted) {
+        assert!((got - want).abs() < 1e-12);
+    }
+    assert!(residual_hermitian(&h, &e) < 1e-12);
+}
+
+#[test]
+fn eigh_hermitian_pauli_y_is_unit_pair() {
+    // sigma_y = [[0, -i], [i, 0]] has eigenvalues -1 and +1 — a genuinely
+    // complex Hermitian case (zero real part off-diagonal).
+    let mut h = Matrix::<c64>::zeros(2, 2);
+    h[(0, 1)] = c64::new(0.0, -1.0);
+    h[(1, 0)] = c64::new(0.0, 1.0);
+    let e = eigh_hermitian(&h);
+    assert!((e.values[0] + 1.0).abs() < 1e-10);
+    assert!((e.values[1] - 1.0).abs() < 1e-10);
+    assert!(residual_hermitian(&h, &e) < 1e-10);
+}

@@ -17,7 +17,10 @@ fn small_f64() -> impl Strategy<Value = f64> {
 }
 
 fn complex_vec(max_len: usize) -> impl Strategy<Value = Vec<c64>> {
-    prop::collection::vec((small_f64(), small_f64()).prop_map(|(r, i)| c64::new(r, i)), 1..max_len)
+    prop::collection::vec(
+        (small_f64(), small_f64()).prop_map(|(r, i)| c64::new(r, i)),
+        1..max_len,
+    )
 }
 
 proptest! {

@@ -168,11 +168,8 @@ mod tests {
     #[test]
     fn temperature_of_thermalized_gas() {
         let n = 500;
-        let mut sys = AtomsSystem::new(
-            vec![Species::O; n],
-            vec![Vec3::ZERO; n],
-            Vec3::splat(100.0),
-        );
+        let mut sys =
+            AtomsSystem::new(vec![Species::O; n], vec![Vec3::ZERO; n], Vec3::splat(100.0));
         let mut rng = Xoshiro256::new(7);
         sys.thermalize(300.0, &mut rng);
         let t = sys.temperature();
@@ -190,11 +187,7 @@ mod tests {
     #[test]
     fn kinetic_energy_units() {
         // One O atom at 1 Å/fs: E = ½·m·v² = ½·15.999·103.64 eV.
-        let mut sys = AtomsSystem::new(
-            vec![Species::O],
-            vec![Vec3::ZERO],
-            Vec3::splat(10.0),
-        );
+        let mut sys = AtomsSystem::new(vec![Species::O], vec![Vec3::ZERO], Vec3::splat(10.0));
         sys.velocities[0] = Vec3::new(1.0, 0.0, 0.0);
         let expect = 0.5 * 15.999 * MASS_TIME_UNIT;
         assert!((sys.kinetic_energy() - expect).abs() < 1e-9);

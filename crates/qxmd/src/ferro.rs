@@ -198,8 +198,7 @@ impl FerroModel {
             let mut f = ui * (-2.0 * a2 - 4.0 * p.a4 * u2);
             f -= Vec3::new(
                 2.0 * p.a_ani * ui.x * (ui.y * ui.y + ui.z * ui.z),
-                2.0 * p.a_ani * ui.y
-* (ui.x * ui.x + ui.z * ui.z),
+                2.0 * p.a_ani * ui.y * (ui.x * ui.x + ui.z * ui.z),
                 2.0 * p.a_ani * ui.z * (ui.x * ui.x + ui.y * ui.y),
             );
             f += self.e_field * p.z_star;
@@ -361,7 +360,10 @@ mod tests {
         let mut sys_dn = lat_dn.system.clone();
         sys_dn.forces = vec![Vec3::ZERO; sys_dn.len()];
         let e_dn = m.accumulate(&mut sys_dn);
-        assert!(e_up < e_dn, "field along +z must favour +u: {e_up} vs {e_dn}");
+        assert!(
+            e_up < e_dn,
+            "field along +z must favour +u: {e_up} vs {e_dn}"
+        );
     }
 
     #[test]

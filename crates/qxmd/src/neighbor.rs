@@ -96,8 +96,7 @@ impl CellList {
                             let b_iter: &[u32] = if same { &home[ai + 1..] } else { other };
                             for &b in b_iter {
                                 let (i, j) = (a as usize, b as usize);
-                                let dr =
-                                    (positions[j] - positions[i]).min_image(self.box_lengths);
+                                let dr = (positions[j] - positions[i]).min_image(self.box_lengths);
                                 let r2 = dr.norm_sqr();
                                 if r2 < rc2 && r2 > 0.0 {
                                     out.push(Pair {

@@ -35,20 +35,79 @@ fn species_idx(s: Species) -> usize {
 impl Buckingham {
     /// Default PbTiO3-like parameter set (eV, Å).
     pub fn pbtio3() -> Self {
-        let z = BuckinghamParams { a: 0.0, rho: 1.0, c: 0.0 };
-        let mut table = [[z; 3]; 3];
-        let set = |t: &mut [[BuckinghamParams; 3]; 3], s1: Species, s2: Species, p: BuckinghamParams| {
-            t[species_idx(s1)][species_idx(s2)] = p;
-            t[species_idx(s2)][species_idx(s1)] = p;
+        let z = BuckinghamParams {
+            a: 0.0,
+            rho: 1.0,
+            c: 0.0,
         };
+        let mut table = [[z; 3]; 3];
+        let set =
+            |t: &mut [[BuckinghamParams; 3]; 3], s1: Species, s2: Species, p: BuckinghamParams| {
+                t[species_idx(s1)][species_idx(s2)] = p;
+                t[species_idx(s2)][species_idx(s1)] = p;
+            };
         // Magnitudes adapted from shell-model perovskite literature,
         // re-balanced for a rigid-ion model.
-        set(&mut table, Species::Pb, Species::O, BuckinghamParams { a: 2950.0, rho: 0.324, c: 20.0 });
-        set(&mut table, Species::Ti, Species::O, BuckinghamParams { a: 4590.0, rho: 0.261, c: 0.0 });
-        set(&mut table, Species::O, Species::O, BuckinghamParams { a: 1388.0, rho: 0.362, c: 27.0 });
-        set(&mut table, Species::Pb, Species::Pb, BuckinghamParams { a: 8000.0, rho: 0.30, c: 0.0 });
-        set(&mut table, Species::Pb, Species::Ti, BuckinghamParams { a: 7200.0, rho: 0.28, c: 0.0 });
-        set(&mut table, Species::Ti, Species::Ti, BuckinghamParams { a: 6500.0, rho: 0.26, c: 0.0 });
+        set(
+            &mut table,
+            Species::Pb,
+            Species::O,
+            BuckinghamParams {
+                a: 2950.0,
+                rho: 0.324,
+                c: 20.0,
+            },
+        );
+        set(
+            &mut table,
+            Species::Ti,
+            Species::O,
+            BuckinghamParams {
+                a: 4590.0,
+                rho: 0.261,
+                c: 0.0,
+            },
+        );
+        set(
+            &mut table,
+            Species::O,
+            Species::O,
+            BuckinghamParams {
+                a: 1388.0,
+                rho: 0.362,
+                c: 27.0,
+            },
+        );
+        set(
+            &mut table,
+            Species::Pb,
+            Species::Pb,
+            BuckinghamParams {
+                a: 8000.0,
+                rho: 0.30,
+                c: 0.0,
+            },
+        );
+        set(
+            &mut table,
+            Species::Pb,
+            Species::Ti,
+            BuckinghamParams {
+                a: 7200.0,
+                rho: 0.28,
+                c: 0.0,
+            },
+        );
+        set(
+            &mut table,
+            Species::Ti,
+            Species::Ti,
+            BuckinghamParams {
+                a: 6500.0,
+                rho: 0.26,
+                c: 0.0,
+            },
+        );
         Self { table, rcut: 6.0 }
     }
 
@@ -100,10 +159,7 @@ mod tests {
     fn dimer(r: f64) -> AtomsSystem {
         AtomsSystem::new(
             vec![Species::Ti, Species::O],
-            vec![
-                Vec3::new(5.0, 5.0, 5.0),
-                Vec3::new(5.0 + r, 5.0, 5.0),
-            ],
+            vec![Vec3::new(5.0, 5.0, 5.0), Vec3::new(5.0 + r, 5.0, 5.0)],
             Vec3::splat(20.0),
         )
     }

@@ -126,9 +126,19 @@ mod tests {
         let lat = PerovskiteLattice::uniform(3, 2, 2, Vec3::ZERO);
         assert_eq!(lat.system.len(), 5 * 12);
         assert_eq!(lat.cell_count(), 12);
-        let n_ti = lat.system.species.iter().filter(|s| **s == Species::Ti).count();
+        let n_ti = lat
+            .system
+            .species
+            .iter()
+            .filter(|s| **s == Species::Ti)
+            .count();
         assert_eq!(n_ti, 12);
-        let n_o = lat.system.species.iter().filter(|s| **s == Species::O).count();
+        let n_o = lat
+            .system
+            .species
+            .iter()
+            .filter(|s| **s == Species::O)
+            .count();
         assert_eq!(n_o, 36);
     }
 
@@ -152,9 +162,8 @@ mod tests {
 
     #[test]
     fn texture_applied_per_cell() {
-        let lat = PerovskiteLattice::build(4, 1, 1, |kx, _, _| {
-            Vec3::new(0.05 * kx as f64, 0.0, 0.0)
-        });
+        let lat =
+            PerovskiteLattice::build(4, 1, 1, |kx, _, _| Vec3::new(0.05 * kx as f64, 0.0, 0.0));
         let field = lat.displacement_field();
         for kx in 0..4 {
             let u = field[lat.cell_idx(kx, 0, 0)];

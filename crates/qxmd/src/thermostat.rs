@@ -27,7 +27,9 @@ impl Berendsen {
         if t_now <= 0.0 {
             return;
         }
-        let lambda = (1.0 + dt / self.tau * (self.t_target / t_now - 1.0)).max(0.0).sqrt();
+        let lambda = (1.0 + dt / self.tau * (self.t_target / t_now - 1.0))
+            .max(0.0)
+            .sqrt();
         for v in &mut sys.velocities {
             *v *= lambda;
         }

@@ -50,10 +50,7 @@ pub fn topological_charge(field: &[Vec3], nx: usize, ny: usize) -> f64 {
 pub const PARAELECTRIC_FLOOR: f64 = 0.02;
 
 /// Convenience: charge of one z-slice of a polarization field.
-pub fn topological_charge_slice(
-    field: &crate::polarization::PolarizationField,
-    kz: usize,
-) -> f64 {
+pub fn topological_charge_slice(field: &crate::polarization::PolarizationField, kz: usize) -> f64 {
     let slice = field.unit_slice(kz, PARAELECTRIC_FLOOR);
     topological_charge(&slice, field.nx, field.ny)
 }
@@ -132,8 +129,7 @@ mod tests {
                 let (x, y) = ((i % n) as f64, (i / n) as f64);
                 let mut v = tex.direction(x, y);
                 for &(amp, phase, k) in &modes {
-                    let arg =
-                        2.0 * std::f64::consts::PI * k * (x + 0.7 * y) / n as f64 + phase;
+                    let arg = 2.0 * std::f64::consts::PI * k * (x + 0.7 * y) / n as f64 + phase;
                     v += Vec3::new(amp * arg.sin(), amp * arg.cos(), 0.0);
                 }
                 v.normalized()

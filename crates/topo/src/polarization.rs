@@ -107,9 +107,8 @@ mod tests {
 
     #[test]
     fn from_fn_layout() {
-        let f = PolarizationField::from_fn(3, 2, 2, |x, y, z| {
-            Vec3::new(x as f64, y as f64, z as f64)
-        });
+        let f =
+            PolarizationField::from_fn(3, 2, 2, |x, y, z| Vec3::new(x as f64, y as f64, z as f64));
         assert_eq!(f.at(2, 1, 1), Vec3::new(2.0, 1.0, 1.0));
         assert_eq!(f.len(), 12);
     }

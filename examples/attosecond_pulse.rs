@@ -36,7 +36,9 @@ fn main() {
             .cells
             .iter()
             .map(|c| {
-                let e: f64 = field.field.ex[c.node0..c.node0 + c.width].iter().sum::<f64>()
+                let e: f64 = field.field.ex[c.node0..c.node0 + c.width]
+                    .iter()
+                    .sum::<f64>()
                     / c.width as f64;
                 0.05 * e
             })
@@ -46,7 +48,10 @@ fn main() {
         if step % 150 == 149 {
             println!(
                 "{step:>5}  |  {}",
-                a.iter().map(|x| format!("{x:+.4}")).collect::<Vec<_>>().join("  ")
+                a.iter()
+                    .map(|x| format!("{x:+.4}"))
+                    .collect::<Vec<_>>()
+                    .join("  ")
             );
         }
     }
@@ -73,9 +78,15 @@ fn main() {
         0.0,
         cfg,
     );
-    let peak_j = res.current_trace.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+    let peak_j = res
+        .current_trace
+        .iter()
+        .fold(0.0f64, |m, &x| m.max(x.abs()));
     println!("  peak driven current  : {peak_j:.3e} a.u.");
     println!("  final vector potential: {:+.4e} a.u.", res.a_final.x);
     println!("  absorbed energy       : {:+.4e} Ha", res.absorbed_energy);
-    println!("  orbital norm error    : {:.2e} (unitarity)", wf.norm_error());
+    println!(
+        "  orbital norm error    : {:.2e} (unitarity)",
+        wf.norm_error()
+    );
 }

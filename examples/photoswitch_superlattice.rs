@@ -18,7 +18,11 @@ use mlmd::topo::switching::TextureReport;
 fn run_once(pulse_e0: f64) {
     let mut config = PipelineConfig::superlattice_demo();
     config.pulse_e0 = pulse_e0;
-    let label = if pulse_e0 > 0.0 { "PUMPED" } else { "DARK CONTROL" };
+    let label = if pulse_e0 > 0.0 {
+        "PUMPED"
+    } else {
+        "DARK CONTROL"
+    };
     println!("=== {label}: E0 = {pulse_e0} a.u. ===");
     let mut pipeline = Pipeline::new(config);
     let before = TextureReport::analyze(&pipeline.polarization());

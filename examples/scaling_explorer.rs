@@ -49,15 +49,24 @@ fn main() {
     }
     println!("\n=== Fig. 4b: DC-MESH strong scaling (12.58M electrons) ===");
     for p in scaling::dcmesh_strong(&dcmesh, 12_582_912.0, &sweeps::DCMESH_STRONG) {
-        println!("  {:>7} ranks  {:>8.1} s  eff {:.3}", p.ranks, p.time, p.efficiency);
+        println!(
+            "  {:>7} ranks  {:>8.1} s  eff {:.3}",
+            p.ranks, p.time, p.efficiency
+        );
     }
     println!("\n=== Fig. 5a: XS-NNQMD weak scaling (10.24M atoms/rank) ===");
     for p in scaling::nnqmd_weak(&nnqmd, 10_240_000.0, &sweeps::NNQMD_WEAK) {
-        println!("  {:>7} ranks  {:>8.1} s  eff {:.3}", p.ranks, p.time, p.efficiency);
+        println!(
+            "  {:>7} ranks  {:>8.1} s  eff {:.3}",
+            p.ranks, p.time, p.efficiency
+        );
     }
     println!("\n=== Fig. 5b: XS-NNQMD strong scaling (984M atoms) ===");
     for p in scaling::nnqmd_strong(&nnqmd, 984_000_000.0, &sweeps::NNQMD_STRONG) {
-        println!("  {:>7} ranks  {:>8.1} s  eff {:.3}", p.ranks, p.time, p.efficiency);
+        println!(
+            "  {:>7} ranks  {:>8.1} s  eff {:.3}",
+            p.ranks, p.time, p.efficiency
+        );
     }
 
     println!("\n=== Custom sweep: trillion-atom frontier ===");

@@ -70,7 +70,10 @@ fn main() {
     );
     // --- FM pretraining (GS, SAM) ---
     let mut fm = AllegroLite::new(cfg, 7);
-    println!("pretraining the foundation model ({} params)…", fm.n_params());
+    println!(
+        "pretraining the foundation model ({} params)…",
+        fm.n_params()
+    );
     let history = pretrain(&mut fm, &unified, 60, 5e-3);
     println!(
         "  loss {:.4} -> {:.4} over {} epochs",
@@ -91,7 +94,10 @@ fn main() {
     let mut mixed = XsGsModel::new(fm, xs_model, 0.05);
     let frame = &xs_val.frames[0];
     for n_exc_per_atom in [0.0, 0.025, 0.05] {
-        mixed.set_excitation(n_exc_per_atom * frame.positions.len() as f64, frame.positions.len());
+        mixed.set_excitation(
+            n_exc_per_atom * frame.positions.len() as f64,
+            frame.positions.len(),
+        );
         let (e, _) = mixed.evaluate(&frame.species, &frame.positions, frame.box_lengths);
         println!(
             "  w = {:.2}: mixed energy {:+.3} eV (Eq. 4 blend)",

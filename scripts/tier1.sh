@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything a PR must keep green.
+#
+#   scripts/tier1.sh
+#
+# Runs the release build, the full workspace test suite (unit, property,
+# integration, and doc tests), and the formatting check. Exits non-zero on
+# the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "tier-1: OK"

@@ -1,0 +1,176 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `channel::unbounded` MPMC channel used by the simulated-MPI
+//! fabric: both [`channel::Sender`] and [`channel::Receiver`] are cloneable
+//! handles onto one shared queue, implemented with a `Mutex<VecDeque>` and
+//! a `Condvar`. Throughput is far below real crossbeam, but the simulated
+//! ranks exchange small typed envelopes, not bulk data.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<Queue<T>>,
+        ready: Condvar,
+    }
+
+    struct Queue<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                items: VecDeque::new(),
+                senders: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.senders -= 1;
+            if q.senders == 0 {
+                // Wake receivers so they can observe disconnection.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.items.push_back(value);
+            drop(q);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message is available or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = q.items.pop_front() {
+                    return Ok(item);
+                }
+                if q.senders == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.ready.wait(q).unwrap();
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.items.pop_front().ok_or(RecvError)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let (s, r) = unbounded();
+            for i in 0..10 {
+                s.send(i).unwrap();
+            }
+            for i in 0..10 {
+                assert_eq!(r.recv().unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn cloned_endpoints_share_queue() {
+            let (s, r) = unbounded();
+            let s2 = s.clone();
+            let r2 = r.clone();
+            s2.send(41).unwrap();
+            assert_eq!(r2.recv().unwrap(), 41);
+            s.send(42).unwrap();
+            assert_eq!(r.recv().unwrap(), 42);
+        }
+
+        #[test]
+        fn blocking_recv_across_threads() {
+            let (s, r) = unbounded();
+            let h = std::thread::spawn(move || r.recv().unwrap());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            s.send(7u32).unwrap();
+            assert_eq!(h.join().unwrap(), 7);
+        }
+
+        #[test]
+        fn disconnection_observed() {
+            let (s, r) = unbounded::<u8>();
+            drop(s);
+            assert_eq!(r.recv(), Err(RecvError));
+        }
+    }
+}

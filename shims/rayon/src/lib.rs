@@ -1,0 +1,291 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this workspace-local
+//! shim provides the slice of rayon's API the MLMD kernels use: parallel
+//! mutable slice chunking, `par_iter_mut`, parallel ranges, and sized
+//! thread pools. `for_each` and `map` fan work out over scoped OS threads
+//! (static contiguous block partitioning, no work stealing); `sum`,
+//! `count`, and `collect` are sequential folds over the already-computed
+//! items, so put the expensive work in a preceding `map`.
+
+use std::cell::Cell;
+
+thread_local! {
+    static POOL_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Width parallel iterators fan out to on the calling thread: the
+/// innermost installed [`ThreadPool`]'s size, or the hardware parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_WIDTH
+        .with(|w| w.get())
+        .unwrap_or_else(hardware_threads)
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefMutIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+/// An eagerly materialized list of work items processed by a static
+/// block partition over scoped threads.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    fn into_items(self) -> Vec<Self::Item>;
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_parallel_map(self.into_items(), &f);
+    }
+
+    fn enumerate(self) -> ParIter<(usize, Self::Item)> {
+        ParIter {
+            items: self.into_items().into_iter().enumerate().collect(),
+        }
+    }
+
+    fn map<O, F>(self, f: F) -> ParIter<O>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync,
+    {
+        ParIter {
+            items: run_parallel_map(self.into_items(), &f),
+        }
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.into_items().into_iter().sum()
+    }
+
+    fn count(self) -> usize {
+        self.into_items().len()
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.into_items().into_iter().collect()
+    }
+}
+
+impl<I: Send> ParallelIterator for ParIter<I> {
+    type Item = I;
+
+    fn into_items(self) -> Vec<I> {
+        self.items
+    }
+}
+
+/// Apply `f` to every item across scoped threads (contiguous block
+/// partition), preserving item order in the returned vector.
+fn run_parallel_map<I, O, F>(items: Vec<I>, f: &F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let width = current_num_threads().min(items.len());
+    if width <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(width);
+    let mut buckets: Vec<Vec<I>> = (0..width).map(|_| Vec::with_capacity(chunk)).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i / chunk].push(item);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| scope.spawn(move || bucket.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    })
+}
+
+/// `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// `par_iter_mut` on collections of `Send` elements.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// `into_par_iter` on anything iterable (ranges, vectors, ...).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<C> IntoParallelIterator for C
+where
+    C: IntoIterator,
+    C::Item: Send,
+{
+    type Item = C::Item;
+
+    fn into_par_iter(self) -> ParIter<C::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// A sized pool. `install` sets the fan-out width seen by
+/// [`current_num_threads`] for the duration of the closure; the closure
+/// itself runs on the calling thread.
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0;
+                POOL_WIDTH.with(|w| w.set(prev));
+            }
+        }
+        let _guard = Restore(POOL_WIDTH.with(|w| w.replace(Some(self.width))));
+        op()
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    width: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.width = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = match self.width {
+            Some(0) | None => hardware_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { width })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_sum() {
+        let s: u64 = (0..1000u64).into_par_iter().sum();
+        assert_eq!(s, 499_500);
+    }
+
+    #[test]
+    fn chunks_mut_writes_every_element() {
+        let mut v = vec![0usize; 1003];
+        v.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = i * 10 + j;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i);
+        }
+    }
+
+    #[test]
+    fn map_preserves_order_across_workers() {
+        let doubled: Vec<usize> = (0..997usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(doubled.len(), 997);
+        for (i, &v) in doubled.iter().enumerate() {
+            assert_eq!(v, i * 2);
+        }
+        let s: usize = (0..100usize).into_par_iter().map(|i| i * i).sum();
+        assert_eq!(s, 328_350);
+    }
+
+    #[test]
+    fn install_overrides_width() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(crate::current_num_threads);
+        assert_eq!(inside, 3);
+    }
+}

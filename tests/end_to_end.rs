@@ -16,8 +16,7 @@ fn photoswitching_pipeline_erases_skyrmion() {
     assert!(
         outcome.verdict.topology_switched,
         "Q {} -> {}",
-        outcome.initial_topological_charge,
-        outcome.final_topological_charge
+        outcome.initial_topological_charge, outcome.final_topological_charge
     );
     assert!(outcome.verdict.order_suppression > 0.3);
 }

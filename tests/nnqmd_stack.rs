@@ -6,9 +6,9 @@ use mlmd::nnqmd::md::parallel_forces;
 use mlmd::nnqmd::mix::XsGsModel;
 use mlmd::nnqmd::model::{AllegroLite, ModelConfig};
 use mlmd::nnqmd::train::{force_rmse, SamConfig, Trainer};
+use mlmd::numerics::vec3::Vec3;
 use mlmd::parallel::comm::World;
 use mlmd::qxmd::perovskite::PerovskiteLattice;
-use mlmd::numerics::vec3::Vec3;
 
 fn cfg() -> ModelConfig {
     ModelConfig {
@@ -41,8 +41,12 @@ fn gs_xs_mixing_interpolates_energies() {
     let xs = AllegroLite::new(cfg(), 2);
     let lat = PerovskiteLattice::uniform(2, 2, 2, Vec3::new(0.0, 0.0, 0.2));
     let sys = &lat.system;
-    let e_gs = gs.evaluate(&sys.species, &sys.positions, sys.box_lengths).energy;
-    let e_xs = xs.evaluate(&sys.species, &sys.positions, sys.box_lengths).energy;
+    let e_gs = gs
+        .evaluate(&sys.species, &sys.positions, sys.box_lengths)
+        .energy;
+    let e_xs = xs
+        .evaluate(&sys.species, &sys.positions, sys.box_lengths)
+        .energy;
     let mut mixed = XsGsModel::new(gs, xs, 0.05);
     mixed.set_excitation(0.025 * sys.species.len() as f64, sys.species.len());
     let (e_mid, _) = mixed.evaluate(&sys.species, &sys.positions, sys.box_lengths);

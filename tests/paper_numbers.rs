@@ -14,10 +14,16 @@ fn abstract_headline_claims() {
     let s1 = sota::table_i_speedup(&dcmesh);
     let s2 = sota::table_ii_speedup(&nnqmd);
     assert!((100.0..250.0).contains(&s1), "ME speedup {s1} (paper 152)");
-    assert!((3000.0..4500.0).contains(&s2), "XS speedup {s2} (paper 3780)");
+    assert!(
+        (3000.0..4500.0).contains(&s2),
+        "XS speedup {s2} (paper 3780)"
+    );
     // "achieving 1.87 EFLOP/s for the former".
     let flops = dcmesh.sustained_flops(10_000);
-    assert!((1.0e18..3.0e18).contains(&flops), "{flops:e} (paper 1.873e18)");
+    assert!(
+        (1.0e18..3.0e18).contains(&flops),
+        "{flops:e} (paper 1.873e18)"
+    );
 }
 
 #[test]

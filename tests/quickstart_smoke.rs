@@ -1,0 +1,75 @@
+//! Smoke test: the `examples/quickstart.rs` logic driven through the
+//! library API — every value the example prints must be available and
+//! sane, so the example cannot silently rot.
+
+use mlmd::core::config::PipelineConfig;
+use mlmd::core::pipeline::Pipeline;
+
+/// The quickstart configuration with the trajectory lengths trimmed so the
+/// smoke test stays fast in the dev profile.
+fn smoke_config() -> PipelineConfig {
+    let mut config = PipelineConfig::small_demo();
+    config.mesh_steps = 4;
+    config.response_steps = 300;
+    config
+}
+
+#[test]
+fn quickstart_flow_reports_every_printed_quantity() {
+    let config = smoke_config();
+    // The banner line of the example.
+    assert_eq!(config.cells, (16, 16, 2));
+    assert_eq!(config.n_atoms(), 5 * config.n_cells());
+    assert!(config.pulse_e0 > 0.0);
+
+    let mut pipeline = Pipeline::new(config);
+    let outcome = pipeline.run();
+
+    // DC-MESH stage: one record per MD step, finite and time-ordered.
+    assert_eq!(outcome.mesh_records.len(), config.mesh_steps);
+    for pair in outcome.mesh_records.windows(2) {
+        assert!(pair[0].time_fs < pair[1].time_fs);
+    }
+    for r in &outcome.mesh_records {
+        assert!(r.n_exc.is_finite() && r.n_exc >= 0.0);
+        assert!(r.mean_polarization.norm().is_finite());
+    }
+
+    // MSA-3 handoff: the pump-probe summary numbers.
+    assert!(outcome.n_exc_peak > 0.0, "pulse must excite");
+    assert!(
+        outcome.excitation_fraction > 0.0 && outcome.excitation_fraction <= 1.0,
+        "per-cell fraction out of range: {}",
+        outcome.excitation_fraction
+    );
+
+    // XS-NNQMD stage: the response trace the example iterates over.
+    assert!(!outcome.response_trace.is_empty());
+    for p in &outcome.response_trace {
+        assert!(p.polar_order.is_finite() && p.polar_order >= 0.0);
+        assert!(p.mean_charge.is_finite());
+    }
+
+    // Verdict block.
+    assert!(
+        outcome.initial_topological_charge.abs() > 0.5,
+        "prepared superlattice must carry topological charge, got {}",
+        outcome.initial_topological_charge
+    );
+    assert!(outcome.verdict.order_suppression.is_finite());
+    assert!(outcome.final_topological_charge.is_finite());
+}
+
+#[test]
+fn quickstart_smoke_is_deterministic() {
+    let run = || {
+        let mut pipeline = Pipeline::new(smoke_config());
+        let o = pipeline.run();
+        (
+            o.n_exc_peak,
+            o.excitation_fraction,
+            o.final_topological_charge,
+        )
+    };
+    assert_eq!(run(), run(), "smoke pipeline must be bit-reproducible");
+}

@@ -36,7 +36,16 @@ fn driver(ledger: Arc<TransferLedger>) -> MeshDriver {
         },
         ..Default::default()
     };
-    MeshDriver::new(cfg, wf, occ, lat.system.clone(), ferro, pulse, vec![(0, site)], ledger)
+    MeshDriver::new(
+        cfg,
+        wf,
+        occ,
+        lat.system.clone(),
+        ferro,
+        pulse,
+        vec![(0, site)],
+        ledger,
+    )
 }
 
 #[test]
