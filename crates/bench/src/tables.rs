@@ -217,7 +217,7 @@ pub fn table4() -> String {
         let wf0 = WaveFunctions::random(grid, norb, 11);
         let mut wf = WaveFunctions::random(grid, norb, 12);
         for (a, b) in wf.psi.as_mut_slice().iter_mut().zip(wf0.psi.as_slice()) {
-            *a = *a + b.scale(0.3);
+            *a += b.scale(0.3);
         }
         let nlp = NlpProp::new(&wf0, c64::new(0.0, -0.01));
         for prec in [

@@ -54,6 +54,7 @@ pub struct EhrenfestResult {
 /// `frozen_v` is the QXMD-provided local potential (ions + xc + Hartree at
 /// the MD step boundary); `field(t)` returns the laser E(t) at the domain
 /// (the vector potential is accumulated internally, velocity gauge).
+#[allow(clippy::too_many_arguments)] // physics driver: each argument is a distinct field of the problem
 pub fn run_inner_loop(
     qd: &QdStep,
     wf: &mut WaveFunctions,

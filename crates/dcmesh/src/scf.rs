@@ -282,12 +282,12 @@ impl DcScf {
         for (dom, wf) in self.decomposition.domains.iter().zip(&self.orbitals) {
             let v_local = dom.restrict(&g, &self.v_global);
             let eps = band_energies(&dom.grid, &v_local, wf);
-            for s in 0..wf.norb {
+            for (s, &eps_s) in eps.iter().enumerate().take(wf.norb) {
                 let col = wf.psi.col(s);
                 let hpsi = apply_h(&dom.grid, &v_local, col);
                 let mut r2 = 0.0;
                 for (h, c) in hpsi.iter().zip(col) {
-                    r2 += (*h - c.scale(eps[s])).norm_sqr();
+                    r2 += (*h - c.scale(eps_s)).norm_sqr();
                 }
                 worst = worst.max((r2 * dom.grid.dv()).sqrt());
             }

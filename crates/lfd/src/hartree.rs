@@ -69,10 +69,10 @@ pub fn solve_fft(grid: &Grid3, rho: &[f64]) -> Vec<f64> {
     hat.into_iter().map(|z| z.re).collect()
 }
 
-/// Note: the spectral Laplacian (exact for the continuum operator) and the
-/// 7-point FD Laplacian differ at O(h²); [`residual_rms`] measures against
-/// the FD operator, so the FFT solution has a small but nonzero FD
-/// residual. Multigrid and DSA solve the FD operator exactly.
+// Note: the spectral Laplacian (exact for the continuum operator) and the
+// 7-point FD Laplacian differ at O(h²); `residual_rms` measures against
+// the FD operator, so the FFT solution has a small but nonzero FD
+// residual. Multigrid and DSA solve the FD operator exactly.
 
 /// Geometric multigrid V-cycle solver for the 7-point FD Poisson problem.
 pub struct Multigrid {

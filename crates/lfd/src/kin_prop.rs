@@ -106,7 +106,7 @@ impl KinProp {
     /// class tiles the periodic axis exactly.
     pub fn new(grid: Grid3) -> Self {
         assert!(
-            grid.nx % 2 == 0 && grid.ny % 2 == 0 && grid.nz % 2 == 0,
+            grid.nx.is_multiple_of(2) && grid.ny.is_multiple_of(2) && grid.nz.is_multiple_of(2),
             "kin_prop requires even grid dimensions (got {}×{}×{})",
             grid.nx,
             grid.ny,

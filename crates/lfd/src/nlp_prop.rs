@@ -156,7 +156,7 @@ impl NlpProp {
                 cgemm_c32_split(mode, &self.psi0_f32, &s, &mut corr);
                 let d32 = self.delta.cast::<f32>();
                 for z in corr.as_mut_slice() {
-                    *z = *z * d32;
+                    *z *= d32;
                 }
                 subtract_cast(&mut wf.psi, &corr);
             }
@@ -240,7 +240,7 @@ impl KbProjectors {
         for (row, &dp) in self.d.iter().enumerate() {
             let w = c64::cis(-dt * dp) - c64::one();
             for col in 0..n {
-                proj[(row, col)] = proj[(row, col)] * w;
+                proj[(row, col)] *= w;
             }
         }
         // Ψ += B W
@@ -273,7 +273,7 @@ mod tests {
         let mut wf = WaveFunctions::random(grid, 6, 22);
         // Mix in some of psi0 so the projection is nontrivial.
         for (a, b) in wf.psi.as_mut_slice().iter_mut().zip(wf0.psi.as_slice()) {
-            *a = *a + b.scale(0.5);
+            *a += b.scale(0.5);
         }
         (wf, nlp)
     }

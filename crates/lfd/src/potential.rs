@@ -210,8 +210,8 @@ mod tests {
         // Moving the atom changes the potential somewhere…
         assert!(dv.iter().any(|&x| x.abs() > 1e-6));
         // …and the delta reconstructs p2 from p1.
-        for i in 0..g.len() {
-            assert!((p1.total[i] + dv[i] - p2.total[i]).abs() < 1e-12);
+        for (i, &d) in dv.iter().enumerate().take(g.len()) {
+            assert!((p1.total[i] + d - p2.total[i]).abs() < 1e-12);
         }
     }
 

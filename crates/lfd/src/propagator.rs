@@ -72,7 +72,7 @@ impl QdStep {
         let phases: Vec<c64> = vloc.iter().map(|&v| c64::cis(-dt * v)).collect();
         wf.psi.as_mut_slice().par_chunks_mut(ngrid).for_each(|col| {
             for (z, p) in col.iter_mut().zip(&phases) {
-                *z = *z * *p;
+                *z *= *p;
             }
         });
     }

@@ -72,7 +72,7 @@ proptest! {
         let wf0 = WaveFunctions::random(grid, 4, seed);
         let mut wf = WaveFunctions::random(grid, 4, seed.wrapping_add(1));
         for (a, b) in wf.psi.as_mut_slice().iter_mut().zip(wf0.psi.as_slice()) {
-            *a = *a + b.scale(0.4);
+            *a += b.scale(0.4);
         }
         let nlp = NlpProp::new(&wf0, c64::new(0.0, -0.02));
         let e1 = nlp.precision_error(&wf, NlpPrecision::Bf16);

@@ -81,8 +81,8 @@ impl MultiscaleMaxwell {
         let mut j = vec![0.0; self.field.len()];
         for (cell, &jc) in self.cells.iter_mut().zip(currents) {
             cell.j = jc;
-            for node in cell.node0..cell.node0 + cell.width {
-                j[node] = jc;
+            for jn in j[cell.node0..cell.node0 + cell.width].iter_mut() {
+                *jn = jc;
             }
         }
         self.field.step(&j, source);

@@ -70,8 +70,8 @@ impl Yee1d {
         let e1_old = self.ex[1];
         let en2_old = self.ex[n - 2];
         // E update (interior).
-        for i in 1..n - 1 {
-            self.ex[i] -= c * (self.hy[i] - self.hy[i - 1]) + self.dt * j[i];
+        for (i, &ji) in j.iter().enumerate().take(n - 1).skip(1) {
+            self.ex[i] -= c * (self.hy[i] - self.hy[i - 1]) + self.dt * ji;
         }
         // First-order Mur ABCs: E₀ⁿ⁺¹ = E₁ⁿ + (cΔt−Δz)/(cΔt+Δz)(E₁ⁿ⁺¹ − E₀ⁿ).
         let k = (self.dt - self.dz) / (self.dt + self.dz);

@@ -125,9 +125,9 @@ mod tests {
         let g = m.gs.evaluate(&s, &p, b);
         let x = m.xs.evaluate(&s, &p, b);
         assert!((e - 0.5 * (g.energy + x.energy)).abs() < 1e-12);
-        for i in 0..4 {
+        for (i, &fi) in f.iter().enumerate().take(4) {
             let expect = (g.forces[i] + x.forces[i]) * 0.5;
-            assert!((f[i] - expect).norm() < 1e-12);
+            assert!((fi - expect).norm() < 1e-12);
         }
     }
 

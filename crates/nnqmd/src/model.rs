@@ -293,15 +293,15 @@ impl AllegroLite {
                 let mut h0 = vec![0.0; hdim];
                 for h in 0..hdim {
                     let mut acc = self.b0(pt, h);
-                    for k in 0..kdim {
-                        acc += self.w0(pt, h, k) * bvals[k];
+                    for (k, &bv) in bvals.iter().enumerate().take(kdim) {
+                        acc += self.w0(pt, h, k) * bv;
                     }
                     x0[h] = acc;
                     h0[h] = silu(acc);
                 }
                 let mut a = 0.0;
-                for h in 0..hdim {
-                    a += self.wv(h) * h0[h];
+                for (h, &h0h) in h0.iter().enumerate() {
+                    a += self.wv(h) * h0h;
                 }
                 v_i += uhat * a;
                 edges.push(EdgeCache {
@@ -338,8 +338,8 @@ impl AllegroLite {
                     x1[h] = acc;
                     h1[h] = silu(acc);
                 }
-                for h in 0..hdim {
-                    energy += self.we(h) * h1[h];
+                for (h, &h1h) in h1.iter().enumerate() {
+                    energy += self.we(h) * h1h;
                 }
                 l1.push(Layer1Cache { x1, h1, p });
             }
@@ -361,8 +361,8 @@ impl AllegroLite {
                         g[self.off.u + h * (hdim + 2) + hdim] += gx1 * q_i;
                         g[self.off.u + h * (hdim + 2) + hdim + 1] += gx1 * c.p;
                     }
-                    for z in 0..hdim {
-                        gh0_l1[eidx][z] += gx1 * self.u(h, z);
+                    for (z, g0) in gh0_l1[eidx].iter_mut().enumerate() {
+                        *g0 += gx1 * self.u(h, z);
                     }
                     gq_i += gx1 * self.u(h, hdim);
                     gp[eidx] += gx1 * self.u(h, hdim + 1);

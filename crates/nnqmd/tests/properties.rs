@@ -53,7 +53,7 @@ proptest! {
 
     #[test]
     fn energy_invariant_under_rotation_and_translation(
-        seed in 0u64..10_000, th in 0.0f64..6.28,
+        seed in 0u64..10_000, th in 0.0f64..std::f64::consts::TAU,
         tx in -2.0f64..2.0, ty in -2.0f64..2.0, tz in -2.0f64..2.0
     ) {
         let (species, positions, bl) = cluster(6, seed);
@@ -70,7 +70,7 @@ proptest! {
     }
 
     #[test]
-    fn forces_corotate(seed in 0u64..10_000, th in 0.0f64..6.28) {
+    fn forces_corotate(seed in 0u64..10_000, th in 0.0f64..std::f64::consts::TAU) {
         let (species, positions, bl) = cluster(5, seed);
         let m = model(seed ^ 0xdef);
         let r0 = m.evaluate(&species, &positions, bl);

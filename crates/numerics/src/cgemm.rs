@@ -94,8 +94,8 @@ pub fn overlap<T: Real>(
     let (ma, nb) = (a.cols(), b.cols());
     assert_eq!(c.rows(), ma);
     assert_eq!(c.cols(), nb);
-    let a_ref = &*a;
-    let b_ref = &*b;
+    let a_ref = a;
+    let b_ref = b;
     c.as_mut_slice()
         .par_chunks_mut(ma)
         .enumerate()

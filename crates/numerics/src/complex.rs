@@ -248,6 +248,7 @@ impl<T: Real> Mul for Complex<T> {
 impl<T: Real> Div for Complex<T> {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w = z · w⁻¹ is the definition
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }

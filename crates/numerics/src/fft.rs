@@ -101,7 +101,7 @@ impl Fft1d {
                 }
                 inner.forward_pow2(&mut work);
                 for (w, f) in work.iter_mut().zip(filter_hat) {
-                    *w = *w * *f;
+                    *w *= *f;
                 }
                 inner.inverse_pow2(&mut work);
                 for k in 0..n {

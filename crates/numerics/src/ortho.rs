@@ -43,18 +43,13 @@ pub fn gram_schmidt(psi: &mut Matrix<c64>) -> Vec<f64> {
     norms
 }
 
-fn columns_pair<'a>(psi: &'a Matrix<c64>, p: usize, j: usize, m: usize) -> (&'a [c64], &'a [c64]) {
+fn columns_pair(psi: &Matrix<c64>, p: usize, j: usize, m: usize) -> (&[c64], &[c64]) {
     debug_assert!(p < j);
     let s = psi.as_slice();
     (&s[p * m..(p + 1) * m], &s[j * m..(j + 1) * m])
 }
 
-fn columns_pair_mut<'a>(
-    psi: &'a mut Matrix<c64>,
-    p: usize,
-    j: usize,
-    m: usize,
-) -> (&'a [c64], &'a mut [c64]) {
+fn columns_pair_mut(psi: &mut Matrix<c64>, p: usize, j: usize, m: usize) -> (&[c64], &mut [c64]) {
     debug_assert!(p < j);
     let s = psi.as_mut_slice();
     let (head, tail) = s.split_at_mut(j * m);

@@ -23,10 +23,16 @@ pub trait Rng64 {
         lo + (hi - lo) * self.next_f64()
     }
 
-    /// Uniform integer in [0, n).
+    /// Uniform integer in [0, n). `n` must be positive.
+    ///
+    /// Draws directly from the integer stream (`next_u64() % n`) instead of
+    /// double-rounding through `next_f64`: the old float path lost the low
+    /// bits to the 53-bit mantissa and silently mapped `n == 0` to 0. The
+    /// modulo bias is ≤ n/2⁶⁴, far below anything these simulations resolve.
     #[inline]
     fn next_below(&mut self, n: usize) -> usize {
-        (self.next_f64() * n as f64) as usize % n.max(1)
+        debug_assert!(n > 0, "next_below requires n > 0");
+        (self.next_u64() % n as u64) as usize
     }
 
     /// Standard normal via Box–Muller.
@@ -188,6 +194,42 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn next_below_in_bounds_and_covers_all_residues() {
+        let mut r = Xoshiro256::new(11);
+        for n in [1usize, 2, 3, 17, 1000] {
+            let mut seen = vec![false; n.min(64)];
+            for _ in 0..4096 {
+                let x = r.next_below(n);
+                assert!(x < n, "next_below({n}) returned {x}");
+                if x < seen.len() {
+                    seen[x] = true;
+                }
+            }
+            if n <= 64 {
+                assert!(seen.iter().all(|&s| s), "residues missing for n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_uses_integer_stream() {
+        // Regression: the draw must be next_u64() % n, not a double-rounded
+        // float path (which dropped the low 11 bits of the generator).
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        for n in [7usize, 255, 1 << 20] {
+            assert_eq!(a.next_below(n) as u64, b.next_u64() % n as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "next_below requires n > 0")]
+    #[cfg(debug_assertions)]
+    fn next_below_zero_is_rejected() {
+        SplitMix64::new(1).next_below(0);
     }
 
     #[test]

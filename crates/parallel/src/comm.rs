@@ -148,9 +148,9 @@ impl Comm {
         if self.me == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
             out[root] = Some(value);
-            for src in 0..self.size() {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    out[src] = Some(self.recv(src, TAG));
+                    *slot = Some(self.recv(src, TAG));
                 }
             }
             Some(out.into_iter().map(Option::unwrap).collect())

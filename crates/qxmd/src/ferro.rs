@@ -184,10 +184,9 @@ impl FerroModel {
         let (nx, ny, nz) = self.n_cells;
         let mut energy = 0.0;
         // On-site double well + anisotropy + field.
-        for c in 0..self.cell_count() {
+        for (c, &ui) in u.iter().enumerate().take(self.cell_count()) {
             let x = self.excitation[c];
             let a2 = p.a2 + p.beta_exc * x;
-            let ui = u[c];
             let u2 = ui.norm_sqr();
             energy += a2 * u2 + p.a4 * u2 * u2;
             energy += p.a_ani

@@ -111,7 +111,7 @@ mod tests {
         let before = textured_field(&Texture::Uniform, 8, 0.3);
         let mut after = before.clone();
         for u in &mut after.u {
-            *u = *u * 0.5;
+            *u *= 0.5;
         }
         let v = compare(&before, &after);
         assert!(!v.topology_switched);

@@ -28,7 +28,7 @@ proptest! {
     }
 
     #[test]
-    fn charge_invariant_under_global_xy_rotation(theta in 0.0f64..6.28) {
+    fn charge_invariant_under_global_xy_rotation(theta in 0.0f64..std::f64::consts::TAU) {
         // Rotating every vector in-plane is a global O(3) action: Q fixed.
         let n = 20;
         let field = skyrmion_field(n, 10.0, 10.0, 6.0);

@@ -19,4 +19,7 @@ cargo test -q
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "tier-1: OK"

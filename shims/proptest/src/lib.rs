@@ -437,7 +437,10 @@ macro_rules! prop_assert {
         $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
     };
     ($cond:expr, $($fmt:tt)+) => {
-        if !($cond) {
+        // Bind first: negating the raw expression trips clippy's
+        // neg_cmp_op_on_partial_ord at every float-comparison call site.
+        let cond: bool = $cond;
+        if !cond {
             return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
         }
     };

@@ -3,29 +3,34 @@
 //! The build environment has no crates.io access, so this workspace-local
 //! shim provides the slice of rayon's API the MLMD kernels use: parallel
 //! mutable slice chunking, `par_iter_mut`, parallel ranges, and sized
-//! thread pools. `for_each` and `map` fan work out over scoped OS threads
-//! (static contiguous block partitioning, no work stealing); `sum`,
-//! `count`, and `collect` are sequential folds over the already-computed
-//! items, so put the expensive work in a preceding `map`.
+//! thread pools. Since PR 2 it is backed by a persistent work-stealing
+//! scheduler (see [`registry`]): workers are spawned once per pool (lazily
+//! for the implicit global pool), each job's index space is partitioned
+//! into per-participant ranges held in atomic cursors, and a participant
+//! whose range runs dry steals the upper half of the richest remaining
+//! range — so balanced workloads keep contiguous cache-friendly blocks
+//! while skewed ones rebalance automatically. `for_each` and `map` run on
+//! the pool and `map`/`collect` preserve item order; `sum`, `count`, and
+//! `collect` are sequential folds over the already-computed items, so put
+//! the expensive work in a preceding `map`.
+//!
+//! [`ThreadPool::install`] propagates the pool width into submitted jobs:
+//! worker threads carry their registry in a thread-local set at spawn, so
+//! a nested parallel call inside a worker fans out to the pool width, not
+//! to full hardware width (the oversubscription bug of the old per-call
+//! scoped-thread implementation, which survives only behind the
+//! `static-partition` feature as an A/B benchmarking baseline).
 
-use std::cell::Cell;
+mod registry;
 
-thread_local! {
-    static POOL_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
-}
+use registry::hardware_threads;
+use std::sync::Arc;
+use std::thread::JoinHandle;
 
-fn hardware_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// Width parallel iterators fan out to on the calling thread: the
+/// Width parallel iterators fan out to from the calling thread: the
 /// innermost installed [`ThreadPool`]'s size, or the hardware parallelism.
 pub fn current_num_threads() -> usize {
-    POOL_WIDTH
-        .with(|w| w.get())
-        .unwrap_or_else(hardware_threads)
+    registry::current_width()
 }
 
 pub mod prelude {
@@ -34,8 +39,8 @@ pub mod prelude {
     };
 }
 
-/// An eagerly materialized list of work items processed by a static
-/// block partition over scoped threads.
+/// An eagerly materialized list of work items scheduled onto the current
+/// pool by the work-stealing registry.
 pub struct ParIter<I> {
     items: Vec<I>,
 }
@@ -49,7 +54,7 @@ pub trait ParallelIterator: Sized {
     where
         F: Fn(Self::Item) + Sync,
     {
-        run_parallel_map(self.into_items(), &f);
+        registry::run_job(self.into_items(), &f);
     }
 
     fn enumerate(self) -> ParIter<(usize, Self::Item)> {
@@ -64,7 +69,7 @@ pub trait ParallelIterator: Sized {
         F: Fn(Self::Item) -> O + Sync,
     {
         ParIter {
-            items: run_parallel_map(self.into_items(), &f),
+            items: registry::run_job(self.into_items(), &f),
         }
     }
 
@@ -93,35 +98,6 @@ impl<I: Send> ParallelIterator for ParIter<I> {
     fn into_items(self) -> Vec<I> {
         self.items
     }
-}
-
-/// Apply `f` to every item across scoped threads (contiguous block
-/// partition), preserving item order in the returned vector.
-fn run_parallel_map<I, O, F>(items: Vec<I>, f: &F) -> Vec<O>
-where
-    I: Send,
-    O: Send,
-    F: Fn(I) -> O + Sync,
-{
-    let width = current_num_threads().min(items.len());
-    if width <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let chunk = items.len().div_ceil(width);
-    let mut buckets: Vec<Vec<I>> = (0..width).map(|_| Vec::with_capacity(chunk)).collect();
-    for (i, item) in items.into_iter().enumerate() {
-        buckets[i / chunk].push(item);
-    }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = buckets
-            .into_iter()
-            .map(|bucket| scope.spawn(move || bucket.into_iter().map(f).collect::<Vec<O>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("rayon shim worker panicked"))
-            .collect()
-    })
 }
 
 /// `par_chunks_mut` on slices.
@@ -184,28 +160,35 @@ where
     }
 }
 
-/// A sized pool. `install` sets the fan-out width seen by
-/// [`current_num_threads`] for the duration of the closure; the closure
-/// itself runs on the calling thread.
+/// A sized pool with persistent workers. `install` runs the closure on the
+/// calling thread but routes every parallel call inside it (the caller's
+/// and, transitively, the workers') onto this pool, bounded by its width.
 pub struct ThreadPool {
-    width: usize,
+    registry: Arc<registry::Registry>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl ThreadPool {
     pub fn current_num_threads(&self) -> usize {
-        self.width
+        self.registry.width
     }
 
+    /// Run `op` with this pool as the submission target: parallel calls
+    /// inside it fan out to at most `self.current_num_threads()` lanes
+    /// (the calling thread participates as one of them), and nested
+    /// parallel calls issued from worker threads stay on this pool.
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        struct Restore(Option<usize>);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                let prev = self.0;
-                POOL_WIDTH.with(|w| w.set(prev));
-            }
-        }
-        let _guard = Restore(POOL_WIDTH.with(|w| w.replace(Some(self.width))));
+        let _guard = registry::enter(Arc::clone(&self.registry));
         op()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.shut_down();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
     }
 }
 
@@ -230,6 +213,10 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
+    /// Request a pool of `n` threads. Matching real rayon's documented
+    /// contract, `n == 0` means "use the default": the built pool is sized
+    /// to the hardware parallelism, exactly as if `num_threads` had never
+    /// been called.
     pub fn num_threads(mut self, n: usize) -> Self {
         self.width = Some(n);
         self
@@ -240,13 +227,16 @@ impl ThreadPoolBuilder {
             Some(0) | None => hardware_threads(),
             Some(n) => n,
         };
-        Ok(ThreadPool { width })
+        let (registry, workers) = registry::Registry::new(width);
+        Ok(ThreadPool { registry, workers })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    #[cfg(not(feature = "static-partition"))]
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn range_sum() {
@@ -287,5 +277,129 @@ mod tests {
         assert_eq!(pool.current_num_threads(), 3);
         let inside = pool.install(crate::current_num_threads);
         assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn builder_zero_threads_means_default() {
+        // Pinned behavior: real rayon documents `num_threads(0)` as "let
+        // the builder choose", i.e. identical to not calling it at all.
+        let implicit = crate::ThreadPoolBuilder::new().build().unwrap();
+        let explicit = crate::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build()
+            .unwrap();
+        assert_eq!(
+            explicit.current_num_threads(),
+            implicit.current_num_threads()
+        );
+        assert!(explicit.current_num_threads() >= 1);
+    }
+
+    /// The nested-fan-out regression (tentpole bug): a parallel call made
+    /// *inside* a pool's worker must observe the pool width, not the
+    /// hardware width, and concurrent closure executions must never exceed
+    /// the installed width.
+    #[test]
+    #[cfg(not(feature = "static-partition"))]
+    fn nested_install_keeps_pool_width() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let active = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let widths: Vec<(usize, Vec<usize>)> = pool.install(|| {
+            (0..4usize)
+                .into_par_iter()
+                .map(|_| {
+                    let outer_width = crate::current_num_threads();
+                    let inner: Vec<usize> = (0..4usize)
+                        .into_par_iter()
+                        .map(|_| {
+                            let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                            peak.fetch_max(now, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                            active.fetch_sub(1, Ordering::SeqCst);
+                            crate::current_num_threads()
+                        })
+                        .collect();
+                    (outer_width, inner)
+                })
+                .collect()
+        });
+        for (outer, inner) in &widths {
+            assert_eq!(*outer, 2, "outer closure saw width {outer}, wanted 2");
+            for w in inner {
+                assert_eq!(*w, 2, "nested closure saw width {w}, wanted 2");
+            }
+        }
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "nested fan-out oversubscribed: peak {} live workers in a width-2 pool",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    /// Work stealing must not perturb output order: a heavily skewed
+    /// per-item workload (item 0 dwarfs the rest) still collects in item
+    /// order.
+    #[test]
+    fn stealing_preserves_order_under_skew() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let out: Vec<u64> = pool.install(|| {
+            (0..257u64)
+                .into_par_iter()
+                .map(|i| {
+                    let spins = if i == 0 { 200_000 } else { 50 };
+                    let mut acc = i;
+                    for k in 0..spins {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    std::hint::black_box(acc);
+                    i * 3
+                })
+                .collect()
+        });
+        assert_eq!(out.len(), 257);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as u64 * 3, "order violated at index {i}");
+        }
+    }
+
+    #[test]
+    #[cfg(not(feature = "static-partition"))]
+    fn panics_propagate_to_the_submitter() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..64usize).into_par_iter().for_each(|i| {
+                    if i == 13 {
+                        panic!("boom");
+                    }
+                });
+            })
+        }));
+        assert!(r.is_err(), "worker panic must reach the caller");
+        // The pool stays usable afterwards.
+        let s: usize = pool.install(|| (0..10usize).into_par_iter().sum());
+        assert_eq!(s, 45);
+    }
+
+    #[test]
+    fn pools_drop_cleanly_after_use() {
+        for _ in 0..3 {
+            let pool = crate::ThreadPoolBuilder::new()
+                .num_threads(3)
+                .build()
+                .unwrap();
+            let v: Vec<u32> = pool.install(|| (0..100u32).into_par_iter().map(|x| x + 1).collect());
+            assert_eq!(v[99], 100);
+        }
     }
 }
