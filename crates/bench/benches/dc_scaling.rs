@@ -1,0 +1,55 @@
+//! Criterion bench: serial vs rank-parallel DC-MESH global–local SCF.
+//!
+//! The `dc_scaling` group runs the same `small_problem`-shaped fixture
+//! through the serial `DcScf` oracle and through `DistributedDcScf` at
+//! 1, 2, and 4 ranks per domain (2/4/8-rank worlds). On a single CPU the
+//! distributed drivers pay thread + collective overhead on top of the
+//! serial kernels, so the group measures the *cost of the communication
+//! pattern* — the number the exasim cost model needs to extrapolate
+//! multi-node scaling (world sizes stay bounded so CI smoke runs fast).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlmd_dcmesh::dist::run_distributed;
+use mlmd_dcmesh::fixture::{small_two_domain as fixture, SMALL_ELECTRONS, SMALL_NORB, SMALL_SEED};
+use mlmd_dcmesh::scf::DcScf;
+use std::hint::black_box;
+
+const NORB: usize = SMALL_NORB;
+const ELECTRONS: f64 = SMALL_ELECTRONS;
+const SEED: u64 = SMALL_SEED;
+const TOL: f64 = 1e-4;
+const MAX_ITER: usize = 3;
+
+fn bench_dc_scaling(c: &mut Criterion) {
+    let (dd, atoms) = fixture();
+    let mut group = c.benchmark_group("dc_scaling");
+    group.sample_size(10);
+
+    group.bench_function("serial_2dom", |b| {
+        b.iter(|| {
+            let mut scf = DcScf::new(dd.clone(), NORB, ELECTRONS, atoms.clone(), SEED);
+            black_box(scf.converge(TOL, MAX_ITER))
+        });
+    });
+
+    for ranks_per_domain in [1usize, 2, 4] {
+        group.bench_function(format!("dist_2dom_{ranks_per_domain}rpd"), |b| {
+            b.iter(|| {
+                black_box(run_distributed(
+                    &dd,
+                    NORB,
+                    ELECTRONS,
+                    &atoms,
+                    SEED,
+                    ranks_per_domain,
+                    TOL,
+                    MAX_ITER,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dc_scaling);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! The canonical laptop-scale DC fixture: a 12×12×12 global grid split
+//! into two domains along x, with one Gaussian ion well per domain core.
+//!
+//! Every surface that compares the distributed SCF against the serial
+//! oracle — the `scf`/`dist` unit tests, the root `dc_dist` integration
+//! suite, the `dc_scaling` bench group, and the `distributed_scf`
+//! example — builds exactly this problem, so a fixture change cannot
+//! silently change what the oracle comparisons mean.
+
+use crate::domain::{DomainDecomposition, DomainSpec};
+use mlmd_lfd::potential::AtomSite;
+use mlmd_numerics::grid::Grid3;
+use mlmd_numerics::vec3::Vec3;
+
+/// Orbitals per domain.
+pub const SMALL_NORB: usize = 2;
+/// Electrons per domain.
+pub const SMALL_ELECTRONS: f64 = 2.0;
+/// RNG seed for the initial orbital panels.
+pub const SMALL_SEED: u64 = 42;
+
+/// Build the two-domain decomposition and its atoms.
+pub fn small_two_domain() -> (DomainDecomposition, Vec<AtomSite>) {
+    let global = Grid3::new(12, 12, 12, 0.6);
+    let dd = DomainDecomposition::new(DomainSpec {
+        global,
+        n_dom: (2, 1, 1),
+        buffer: 3,
+    });
+    let atoms = vec![
+        AtomSite {
+            pos: Vec3::new(1.8, 3.6, 3.6),
+            z_eff: 4.0,
+            sigma: 0.9,
+        },
+        AtomSite {
+            pos: Vec3::new(5.4, 3.6, 3.6),
+            z_eff: 4.0,
+            sigma: 0.9,
+        },
+    ];
+    (dd, atoms)
+}
+
+/// The serial oracle on the canonical fixture.
+pub fn small_serial_scf() -> crate::scf::DcScf {
+    let (dd, atoms) = small_two_domain();
+    crate::scf::DcScf::new(dd, SMALL_NORB, SMALL_ELECTRONS, atoms, SMALL_SEED)
+}

@@ -11,6 +11,11 @@
 //! * [`scf`] — global–local self-consistent field: local orbitals refined
 //!   per domain against a *global* KS potential solved by multigrid
 //!   (the GSLF/GSLD solver split of Sec. V.A.2).
+//! * [`dist`] — the same SCF sharded across simulated-MPI ranks: one
+//!   communicator per domain, orbital blocks split over ranks by
+//!   [`mlmd_parallel::hier::Hierarchy::band_range`], recombine/restrict as
+//!   real collectives. The serial [`scf::DcScf`] is the kept oracle; the
+//!   distributed trajectory matches it bit-for-bit.
 //! * [`ehrenfest`] — the N_QD-step inner loop of Eq. (2): split-operator
 //!   QD steps under frozen Δv with the self-consistent time-reversible
 //!   Hartree update of ref [43].
@@ -22,13 +27,16 @@
 //!   electrons ↔ surface hopping ↔ QXMD atoms.
 //! * [`metrics`] — per-kernel FLOP/time accounting (Tables IV–V rows).
 
+pub mod dist;
 pub mod domain;
 pub mod ehrenfest;
+pub mod fixture;
 pub mod mesh;
 pub mod metrics;
 pub mod scf;
 pub mod shadow;
 
+pub use dist::DistributedDcScf;
 pub use domain::{DomainDecomposition, DomainSpec};
 pub use mesh::{MeshConfig, MeshDriver};
 pub use shadow::ShadowDomain;

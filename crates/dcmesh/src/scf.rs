@@ -13,7 +13,7 @@
 //!    (the dense, fast tier);
 //! 5. density mixing, repeat until the band energy stops moving.
 
-use crate::domain::DomainDecomposition;
+use crate::domain::{Domain, DomainDecomposition};
 use mlmd_lfd::density;
 use mlmd_lfd::hartree::Multigrid;
 use mlmd_lfd::occupation::Occupations;
@@ -26,6 +26,16 @@ use mlmd_numerics::grid::Grid3;
 use mlmd_numerics::matrix::Matrix;
 use mlmd_numerics::ortho;
 use mlmd_numerics::stencil::{laplacian, Order};
+use std::ops::Range;
+
+/// Damping of the preconditioned steepest-descent orbital refinement.
+pub const DESCENT_ETA: f64 = 0.1;
+/// Descent sweeps per SCF iteration.
+pub const DESCENT_STEPS: usize = 3;
+/// Multigrid Hartree-solve tolerance.
+pub const MG_TOL: f64 = 1e-6;
+/// Multigrid V-cycle budget per SCF iteration.
+pub const MG_CYCLES: usize = 20;
 
 /// Apply the local KS Hamiltonian `Ĥ = −½∇² + v` to one orbital.
 pub fn apply_h(grid: &Grid3, vloc: &[f64], psi: &[c64]) -> Vec<c64> {
@@ -68,23 +78,41 @@ pub fn band_energies(grid: &Grid3, vloc: &[f64], wf: &WaveFunctions) -> Vec<f64>
         .collect()
 }
 
-/// Rayleigh–Ritz within the orbital span: diagonalize the subspace
-/// Hamiltonian and rotate the panel into the eigenbasis.
-pub fn subspace_rotate(grid: &Grid3, vloc: &[f64], wf: &mut WaveFunctions) -> Vec<f64> {
+/// Subspace-Hamiltonian columns `H_ab = ⟨ψ_a|H|ψ_b⟩` for `b ∈ cols`,
+/// flattened column-major (`norb` entries per column, columns in `cols`
+/// order). Columns are independent, so the band tier of the DC-MESH
+/// hierarchy shards this call over ranks and concatenates the results
+/// ([`crate::dist::DistributedDcScf`]); every entry is computed exactly as
+/// in the serial path, so sharding is bit-identical.
+pub fn subspace_h_columns(
+    grid: &Grid3,
+    vloc: &[f64],
+    wf: &WaveFunctions,
+    cols: Range<usize>,
+) -> Vec<c64> {
     let n = wf.norb;
     let dv = grid.dv();
-    // H_ab = ⟨ψ_a|H|ψ_b⟩
-    let hpsi: Vec<Vec<c64>> = (0..n).map(|s| apply_h(grid, vloc, wf.psi.col(s))).collect();
-    let mut h = Matrix::<c64>::zeros(n, n);
-    for b in 0..n {
+    let mut out = Vec::with_capacity(n * cols.len());
+    for b in cols {
+        let hpsi = apply_h(grid, vloc, wf.psi.col(b));
         for a in 0..n {
             let mut acc = c64::zero();
-            for (x, y) in wf.psi.col(a).iter().zip(&hpsi[b]) {
+            for (x, y) in wf.psi.col(a).iter().zip(&hpsi) {
                 acc = acc.mul_acc(x.conj(), *y);
             }
-            h[(a, b)] = acc.scale(dv);
+            out.push(acc.scale(dv));
         }
     }
+    out
+}
+
+/// Complete a Rayleigh–Ritz step from an assembled subspace Hamiltonian
+/// (flat column-major `norb × norb`): hermitize, diagonalize, and rotate
+/// the panel into the eigenbasis. Returns the subspace eigenvalues.
+pub fn finish_subspace_rotate(wf: &mut WaveFunctions, h_flat: Vec<c64>) -> Vec<f64> {
+    let n = wf.norb;
+    assert_eq!(h_flat.len(), n * n, "subspace Hamiltonian must be norb²");
+    let h = Matrix::from_vec(n, n, h_flat);
     // Hermitize against FD asymmetry noise.
     let h = Matrix::from_fn(n, n, |a, b| (h[(a, b)] + h[(b, a)].conj()).scale(0.5));
     let e = eigh_hermitian(&h);
@@ -94,30 +122,60 @@ pub fn subspace_rotate(grid: &Grid3, vloc: &[f64], wf: &mut WaveFunctions) -> Ve
     e.values
 }
 
+/// Rayleigh–Ritz within the orbital span: diagonalize the subspace
+/// Hamiltonian and rotate the panel into the eigenbasis.
+pub fn subspace_rotate(grid: &Grid3, vloc: &[f64], wf: &mut WaveFunctions) -> Vec<f64> {
+    let h = subspace_h_columns(grid, vloc, wf, 0..wf.norb);
+    finish_subspace_rotate(wf, h)
+}
+
+/// One damped steepest-descent sweep `ψ_s ← ψ_s − η (Ĥ − ε_s) ψ_s` over
+/// the columns in `cols` only, with no re-orthonormalization. Each column
+/// update reads and writes only that column, so the band tier shards this
+/// call over ranks bit-identically; callers must follow up with a panel
+/// sync plus [`orthonormalize_panel`].
+pub fn descend_columns(
+    grid: &Grid3,
+    vloc: &[f64],
+    wf: &mut WaveFunctions,
+    eta: f64,
+    cols: Range<usize>,
+) {
+    let dv = grid.dv();
+    for s in cols {
+        let col = wf.psi.col(s).to_vec();
+        let hpsi = apply_h(grid, vloc, &col);
+        let eps: f64 = col
+            .iter()
+            .zip(&hpsi)
+            .map(|(a, b)| (a.conj() * *b).re)
+            .sum::<f64>()
+            * dv;
+        let out = wf.psi.col_mut(s);
+        for (o, (c, h)) in out.iter_mut().zip(col.iter().zip(&hpsi)) {
+            *o = *c - (*h - c.scale(eps)).scale(eta);
+        }
+    }
+}
+
+/// Gram–Schmidt the panel and rescale to grid-measure normalization
+/// (`∫|ψ|² dV = 1`) — the sequential, orbital-coupling tail of a descent
+/// sweep. Runs redundantly on every rank of a domain group in the
+/// distributed driver.
+pub fn orthonormalize_panel(grid: &Grid3, wf: &mut WaveFunctions) {
+    ortho::gram_schmidt(&mut wf.psi);
+    let scale = 1.0 / grid.dv().sqrt();
+    for z in wf.psi.as_mut_slice() {
+        *z = z.scale(scale);
+    }
+}
+
 /// A few steps of damped steepest descent on the band energies:
 /// `ψ ← ortho(ψ − η (Ĥ − ε_s) ψ)`.
 pub fn refine_orbitals(grid: &Grid3, vloc: &[f64], wf: &mut WaveFunctions, eta: f64, steps: usize) {
-    let dv = grid.dv();
     for _ in 0..steps {
-        for s in 0..wf.norb {
-            let col = wf.psi.col(s).to_vec();
-            let hpsi = apply_h(grid, vloc, &col);
-            let eps: f64 = col
-                .iter()
-                .zip(&hpsi)
-                .map(|(a, b)| (a.conj() * *b).re)
-                .sum::<f64>()
-                * dv;
-            let out = wf.psi.col_mut(s);
-            for (o, (c, h)) in out.iter_mut().zip(col.iter().zip(&hpsi)) {
-                *o = *c - (*h - c.scale(eps)).scale(eta);
-            }
-        }
-        ortho::gram_schmidt(&mut wf.psi);
-        let scale = 1.0 / dv.sqrt();
-        for z in wf.psi.as_mut_slice() {
-            *z = z.scale(scale);
-        }
+        descend_columns(grid, vloc, wf, eta, 0..wf.norb);
+        orthonormalize_panel(grid, wf);
     }
 }
 
@@ -138,11 +196,101 @@ pub struct DcScf {
 }
 
 /// Convergence record per SCF iteration.
+///
+/// `delta` is always finite: from the second iteration on it is the
+/// absolute band-energy change; the first iteration has no predecessor, so
+/// its `delta` is `|band_energy|` itself (a finite sentinel that keeps
+/// averaging/serializing consumers well-defined and can never satisfy the
+/// convergence test spuriously, because iteration 0 is exempt from it).
 #[derive(Clone, Copy, Debug)]
 pub struct ScfIteration {
     pub iter: usize,
     pub band_energy: f64,
     pub delta: f64,
+}
+
+/// This domain's contribution to the global density: the local density of
+/// its orbital panel, rescaled so the *core* region deposits exactly the
+/// domain's electron count — the divide-and-conquer partition
+/// normalization of Yang's DC-DFT (ref [37]). Buffer values are retained
+/// (callers discard them via [`Domain::accumulate_core`]).
+pub fn domain_core_density(dom: &Domain, wf: &WaveFunctions, occ: &Occupations) -> Vec<f64> {
+    let mut local = density::density(wf, occ);
+    let mut core_sum = 0.0;
+    for lk in 0..dom.grid.nz {
+        for lj in 0..dom.grid.ny {
+            for li in 0..dom.grid.nx {
+                if dom.is_core(li, lj, lk) {
+                    core_sum += local[dom.grid.idx(li, lj, lk)];
+                }
+            }
+        }
+    }
+    let core_electrons = core_sum * dom.grid.dv();
+    if core_electrons > 1e-12 {
+        let scale = occ.total() / core_electrons;
+        for v in &mut local {
+            *v *= scale;
+        }
+    }
+    local
+}
+
+/// Linear density mixing `ρ ← (1−α)ρ + αρ_new`; a first call against an
+/// all-zero history simply adopts `ρ_new`.
+pub fn mix_density(rho: &mut Vec<f64>, rho_new: Vec<f64>, mixing: f64) {
+    assert_eq!(rho.len(), rho_new.len(), "mix_density length mismatch");
+    if rho.iter().all(|&x| x == 0.0) {
+        *rho = rho_new;
+    } else {
+        for (r, n) in rho.iter_mut().zip(&rho_new) {
+            *r = (1.0 - mixing) * *r + mixing * n;
+        }
+    }
+}
+
+/// The global KS potential `v = v_ion + V_H[ρ] + v_xc[ρ]`: multigrid
+/// Hartree solve plus ionic and LDA exchange pieces — the sparse, scalable
+/// tier of GSLF. In the distributed driver this runs redundantly on each
+/// domain root.
+pub fn assemble_global_potential(g: &Grid3, rho: &[f64], atoms: &[AtomSite]) -> Vec<f64> {
+    let mg = Multigrid::new(*g);
+    let (v_h, _) = mg.solve(rho, MG_TOL, MG_CYCLES);
+    let v_ion = ionic_potential(g, atoms);
+    let mut v_xc = vec![0.0; g.len()];
+    xc::vx_lda(rho, &mut v_xc);
+    (0..g.len())
+        .map(|idx| v_ion[idx] + v_h[idx] + v_xc[idx])
+        .collect()
+}
+
+/// The shared global–local SCF outer loop: call `step` until the band
+/// energy moves by less than `tol` between consecutive iterations (the
+/// first iteration, having no predecessor, never terminates the loop; see
+/// [`ScfIteration`] for its `delta` convention). Both the serial
+/// [`DcScf::converge`] and the distributed driver run exactly this loop,
+/// which is what lets the integration suite pin their histories to each
+/// other bit-for-bit.
+pub fn run_scf_loop(mut step: impl FnMut() -> f64, tol: f64, max_iter: usize) -> Vec<ScfIteration> {
+    let mut history = Vec::new();
+    let mut last: Option<f64> = None;
+    for iter in 0..max_iter {
+        let e = step();
+        let delta = match last {
+            Some(prev) => (e - prev).abs(),
+            None => e.abs(),
+        };
+        history.push(ScfIteration {
+            iter,
+            band_energy: e,
+            delta,
+        });
+        if last.is_some() && delta < tol {
+            break;
+        }
+        last = Some(e);
+    }
+    history
 }
 
 impl DcScf {
@@ -190,24 +338,7 @@ impl DcScf {
             .iter()
             .zip(self.orbitals.iter().zip(&self.occupations))
         {
-            let mut local = density::density(wf, occ);
-            let mut core_sum = 0.0;
-            for lk in 0..dom.grid.nz {
-                for lj in 0..dom.grid.ny {
-                    for li in 0..dom.grid.nx {
-                        if dom.is_core(li, lj, lk) {
-                            core_sum += local[dom.grid.idx(li, lj, lk)];
-                        }
-                    }
-                }
-            }
-            let core_electrons = core_sum * dom.grid.dv();
-            if core_electrons > 1e-12 {
-                let scale = occ.total() / core_electrons;
-                for v in &mut local {
-                    *v *= scale;
-                }
-            }
+            let local = domain_core_density(dom, wf, occ);
             dom.accumulate_core(&g, &local, &mut rho);
         }
         rho
@@ -218,21 +349,8 @@ impl DcScf {
         let g = self.decomposition.spec.global;
         // 1–2. Global density and potential.
         let rho_new = self.global_density();
-        if self.rho_global.iter().all(|&x| x == 0.0) {
-            self.rho_global = rho_new;
-        } else {
-            for (r, n) in self.rho_global.iter_mut().zip(&rho_new) {
-                *r = (1.0 - self.mixing) * *r + self.mixing * n;
-            }
-        }
-        let mg = Multigrid::new(g);
-        let (v_h, _) = mg.solve(&self.rho_global, 1e-6, 20);
-        let v_ion = ionic_potential(&g, &self.atoms);
-        let mut v_xc = vec![0.0; g.len()];
-        xc::vx_lda(&self.rho_global, &mut v_xc);
-        for (idx, v) in self.v_global.iter_mut().enumerate() {
-            *v = v_ion[idx] + v_h[idx] + v_xc[idx];
-        }
+        mix_density(&mut self.rho_global, rho_new, self.mixing);
+        self.v_global = assemble_global_potential(&g, &self.rho_global, &self.atoms);
         // 3–4. Restrict and refine per domain.
         let mut total_band = 0.0;
         for (dom, (wf, occ)) in self
@@ -242,7 +360,7 @@ impl DcScf {
             .zip(self.orbitals.iter_mut().zip(&self.occupations))
         {
             let v_local = dom.restrict(&g, &self.v_global);
-            refine_orbitals(&dom.grid, &v_local, wf, 0.1, 3);
+            refine_orbitals(&dom.grid, &v_local, wf, DESCENT_ETA, DESCENT_STEPS);
             let eps = subspace_rotate(&dom.grid, &v_local, wf);
             total_band += eps
                 .iter()
@@ -254,24 +372,11 @@ impl DcScf {
     }
 
     /// Run to convergence: stop when the band energy changes by less than
-    /// `tol` (absolute) between iterations.
+    /// `tol` (absolute) between consecutive iterations (the first
+    /// iteration, having no predecessor, cannot terminate the loop; its
+    /// recorded `delta` is `|band_energy|` — see [`ScfIteration`]).
     pub fn converge(&mut self, tol: f64, max_iter: usize) -> Vec<ScfIteration> {
-        let mut history = Vec::new();
-        let mut last = f64::INFINITY;
-        for iter in 0..max_iter {
-            let e = self.iterate();
-            let delta = (e - last).abs();
-            history.push(ScfIteration {
-                iter,
-                band_energy: e,
-                delta,
-            });
-            if delta < tol {
-                break;
-            }
-            last = e;
-        }
-        history
+        run_scf_loop(|| self.iterate(), tol, max_iter)
     }
 
     /// Worst eigen-residual `|Hψ − εψ|` over all domains (convergence
@@ -299,29 +404,10 @@ impl DcScf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::domain::DomainSpec;
     use mlmd_numerics::vec3::Vec3;
 
     fn small_problem() -> DcScf {
-        let global = Grid3::new(12, 12, 12, 0.6);
-        let dd = DomainDecomposition::new(DomainSpec {
-            global,
-            n_dom: (2, 1, 1),
-            buffer: 3,
-        });
-        let atoms = vec![
-            AtomSite {
-                pos: Vec3::new(1.8, 3.6, 3.6),
-                z_eff: 4.0,
-                sigma: 0.9,
-            },
-            AtomSite {
-                pos: Vec3::new(5.4, 3.6, 3.6),
-                z_eff: 4.0,
-                sigma: 0.9,
-            },
-        ];
-        DcScf::new(dd, 2, 2.0, atoms, 42)
+        crate::fixture::small_serial_scf()
     }
 
     #[test]
@@ -370,6 +456,57 @@ mod tests {
             at_atom > avg,
             "density must pile up at the well: {at_atom} vs avg {avg}"
         );
+    }
+
+    #[test]
+    fn first_iteration_delta_is_finite_energy_magnitude() {
+        // Regression: iteration 0 used to record `delta: f64::INFINITY`,
+        // poisoning any history consumer that averages or serializes
+        // deltas. It now reports the first band energy's magnitude.
+        let mut scf = small_problem();
+        let history = scf.converge(1e-4, 5);
+        let first = history[0];
+        assert!(first.delta.is_finite(), "delta must be finite");
+        assert_eq!(first.delta, first.band_energy.abs());
+        let mean_delta = history.iter().map(|h| h.delta).sum::<f64>() / history.len() as f64;
+        assert!(mean_delta.is_finite(), "averaged deltas must stay finite");
+    }
+
+    #[test]
+    fn scf_loop_never_converges_on_the_first_iteration() {
+        // Even a first band energy smaller than `tol` must not stop the
+        // loop — there is no predecessor to have converged against.
+        let history = run_scf_loop(|| 1e-9, 1e-4, 5);
+        assert_eq!(history.len(), 2, "must take a second iteration");
+        assert_eq!(history[1].delta, 0.0);
+    }
+
+    #[test]
+    fn refactored_kernel_steps_match_monolithic_refine() {
+        // `refine_orbitals` is now descend + sync-free orthonormalize; the
+        // split must be bit-identical to performing the steps inline.
+        let grid = Grid3::new(8, 8, 8, 0.5);
+        let atoms = [AtomSite {
+            pos: Vec3::new(2.0, 2.0, 2.0),
+            z_eff: 3.0,
+            sigma: 0.8,
+        }];
+        let vloc = ionic_potential(&grid, &atoms);
+        let mut a = WaveFunctions::random(grid, 3, 11);
+        let mut b = a.clone();
+        refine_orbitals(&grid, &vloc, &mut a, 0.1, 2);
+        for _ in 0..2 {
+            descend_columns(&grid, &vloc, &mut b, 0.1, 0..1);
+            descend_columns(&grid, &vloc, &mut b, 0.1, 1..3);
+            orthonormalize_panel(&grid, &mut b);
+        }
+        assert_eq!(a.psi.max_abs_diff(&b.psi), 0.0, "split must be exact");
+        let ra = subspace_rotate(&grid, &vloc, &mut a);
+        let h0 = subspace_h_columns(&grid, &vloc, &b, 0..2);
+        let h1 = subspace_h_columns(&grid, &vloc, &b, 2..3);
+        let rb = finish_subspace_rotate(&mut b, h0.into_iter().chain(h1).collect());
+        assert_eq!(ra, rb, "sharded Rayleigh–Ritz must be exact");
+        assert_eq!(a.psi.max_abs_diff(&b.psi), 0.0);
     }
 
     #[test]

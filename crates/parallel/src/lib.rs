@@ -13,8 +13,12 @@
 //! a form that unit tests can assert:
 //!
 //! * [`comm`] — `World::run(n, |comm| …)` spawns ranks as threads;
-//!   [`comm::Comm`] offers `send`/`recv`, `barrier`, `allreduce`,
-//!   `gather`/`allgather`, `bcast`, and MPI_Comm_split-style [`comm::Comm::split`].
+//!   [`comm::Comm`] offers tag-matched `send`/`recv`, `barrier`,
+//!   `allreduce`, `gather`/`allgather`/`allgather_vec`, `bcast`,
+//!   `scatter`, and MPI_Comm_split-style [`comm::Comm::split`].
+//!   Collective traffic lives in a reserved tag namespace
+//!   ([`comm::COLLECTIVE_TAG_BIT`]), and a communicator's channels are
+//!   reclaimed when its last handle drops.
 //! * [`hier`] — the domain / band-space hierarchy of DC-MESH.
 //! * [`device`] — CPU and GPU execution resources (rayon pools of different
 //!   widths) plus the [`device::TransferLedger`].

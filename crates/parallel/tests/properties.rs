@@ -2,7 +2,7 @@
 //! definitions for arbitrary rank counts and payloads.
 
 use mlmd_parallel::comm::World;
-use mlmd_parallel::hier::partition;
+use mlmd_parallel::hier::{partition, Hierarchy};
 use proptest::prelude::*;
 
 proptest! {
@@ -66,6 +66,58 @@ proptest! {
         let out = World::run(n, move |c| c.allreduce(vals[c.rank()], u64::max));
         for v in out {
             prop_assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn band_space_ranges_tile_each_domain_under_split(
+        domains in 1usize..4,
+        per in 1usize..4,
+        norb in 0usize..37,
+        ngrid in 0usize..401,
+    ) {
+        // `Hierarchy::build` composes `Comm::split` with `partition`; for
+        // any orbital / grid count — divisible or not — the band and space
+        // ranges of a domain's ranks must tile 0..n contiguously, in
+        // domain-rank order, with no overlap.
+        let n = domains * per;
+        let out = World::run(n, move |world| {
+            let h = Hierarchy::build(world, domains);
+            (
+                h.domain_index,
+                h.domain.rank(),
+                h.band_range(norb),
+                h.space_range(ngrid),
+            )
+        });
+        for d in 0..domains {
+            let mut ranks: Vec<_> = out.iter().filter(|(di, ..)| *di == d).collect();
+            ranks.sort_by_key(|(_, r, ..)| *r);
+            prop_assert_eq!(ranks.len(), per);
+            for (n_items, pick) in [(norb, 0usize), (ngrid, 1)] {
+                let mut cursor = 0;
+                for (_, _, band, space) in &ranks {
+                    let r = if pick == 0 { band } else { space };
+                    prop_assert_eq!(r.start, cursor, "gap or overlap in domain {}", d);
+                    cursor = r.end;
+                }
+                prop_assert_eq!(cursor, n_items, "domain {} must cover all items", d);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_vec_reassembles_partitioned_panels(n in 1usize..7, len in 0usize..50) {
+        // Sharding a panel by `partition` and allgather_vec-ing it back is
+        // the identity — the panel-sync step of the distributed SCF.
+        let data: Vec<u64> = (0..len as u64).map(|i| i * 31 + 7).collect();
+        let expect = data.clone();
+        let out = World::run(n, move |c| {
+            let mine = partition(data.len(), c.size(), c.rank());
+            c.allgather_vec(data[mine].to_vec())
+        });
+        for v in out {
+            prop_assert_eq!(&v, &expect);
         }
     }
 }

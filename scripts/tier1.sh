@@ -16,6 +16,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q --test dc_dist  (multi-rank DC-SCF vs serial oracle)"
+cargo test -q --test dc_dist
+
+echo "==> cargo bench -p mlmd-bench --bench dc_scaling -- --test  (smoke)"
+cargo bench -p mlmd-bench --bench dc_scaling -- --test
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

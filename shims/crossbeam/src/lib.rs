@@ -40,6 +40,24 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Mirror of crossbeam's `RecvTimeoutError`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Self::Timeout => write!(f, "timed out waiting on receive operation"),
+                Self::Disconnected => write!(f, "channel is empty and disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     impl std::fmt::Display for RecvError {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             write!(f, "receiving on an empty and disconnected channel")
@@ -129,6 +147,27 @@ pub mod channel {
             let mut q = self.shared.queue.lock().unwrap();
             q.items.pop_front().ok_or(RecvError)
         }
+
+        /// Blocks until a message is available, every sender is gone, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut q = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = q.items.pop_front() {
+                    return Ok(item);
+                }
+                if q.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self.shared.ready.wait_timeout(q, deadline - now).unwrap();
+                q = guard;
+            }
+        }
     }
 
     #[cfg(test)]
@@ -171,6 +210,17 @@ pub mod channel {
             let (s, r) = unbounded::<u8>();
             drop(s);
             assert_eq!(r.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (s, r) = unbounded::<u8>();
+            let short = std::time::Duration::from_millis(5);
+            assert_eq!(r.recv_timeout(short), Err(RecvTimeoutError::Timeout));
+            s.send(9).unwrap();
+            assert_eq!(r.recv_timeout(short), Ok(9));
+            drop(s);
+            assert_eq!(r.recv_timeout(short), Err(RecvTimeoutError::Disconnected));
         }
     }
 }
