@@ -1,0 +1,65 @@
+//! Criterion bench: the pump–probe MESH measurement, sequential vs as a
+//! batched `RunPlan`.
+//!
+//! The `pump_probe` group runs the pipeline's embedded-region lit + dark
+//! driver pair (the stage-2 measurement of the Fig. 3 workflow) two ways:
+//! stepped one after another (the pre-engine behavior) and as a single
+//! `RunPlan` batch on work-stealing pools of width 2 and 4. On a
+//! single-CPU container both serialize the compute, so the delta measures
+//! the batching overhead; on multi-core hardware the batch overlaps the
+//! two independent MESH integrations. A 4-amplitude sweep exercises the
+//! N-run generalization. Results for this PR are recorded in
+//! `BENCH_pr4.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlmd_core::config::PipelineConfig;
+use mlmd_core::engine::{Engine, RunPlan, TraceObserver};
+use mlmd_core::pipeline::Pipeline;
+use std::hint::black_box;
+
+fn bench_pump_probe(c: &mut Criterion) {
+    let mut cfg = PipelineConfig::small_demo();
+    // Short MESH trajectories keep the CI smoke run fast; each step still
+    // runs the full Ehrenfest/hopping/QXMD loop.
+    cfg.mesh_steps = 3;
+    let pipeline = Pipeline::new(cfg);
+    let steps = cfg.mesh_steps;
+    let mut group = c.benchmark_group("pump_probe");
+    group.sample_size(10);
+
+    group.bench_function("lit_dark_sequential", |b| {
+        b.iter(|| {
+            let lit = Engine::run_collect(&mut pipeline.mesh_stage(cfg.pulse_e0), steps);
+            let dark = Engine::run_collect(&mut pipeline.mesh_stage(0.0), steps);
+            black_box(lit.len() + dark.len())
+        });
+    });
+
+    for width in [2usize, 4] {
+        group.bench_function(format!("lit_dark_runplan_w{width}"), |b| {
+            b.iter(|| {
+                let mut plan = RunPlan::new();
+                plan.push(
+                    pipeline.mesh_stage(cfg.pulse_e0),
+                    TraceObserver::every(),
+                    steps,
+                );
+                plan.push(pipeline.mesh_stage(0.0), TraceObserver::every(), steps);
+                let done = plan.execute_with_width(width);
+                black_box(done.len())
+            });
+        });
+    }
+
+    group.bench_function("sweep4_runplan", |b| {
+        b.iter(|| {
+            let runs = pipeline.pump_probe_sweep(&[0.025, 0.05, 0.075, 0.1]);
+            black_box(runs.len())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pump_probe);
+criterion_main!(benches);

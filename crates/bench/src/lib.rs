@@ -12,7 +12,7 @@
 //! | `table5` | Table V — hotspot-kernel FLOP/s |
 //! | `fig4` | Fig. 4 — DC-MESH weak/strong scaling |
 //! | `fig5` | Fig. 5 — XS-NNQMD weak/strong scaling |
-//! | `fidelity` | ref [27] — t_failure ∝ N^(−0.14/−0.29) fidelity scaling |
+//! | `fidelity` | ref \[27\] — t_failure ∝ N^(−0.14/−0.29) fidelity scaling |
 //!
 //! Host-measured numbers (Tables III–V) report this machine's wall-clock
 //! and GFLOP/s — the paper's *shape* (who wins, by what factor) is the

@@ -468,7 +468,7 @@ pub fn fig5() -> String {
 
 // -------------------------------------------------------------- Fidelity
 
-/// Fidelity scaling: the t_failure exponents of ref [27].
+/// Fidelity scaling: the t_failure exponents of ref \[27\].
 pub fn fidelity() -> String {
     let sizes: Vec<f64> = (0..6).map(|i| 1e4 * 8f64.powi(i)).collect();
     let mut s = String::new();

@@ -27,6 +27,15 @@ pub struct PipelineConfig {
     pub ehrenfest: EhrenfestConfig,
     /// XS-NNQMD response MD steps after the pulse.
     pub response_steps: usize,
+    /// Response-trace sampling stride: record the polarization texture
+    /// every this many MD steps (plus always the final step). The default
+    /// of 10 reproduces the historical `step % 10` cadence bit-for-bit.
+    pub response_sample_stride: usize,
+    /// When `Some(n)`, the respond stage adds a neural-network force term
+    /// evaluated through `block_evaluate` with `n` inference batches (the
+    /// Sec. V.B.9 neighbor-list blocking). `None` (the default) keeps the
+    /// analytic excitation-reshaped landscape only.
+    pub respond_nn_batches: Option<usize>,
     /// MD time step (fs).
     pub dt_fs: f64,
     /// Excitation gain from DC-MESH n_exc to the per-cell fraction
@@ -55,6 +64,8 @@ impl PipelineConfig {
                 self_consistent: false,
             },
             response_steps: 2000,
+            response_sample_stride: 10,
+            respond_nn_batches: None,
             dt_fs: 0.2,
             excitation_gain: 8.0,
             seed: 2025,

@@ -16,26 +16,37 @@
 //! supercell. Dissipation during the response stage (Langevin friction)
 //! models the electron–phonon and phonon–phonon energy drain of the real
 //! material.
+//!
+//! Every stage is an engine run (see [`crate::engine`]): prepare and
+//! respond drive an [`MdStage`] over the [`SupercellForce`], and the
+//! pump–probe measurement executes its lit and dark [`MeshDriver`] runs
+//! as one concurrent [`RunPlan`] batch ([`Pipeline::pump_probe_sweep`]
+//! generalizes the pair to an N-amplitude sweep).
 
 use crate::config::PipelineConfig;
+use crate::engine::{
+    polarization_of, Engine, NullObserver, Observer, ResponseTraceObserver, RunPlan, SampleStride,
+    SupercellForce, TraceObserver,
+};
 use crate::msa::XnNnCoupling;
-use mlmd_dcmesh::mesh::{MeshConfig, MeshDriver, MeshStepRecord};
+use mlmd_dcmesh::mesh::{MeshConfig, MeshDriver, MeshDriverBuilder, MeshStepRecord};
 use mlmd_lfd::occupation::Occupations;
 use mlmd_lfd::potential::AtomSite;
 use mlmd_lfd::wavefunction::WaveFunctions;
 use mlmd_maxwell::source::GaussianPulse;
+use mlmd_nnqmd::md::NnForceField;
+use mlmd_nnqmd::model::{AllegroLite, ModelConfig};
 use mlmd_numerics::grid::Grid3;
 use mlmd_numerics::rng::Xoshiro256;
 use mlmd_numerics::vec3::Vec3;
-use mlmd_parallel::device::TransferLedger;
+use mlmd_qxmd::atoms::AtomsSystem;
 use mlmd_qxmd::ferro::{FerroModel, FerroParams};
-use mlmd_qxmd::integrator::{ForceField, VelocityVerlet};
+use mlmd_qxmd::md_stage::MdStage;
 use mlmd_qxmd::perovskite::PerovskiteLattice;
 use mlmd_qxmd::thermostat::Langevin;
 use mlmd_topo::polarization::PolarizationField;
 use mlmd_topo::superlattice::Texture;
 use mlmd_topo::switching::{compare, SwitchingVerdict, TextureReport};
-use std::sync::Arc;
 
 /// One point of the response-stage trajectory.
 #[derive(Clone, Copy, Debug)]
@@ -43,6 +54,17 @@ pub struct ResponsePoint {
     pub time_fs: f64,
     pub polar_order: f64,
     pub mean_charge: f64,
+}
+
+/// One lit run of a pump–probe amplitude sweep.
+#[derive(Clone, Debug)]
+pub struct PumpProbeRun {
+    /// Pulse amplitude of this run (a.u.).
+    pub e0: f64,
+    /// Full MESH trajectory of the lit run.
+    pub records: Vec<MeshStepRecord>,
+    /// Peak excitation above the shared dark reference.
+    pub n_exc_peak: f64,
 }
 
 /// The end-to-end result.
@@ -62,6 +84,11 @@ pub struct Pipeline {
     pub config: PipelineConfig,
     lattice: PerovskiteLattice,
     ferro: FerroModel,
+}
+
+/// Peak excitation over a MESH trajectory.
+fn peak_exc(records: &[MeshStepRecord]) -> f64 {
+    records.iter().map(|r| r.n_exc).fold(0.0f64, f64::max)
 }
 
 impl Pipeline {
@@ -89,13 +116,32 @@ impl Pipeline {
 
     /// Current polarization field of the supercell.
     pub fn polarization(&self) -> PolarizationField {
-        let (nx, ny, nz) = self.config.cells;
-        PolarizationField::new(
-            nx,
-            ny,
-            nz,
-            self.ferro.displacement_field(&self.lattice.system),
+        polarization_of(self.config.cells, &self.ferro, &self.lattice.system)
+    }
+
+    /// Move the supercell system out of the pipeline for an MD stage.
+    fn take_system(&mut self) -> AtomsSystem {
+        std::mem::replace(
+            &mut self.lattice.system,
+            AtomsSystem::new(Vec::new(), Vec::new(), Vec3::splat(1.0)),
         )
+    }
+
+    /// Run a supercell MD stage and reclaim its system and force model.
+    fn run_md_stage<O: Observer<MdStage<SupercellForce>>>(
+        &mut self,
+        force: SupercellForce,
+        n_steps: usize,
+        thermostat: Option<Langevin>,
+        rng: Xoshiro256,
+        observer: &mut O,
+    ) {
+        let system = self.take_system();
+        let mut stage = MdStage::new(system, force, self.config.dt_fs, thermostat, rng);
+        Engine::run(&mut stage, n_steps, observer);
+        let (system, force) = stage.into_parts();
+        self.lattice.system = system;
+        self.ferro = force.ferro;
     }
 
     /// Stage 1: GS relaxation/thermalization of the texture.
@@ -106,22 +152,19 @@ impl Pipeline {
             self.lattice.system.thermalize(cfg.temperature, &mut rng);
         }
         self.ferro.set_uniform_excitation(0.0);
-        let vv = VelocityVerlet::new(cfg.dt_fs);
-        let thermo = Langevin::new(cfg.temperature.max(1.0), 0.2);
-        self.ferro.compute(&mut self.lattice.system);
-        for _ in 0..cfg.prepare_steps {
-            vv.step(&mut self.lattice.system, &self.ferro);
-            if cfg.temperature > 0.0 {
-                thermo.apply(&mut self.lattice.system, cfg.dt_fs, &mut rng);
-            }
-        }
+        let thermostat =
+            (cfg.temperature > 0.0).then(|| Langevin::new(cfg.temperature.max(1.0), 0.2));
+        let force = SupercellForce::analytic(self.ferro.clone());
+        self.run_md_stage(force, cfg.prepare_steps, thermostat, rng, &mut NullObserver);
     }
 
-    /// Build one DC-MESH driver for the embedded quantum region with the
-    /// given pulse amplitude. The QM patch starts at the *coupled*
-    /// ferroelectric minimum u* = √((3J−a₂)/2a₄), so with no pulse the
-    /// atoms are force-free and the electronic state is stationary.
-    fn build_mesh_driver(&self, e0: f64) -> MeshDriver {
+    /// The embedded-region MESH driver with the given pulse amplitude,
+    /// assembled through [`MeshDriverBuilder`]. The QM patch starts at the
+    /// *coupled* ferroelectric minimum u* = √((3J−a₂)/2a₄), so with no
+    /// pulse the atoms are force-free and the electronic state is
+    /// stationary. Public so tests, benches, and sweeps can engine-drive
+    /// the same driver the pipeline measures.
+    pub fn mesh_stage(&self, e0: f64) -> MeshDriver {
         let cfg = self.config;
         let grid = Grid3::new(8, 8, 8, 0.5);
         // 8-state panel, 2 occupied + 6 virtual (see MeshDriver docs).
@@ -131,79 +174,114 @@ impl Pipeline {
         let u_star = ((3.0 * params.j_nn - params.a2) / (2.0 * params.a4)).sqrt();
         let qm_lat = PerovskiteLattice::uniform(3, 3, 3, Vec3::new(0.0, 0.0, u_star));
         let qm_ferro = FerroModel::new(&qm_lat, params);
-        let pulse = GaussianPulse::new(e0, cfg.pulse_omega, 4.0, 2.0);
-        let site = AtomSite {
-            pos: Vec3::new(2.0, 2.0, 2.0),
-            z_eff: 1.0,
-            sigma: 0.8,
-        };
-        let mesh_cfg = MeshConfig {
-            dt_md_fs: cfg.dt_fs,
-            ehrenfest: cfg.ehrenfest,
-            ..Default::default()
-        };
-        MeshDriver::new(
-            mesh_cfg,
-            wf,
-            occ,
-            qm_lat.system.clone(),
-            qm_ferro,
-            pulse,
-            vec![(0, site)],
-            Arc::new(TransferLedger::new()),
-        )
-    }
-
-    /// Testing/diagnostic access to the embedded-region driver.
-    #[doc(hidden)]
-    pub fn __probe_driver(&self, e0: f64) -> MeshDriver {
-        self.build_mesh_driver(e0)
+        MeshDriverBuilder::new(wf, occ, qm_lat.system.clone(), qm_ferro)
+            .config(MeshConfig {
+                dt_md_fs: cfg.dt_fs,
+                ehrenfest: cfg.ehrenfest,
+                ..Default::default()
+            })
+            .pulse(GaussianPulse::new(e0, cfg.pulse_omega, 4.0, 2.0))
+            .track_site(
+                0,
+                AtomSite {
+                    pos: Vec3::new(2.0, 2.0, 2.0),
+                    z_eff: 1.0,
+                    sigma: 0.8,
+                },
+            )
+            .build()
     }
 
     /// Stage 2: DC-MESH pulse on the embedded quantum region, measured
     /// pump–probe style: the excitation count is the *difference* between
     /// the driven run and a dark reference run, removing the residual
-    /// baseline from eigenstate imperfection.
+    /// baseline from eigenstate imperfection. The lit and dark drivers
+    /// execute as one concurrent [`RunPlan`] batch.
     fn pulse(&mut self) -> (Vec<MeshStepRecord>, f64) {
         let cfg = self.config;
-        let mut lit = self.build_mesh_driver(cfg.pulse_e0);
-        let records = lit.run(cfg.mesh_steps);
-        let peak_lit = records.iter().map(|r| r.n_exc).fold(0.0f64, f64::max);
-        let delta = if cfg.pulse_e0 == 0.0 {
-            0.0
+        let with_dark = cfg.pulse_e0 != 0.0;
+        let mut plan = RunPlan::new();
+        plan.push(
+            self.mesh_stage(cfg.pulse_e0),
+            TraceObserver::every(),
+            cfg.mesh_steps,
+        );
+        if with_dark {
+            plan.push(self.mesh_stage(0.0), TraceObserver::every(), cfg.mesh_steps);
+        }
+        let mut done = plan.execute();
+        let peak_dark = if with_dark {
+            peak_exc(&done.pop().expect("dark run").observer.trace)
         } else {
-            let mut dark = self.build_mesh_driver(0.0);
-            let dark_records = dark.run(cfg.mesh_steps);
-            let peak_dark = dark_records.iter().map(|r| r.n_exc).fold(0.0f64, f64::max);
-            (peak_lit - peak_dark).max(0.0)
+            0.0
+        };
+        let records = done.pop().expect("lit run").observer.trace;
+        let delta = if with_dark {
+            (peak_exc(&records) - peak_dark).max(0.0)
+        } else {
+            0.0
         };
         (records, delta)
     }
 
-    /// Stage 3: XS-NNQMD response of the full supercell.
+    /// Pump–probe amplitude sweep: N lit drivers plus one shared dark
+    /// reference, all executed as a single `RunPlan` batch on the
+    /// work-stealing pool.
+    pub fn pump_probe_sweep(&self, amplitudes: &[f64]) -> Vec<PumpProbeRun> {
+        let cfg = self.config;
+        let mut plan = RunPlan::new();
+        for &e0 in amplitudes {
+            plan.push(self.mesh_stage(e0), TraceObserver::every(), cfg.mesh_steps);
+        }
+        plan.push(self.mesh_stage(0.0), TraceObserver::every(), cfg.mesh_steps);
+        let mut done = plan.execute();
+        let peak_dark = peak_exc(&done.pop().expect("dark reference").observer.trace);
+        amplitudes
+            .iter()
+            .zip(done)
+            .map(|(&e0, run)| {
+                let records = run.observer.trace;
+                let n_exc_peak = (peak_exc(&records) - peak_dark).max(0.0);
+                PumpProbeRun {
+                    e0,
+                    records,
+                    n_exc_peak,
+                }
+            })
+            .collect()
+    }
+
+    /// Stage 3: XS-NNQMD response of the full supercell. With
+    /// `respond_nn_batches: Some(n)` the force model gains a network term
+    /// evaluated through batched `block_evaluate` inference.
     fn respond(&mut self, excitation_fraction: f64) -> Vec<ResponsePoint> {
         let cfg = self.config;
         self.ferro.set_uniform_excitation(excitation_fraction);
-        let vv = VelocityVerlet::new(cfg.dt_fs);
         // Dissipation channel (electron-phonon drain) at low temperature.
-        let thermo = Langevin::new(1.0, 0.3);
-        let mut rng = Xoshiro256::new(cfg.seed ^ 0x5eed);
-        let mut trace = Vec::with_capacity(cfg.response_steps);
-        self.ferro.compute(&mut self.lattice.system);
-        for step in 0..cfg.response_steps {
-            vv.step(&mut self.lattice.system, &self.ferro);
-            thermo.apply(&mut self.lattice.system, cfg.dt_fs, &mut rng);
-            if step % 10 == 0 || step + 1 == cfg.response_steps {
-                let field = self.polarization();
-                let report = TextureReport::analyze(&field);
-                trace.push(ResponsePoint {
-                    time_fs: (step + 1) as f64 * cfg.dt_fs,
-                    polar_order: report.polar_order,
-                    mean_charge: report.mean_charge,
-                });
-            }
-        }
-        trace
+        let thermostat = Some(Langevin::new(1.0, 0.3));
+        let rng = Xoshiro256::new(cfg.seed ^ 0x5eed);
+        let network = cfg.respond_nn_batches.map(|n_batches| {
+            let model = AllegroLite::new(
+                ModelConfig {
+                    hidden: 6,
+                    k_max: 4,
+                    rcut: 3.5,
+                },
+                cfg.seed,
+            );
+            NnForceField { model, n_batches }
+        });
+        let force = SupercellForce {
+            ferro: self.ferro.clone(),
+            network,
+        };
+        let mut observer = ResponseTraceObserver::new(
+            cfg.cells,
+            cfg.dt_fs,
+            SampleStride(cfg.response_sample_stride),
+        );
+        self.run_md_stage(force, cfg.response_steps, thermostat, rng, &mut observer);
+        observer.trace
     }
 
     /// Run all stages.
@@ -295,5 +373,85 @@ mod tests {
         let first = out.response_trace.first().unwrap().polar_order;
         let last = out.response_trace.last().unwrap().polar_order;
         assert!(last < first, "excited order must decay: {first} → {last}");
+    }
+
+    /// A shrunken configuration for mechanics tests: tiny supercell, one
+    /// MESH step, a handful of response steps.
+    fn tiny_config() -> PipelineConfig {
+        let mut cfg = PipelineConfig::small_demo();
+        cfg.cells = (4, 4, 1);
+        cfg.prepare_steps = 2;
+        cfg.mesh_steps = 1;
+        cfg.response_steps = 25;
+        cfg
+    }
+
+    #[test]
+    fn sample_stride_controls_trace_cadence() {
+        // stride 10 over 25 steps: samples at 0, 10, 20, 24 → 4 points.
+        let mut p = Pipeline::new(tiny_config());
+        let out = p.run();
+        assert_eq!(out.response_trace.len(), 4);
+        // stride 1: every step.
+        let mut cfg = tiny_config();
+        cfg.response_sample_stride = 1;
+        let mut p = Pipeline::new(cfg);
+        let out_dense = p.run();
+        assert_eq!(out_dense.response_trace.len(), 25);
+        // The shared sample points are identical: denser sampling must not
+        // perturb the trajectory.
+        for pt in &out.response_trace {
+            let twin = out_dense
+                .response_trace
+                .iter()
+                .find(|q| q.time_fs == pt.time_fs)
+                .expect("coarse sample must exist in the dense trace");
+            assert_eq!(twin.polar_order.to_bits(), pt.polar_order.to_bits());
+        }
+    }
+
+    #[test]
+    fn network_respond_path_is_blocking_invariant() {
+        // The NN term rides through block_evaluate, whose batched and
+        // monolithic evaluations are exact — so the *trajectory* must be
+        // bit-identical across batch counts.
+        let run = |n_batches: usize| {
+            let mut cfg = tiny_config();
+            cfg.respond_nn_batches = Some(n_batches);
+            let mut p = Pipeline::new(cfg);
+            let out = p.run();
+            (
+                out.final_topological_charge,
+                out.response_trace.last().unwrap().polar_order,
+            )
+        };
+        let (q1, p1) = run(1);
+        let (q2, p2) = run(2);
+        assert_eq!(
+            q1.to_bits(),
+            q2.to_bits(),
+            "blocking must not change physics"
+        );
+        assert_eq!(p1.to_bits(), p2.to_bits());
+        assert!(p1.is_finite());
+    }
+
+    #[test]
+    fn pump_probe_sweep_monotone_in_amplitude() {
+        let mut cfg = tiny_config();
+        cfg.mesh_steps = 3;
+        let p = Pipeline::new(cfg);
+        let runs = p.pump_probe_sweep(&[0.0, 0.1]);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].e0, 0.0);
+        // The zero-amplitude run measures zero above the dark reference.
+        assert_eq!(runs[0].n_exc_peak, 0.0);
+        assert!(
+            runs[1].n_exc_peak > runs[0].n_exc_peak,
+            "stronger pulse must excite more: {} vs {}",
+            runs[1].n_exc_peak,
+            runs[0].n_exc_peak
+        );
+        assert_eq!(runs[1].records.len(), 3);
     }
 }

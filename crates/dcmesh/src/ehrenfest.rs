@@ -4,7 +4,7 @@
 //! Between shadow-handshake points the local potential from QXMD is
 //! frozen; within the loop the *electronic* part of the potential (Hartree
 //! of the evolving density) can be updated self-consistently with the
-//! time-reversible predictor–corrector of ref [43]: propagate with `v(t)`
+//! time-reversible predictor–corrector of ref \[43\]: propagate with `v(t)`
 //! to predict `ψ̃`, rebuild the Hartree term from `ρ̃`, then re-propagate
 //! from `ψ(t)` with the averaged potential — one corrector pass keeps the
 //! scheme second-order and time-reversible.

@@ -18,7 +18,7 @@
 //!   distributed trajectory matches it bit-for-bit.
 //! * [`ehrenfest`] — the N_QD-step inner loop of Eq. (2): split-operator
 //!   QD steps under frozen Δv with the self-consistent time-reversible
-//!   Hartree update of ref [43].
+//!   Hartree update of ref \[43\].
 //! * [`shadow`] — shadow dynamics (Sec. V.A.3): GPU-resident wave
 //!   functions, CPU↔GPU handshake limited to Δv_loc (down) and
 //!   Δf / n_exc / J (up), byte-accounted so tests can assert the
@@ -38,5 +38,5 @@ pub mod shadow;
 
 pub use dist::DistributedDcScf;
 pub use domain::{DomainDecomposition, DomainSpec};
-pub use mesh::{MeshConfig, MeshDriver};
+pub use mesh::{MeshConfig, MeshDriver, MeshDriverBuilder};
 pub use shadow::ShadowDomain;

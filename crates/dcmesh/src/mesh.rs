@@ -74,6 +74,90 @@ pub struct MeshStepRecord {
     pub atom_potential_energy: f64,
 }
 
+/// Builder for [`MeshDriver`]: names the eight construction inputs and
+/// defaults the ones that rarely change (config, tracked sites, transfer
+/// ledger, polarization axis). This is the construction seam the
+/// `mlmd-core` engine layer exposes — pipeline code and tests assemble
+/// probe drivers through it instead of a hidden escape hatch.
+pub struct MeshDriverBuilder {
+    config: MeshConfig,
+    wf: WaveFunctions,
+    occupations: Occupations,
+    atoms: AtomsSystem,
+    ferro: FerroModel,
+    pulse: GaussianPulse,
+    tracked_sites: Vec<(usize, AtomSite)>,
+    ledger: Arc<TransferLedger>,
+    polarization_axis: Vec3,
+}
+
+impl MeshDriverBuilder {
+    /// Start from the four mandatory physical inputs: the orbital panel,
+    /// its occupations, the QM-region atoms, and their force model. The
+    /// pulse defaults to darkness (`E₀ = 0`).
+    pub fn new(
+        wf: WaveFunctions,
+        occupations: Occupations,
+        atoms: AtomsSystem,
+        ferro: FerroModel,
+    ) -> Self {
+        Self {
+            config: MeshConfig::default(),
+            wf,
+            occupations,
+            atoms,
+            ferro,
+            pulse: GaussianPulse::new(0.0, 1.0, 4.0, 2.0),
+            tracked_sites: Vec::new(),
+            ledger: Arc::new(TransferLedger::new()),
+            polarization_axis: Vec3::EZ,
+        }
+    }
+
+    pub fn config(mut self, config: MeshConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    pub fn pulse(mut self, pulse: GaussianPulse) -> Self {
+        self.pulse = pulse;
+        self
+    }
+
+    /// Track QXMD cell `cell` with the LFD site `site` (the shadow
+    /// handshake: the cell's Ti off-centering moves the site).
+    pub fn track_site(mut self, cell: usize, site: AtomSite) -> Self {
+        self.tracked_sites.push((cell, site));
+        self
+    }
+
+    /// Account host↔device traffic on a shared ledger.
+    pub fn ledger(mut self, ledger: Arc<TransferLedger>) -> Self {
+        self.ledger = ledger;
+        self
+    }
+
+    pub fn polarization_axis(mut self, axis: Vec3) -> Self {
+        self.polarization_axis = axis;
+        self
+    }
+
+    pub fn build(self) -> MeshDriver {
+        let mut driver = MeshDriver::new(
+            self.config,
+            self.wf,
+            self.occupations,
+            self.atoms,
+            self.ferro,
+            self.pulse,
+            self.tracked_sites,
+            self.ledger,
+        );
+        driver.polarization_axis = self.polarization_axis;
+        driver
+    }
+}
+
 /// The integrated MESH driver for one DC domain coupled to a QXMD
 /// supercell.
 pub struct MeshDriver {
@@ -304,6 +388,49 @@ mod tests {
             vec![(0, site)],
             Arc::new(TransferLedger::new()),
         )
+    }
+
+    #[test]
+    fn builder_matches_direct_construction() {
+        let mut direct = build_driver(0.05);
+        let grid = Grid3::new(8, 8, 8, 0.5);
+        let p = FerroParams::pbtio3();
+        let u_star = ((3.0 * p.j_nn - p.a2) / (2.0 * p.a4)).sqrt();
+        let lat = PerovskiteLattice::uniform(3, 3, 3, Vec3::new(0.0, 0.0, u_star));
+        let mut built = MeshDriverBuilder::new(
+            WaveFunctions::plane_waves(grid, 8),
+            Occupations::aufbau(8, 4.0),
+            lat.system.clone(),
+            FerroModel::new(&lat, p),
+        )
+        .config(MeshConfig {
+            ehrenfest: EhrenfestConfig {
+                dt_qd: 0.05,
+                n_qd: 30,
+                self_consistent: false,
+            },
+            exc_per_cell_scale: 30.0,
+            ..Default::default()
+        })
+        .pulse(GaussianPulse::new(0.05, 0.8, 4.0, 2.0))
+        .track_site(
+            0,
+            AtomSite {
+                pos: Vec3::new(2.0, 2.0, 2.0),
+                z_eff: 1.0,
+                sigma: 0.8,
+            },
+        )
+        .build();
+        let rd = direct.run(3);
+        let rb = built.run(3);
+        for (a, b) in rd.iter().zip(&rb) {
+            assert_eq!(
+                a.n_exc.to_bits(),
+                b.n_exc.to_bits(),
+                "builder-made driver must be bit-identical to direct construction"
+            );
+        }
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //!
 //! "Local electronic Kohn–Sham wave functions within the domains and the
 //! global KS potential are determined by global-local SCF iterations"
-//! (ref [37], Yang's divide-and-conquer DFT). One iteration:
+//! (ref \[37\], Yang's divide-and-conquer DFT). One iteration:
 //!
 //! 1. **recombine**: per-domain densities (cores only) → global ρ;
-//! 2. **global solve**: V_H[ρ] by multigrid on the global grid (the
+//! 2. **global solve**: V_H\[ρ\] by multigrid on the global grid (the
 //!    sparse, scalable tier of GSLF), plus v_ion and LDA xc;
 //! 3. **restrict**: the global potential, with buffers, back to domains;
 //! 4. **local solve**: per domain, preconditioned steepest-descent
@@ -212,7 +212,7 @@ pub struct ScfIteration {
 /// This domain's contribution to the global density: the local density of
 /// its orbital panel, rescaled so the *core* region deposits exactly the
 /// domain's electron count — the divide-and-conquer partition
-/// normalization of Yang's DC-DFT (ref [37]). Buffer values are retained
+/// normalization of Yang's DC-DFT (ref \[37\]). Buffer values are retained
 /// (callers discard them via [`Domain::accumulate_core`]).
 pub fn domain_core_density(dom: &Domain, wf: &WaveFunctions, occ: &Occupations) -> Vec<f64> {
     let mut local = density::density(wf, occ);
@@ -249,7 +249,7 @@ pub fn mix_density(rho: &mut Vec<f64>, rho_new: Vec<f64>, mixing: f64) {
     }
 }
 
-/// The global KS potential `v = v_ion + V_H[ρ] + v_xc[ρ]`: multigrid
+/// The global KS potential `v = v_ion + V_H\[ρ\] + v_xc\[ρ\]`: multigrid
 /// Hartree solve plus ionic and LDA exchange pieces — the sparse, scalable
 /// tier of GSLF. In the distributed driver this runs redundantly on each
 /// domain root.
@@ -328,7 +328,7 @@ impl DcScf {
     /// but only core values enter the global density; the per-domain
     /// partition weight rescales each contribution so the domain deposits
     /// exactly its electron count — the divide-and-conquer partition
-    /// normalization of Yang's DC-DFT (ref [37]).
+    /// normalization of Yang's DC-DFT (ref \[37\]).
     pub fn global_density(&self) -> Vec<f64> {
         let g = self.decomposition.spec.global;
         let mut rho = vec![0.0; g.len()];

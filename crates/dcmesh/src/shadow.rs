@@ -4,7 +4,7 @@
 //! "To minimize data transfer between CPU and GPU, we adopt a shadow
 //! dynamics approach, in which a GPU-resident proxy is solved to capture
 //! effective action of LFD on QXMD through electronic occupation numbers
-//! f_s ∈ [0,1], which are negligible compared to the large memory
+//! f_s ∈ \[0,1\], which are negligible compared to the large memory
 //! footprint of KS wave functions represented on many spatial grid
 //! points."
 //!

@@ -1,4 +1,4 @@
-//! Macroscopic electric current from the orbital panel (TDCDFT, ref [52]).
+//! Macroscopic electric current from the orbital panel (TDCDFT, ref \[52\]).
 //!
 //! The current density couples the electron dynamics back into Maxwell's
 //! equations (paper Sec. V.B.5: "GEMMification is applied to nonlocal

@@ -1,6 +1,6 @@
 //! Electron density from occupied KS orbitals.
 //!
-//! `ρ(r) = Σ_s f_s |ψ_s(r)|²` with occupations `f_s ∈ [0, 2]`
+//! `ρ(r) = Σ_s f_s |ψ_s(r)|²` with occupations `f_s ∈ \[0, 2\]`
 //! (spin-degenerate). The density is the only wave-function-derived field
 //! the Hartree and xc potentials need, and its integral is the electron
 //! count (a conserved diagnostic asserted throughout the test suite).

@@ -9,7 +9,7 @@
 //!   smoothing (the "O(N) tree-based multigrid", globally sparse tier used
 //!   for the global KS potential);
 //! * [`solve_dsa`] — damped second-order Richardson iteration, the
-//!   dynamical-simulated-annealing solver of Car–Parrinello (ref [42]).
+//!   dynamical-simulated-annealing solver of Car–Parrinello (ref \[42\]).
 //!
 //! Periodic Poisson problems are only solvable for neutral sources, so all
 //! solvers internally subtract the mean of `ρ` (the uniform compensating

@@ -1,7 +1,7 @@
 //! `kin_prop` — the local kinetic time-propagator (paper Secs. V.A.5, V.B.2–4).
 //!
 //! Implements `exp(−iΔt T̂)` by the block-diagonal split-operator scheme of
-//! Richardson (ref [41]): the 1-D finite-difference kinetic operator along
+//! Richardson (ref \[41\]): the 1-D finite-difference kinetic operator along
 //! each axis decomposes into bond operators `B = λ[[1,−1],[−1,1]]`
 //! (λ = 1/2h²) acting on nearest-neighbour pairs; bonds of equal parity are
 //! disjoint, so `exp(−iτB)` is an *exact 2×2 unitary* applied

@@ -11,7 +11,7 @@
 //! * [`wavefunction`] — KS orbital panels on a [`mlmd_numerics::Grid3`],
 //!   grid-major for GEMM and orbital-fastest SoA for stencils (Sec. V.B.2).
 //! * [`kin_prop`] — the local kinetic propagator: block-diagonal
-//!   split-operator (ref [41]) with Peierls-phase vector-potential coupling,
+//!   split-operator (ref \[41\]) with Peierls-phase vector-potential coupling,
 //!   in the four optimization tiers of Table III (baseline / data-loop
 //!   reordering / blocking-tiling / hierarchical parallel).
 //! * [`nlp_prop`] — GEMMified nonlocal correction: paper Eq. (5) projector
@@ -19,15 +19,15 @@
 //!   parameterized FP64/FP32/BF16-split precision (Secs. V.B.5, V.B.7).
 //! * [`hartree`] — Poisson solvers: spectral FFT, geometric multigrid
 //!   ("globally sparse" tier of GSLF, Sec. V.A.2), and damped-dynamics DSA
-//!   (ref [42]).
+//!   (ref \[42\]).
 //! * [`xc`] — LDA (Slater) exchange.
 //! * [`density`] / [`current`] — occupation-weighted density and TDCDFT
 //!   macroscopic current (feeds Maxwell's equations, Sec. V.B.5).
-//! * [`occupation`] — occupation numbers `f_s ∈ [0,1]`, the small-dynamic-
+//! * [`occupation`] — occupation numbers `f_s ∈ \[0,1\]`, the small-dynamic-
 //!   range handshake payload of shadow dynamics (Sec. V.A.3).
 //! * [`potential`] — local ionic + Hartree + xc potential assembly.
 //! * [`propagator`] — the full split-operator QD step and the
-//!   self-consistent time-reversible loop (ref [43]).
+//!   self-consistent time-reversible loop (ref \[43\]).
 
 pub mod current;
 pub mod density;

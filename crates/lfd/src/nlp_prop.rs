@@ -7,8 +7,8 @@
 //!   Table V (the overlap `S = Ψ(0)†Ψ(t)` and the rank-Norb update), with
 //!   **parameterized precision**: FP64, FP32, or the three BF16 split modes
 //!   with FP32 accumulation. The correction is perturbative and constructed
-//!   to reproduce the dominant energy term exactly (refs [44, 53]), which
-//!   is why low precision suffices (Sec. V.B.7 / ref [34]).
+//!   to reproduce the dominant energy term exactly (refs \[44, 53\]), which
+//!   is why low precision suffices (Sec. V.B.7 / ref \[34\]).
 //! * [`KbProjectors`] — Kleinman–Bylander separable nonlocal
 //!   pseudopotential `V_NL = Σ_p |β_p⟩ D_p ⟨β_p|` whose exact exponential
 //!   `exp(−iΔt V_NL) = 1 + B(e^{−iΔtD}−1)B†` is unitary when the projector

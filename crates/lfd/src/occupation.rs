@@ -1,14 +1,14 @@
 //! Occupation numbers — the shadow-dynamics handshake payload.
 //!
 //! Paper Sec. V.A.3: shadow dynamics ships only the occupation numbers
-//! `f_s^(α) ∈ [0, 2]` (and their changes) between LFD (GPU) and QXMD (CPU),
+//! `f_s^(α) ∈ \[0, 2\]` (and their changes) between LFD (GPU) and QXMD (CPU),
 //! "negligible compared to the large memory footprint of KS wave
 //! functions". This module owns that small-dynamic-range state: the f_s
 //! vector, the reference ground-state occupations, and the per-domain
 //! photo-excitation count `n_exc^(α)` that DC-MESH returns to XS-NNQMD
 //! (Sec. V.A.8).
 
-/// Occupations of `norb` spin-degenerate KS orbitals, each in [0, 2].
+/// Occupations of `norb` spin-degenerate KS orbitals, each in \[0, 2\].
 #[derive(Clone, Debug, PartialEq)]
 pub struct Occupations {
     f: Vec<f64>,
@@ -72,7 +72,7 @@ impl Occupations {
     }
 
     /// Move `amount` of occupation from orbital `from` to orbital `to`,
-    /// clamped so occupancies stay in [0, 2] and the total is conserved —
+    /// clamped so occupancies stay in \[0, 2\] and the total is conserved —
     /// the elementary surface-hopping update.
     pub fn transfer(&mut self, from: usize, to: usize, amount: f64) -> f64 {
         let amount = amount.min(self.f[from]).min(2.0 - self.f[to]).max(0.0);

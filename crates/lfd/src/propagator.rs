@@ -10,7 +10,7 @@
 //! Peierls vector-potential coupling), the local-potential factors are
 //! pointwise phases, and the optional nonlocal factor is either the exact
 //! Kleinman–Bylander unitary or the paper's Eq. (5) perturbative CGEMM
-//! correction. The self-consistent time-reversible scheme of ref [43]
+//! correction. The self-consistent time-reversible scheme of ref \[43\]
 //! enters at the DC-MESH level (`mlmd-dcmesh::ehrenfest`), where the
 //! potential is updated between steps; within a step the propagator is
 //! exactly unitary (up to the perturbative Eq. (5) term).

@@ -1,0 +1,253 @@
+//! Self-driving field steppers: a Yee grid (or the multiscale coupled
+//! system) bundled with its soft source and a linear matter response, so
+//! one no-argument call advances the whole configuration.
+//!
+//! [`Yee1d::step`] and [`MultiscaleMaxwell::step`] take the current
+//! density and source as arguments — the right shape for a caller that
+//! computes the matter response itself, but not steppable by a generic
+//! driver loop. [`PulsedYee`] and [`PulsedMultiscale`] close over the
+//! source (a [`GaussianPulse`] injected at a fixed node) and an Ohmic
+//! conduction response `J = σE`, which is exactly how every field loop in
+//! the examples and tests drives these solvers. The `mlmd-core` engine
+//! layer implements its `Stepper` contract on these wrappers.
+
+use crate::source::GaussianPulse;
+use crate::yee1d::Yee1d;
+use crate::MultiscaleMaxwell;
+
+/// Per-step record of a driven Yee run.
+#[derive(Clone, Copy, Debug)]
+pub struct FieldRecord {
+    /// Field time after the step (natural units, c = 1).
+    pub time: f64,
+    /// Field energy `½∫(E² + H²) dz` after the step.
+    pub energy: f64,
+}
+
+/// A 1-D Yee grid driven by a Gaussian soft source, with an optional
+/// conductivity profile `σ(z)` feeding back `J = σE`.
+#[derive(Clone, Debug)]
+pub struct PulsedYee {
+    pub field: Yee1d,
+    pub pulse: GaussianPulse,
+    /// E-node where the soft source is injected.
+    pub source_node: usize,
+    /// Per-node conductivity (zeros = vacuum).
+    sigma: Vec<f64>,
+}
+
+impl PulsedYee {
+    /// Vacuum grid with the source at `source_node`.
+    pub fn new(field: Yee1d, pulse: GaussianPulse, source_node: usize) -> Self {
+        assert!(source_node < field.len(), "source node outside the grid");
+        let sigma = vec![0.0; field.len()];
+        Self {
+            field,
+            pulse,
+            source_node,
+            sigma,
+        }
+    }
+
+    /// Make nodes `[lo, hi)` an Ohmic conductor of conductivity `sigma`.
+    pub fn with_conductor(mut self, lo: usize, hi: usize, sigma: f64) -> Self {
+        assert!(lo < hi && hi <= self.field.len(), "conductor outside grid");
+        for s in &mut self.sigma[lo..hi] {
+            *s = sigma;
+        }
+        self
+    }
+
+    /// Advance one FDTD step: compute `J = σE`, inject the source, step.
+    pub fn advance(&mut self) -> FieldRecord {
+        let t = self.field.time();
+        let j: Vec<f64> = self
+            .field
+            .ex
+            .iter()
+            .zip(&self.sigma)
+            .map(|(e, s)| s * e)
+            .collect();
+        let src = self.pulse.field(t) * self.field.dt;
+        self.field.step(&j, Some((self.source_node, src)));
+        FieldRecord {
+            time: self.field.time(),
+            energy: self.field.energy(),
+        }
+    }
+
+    /// Field time (natural units).
+    pub fn time(&self) -> f64 {
+        self.field.time()
+    }
+}
+
+/// Per-step record of a driven multiscale run.
+#[derive(Clone, Debug)]
+pub struct MultiscaleRecord {
+    /// Field time after the step (natural units, c = 1).
+    pub time: f64,
+    /// Per-cell vector potentials after the step.
+    pub vector_potentials: Vec<f64>,
+    /// Field energy after the step.
+    pub energy: f64,
+}
+
+/// The multiscale Maxwell system driven by a Gaussian source with a
+/// per-cell Ohmic response `J_c = σ_c ⟨E⟩_c` — the linear stand-in for
+/// the microscopic DC-domain current during field propagation.
+#[derive(Clone, Debug)]
+pub struct PulsedMultiscale {
+    pub sim: MultiscaleMaxwell,
+    pub pulse: GaussianPulse,
+    /// E-node where the soft source is injected.
+    pub source_node: usize,
+    /// Per-matter-cell conductivity.
+    sigma: Vec<f64>,
+}
+
+impl PulsedMultiscale {
+    /// Vacuum-response cells (`σ = 0`) with the source at `source_node`.
+    pub fn new(sim: MultiscaleMaxwell, pulse: GaussianPulse, source_node: usize) -> Self {
+        assert!(source_node < sim.field.len(), "source node outside grid");
+        let sigma = vec![0.0; sim.cells.len()];
+        Self {
+            sim,
+            pulse,
+            source_node,
+            sigma,
+        }
+    }
+
+    /// Give every matter cell the same Ohmic conductivity.
+    pub fn with_uniform_conductivity(mut self, sigma: f64) -> Self {
+        for s in &mut self.sigma {
+            *s = sigma;
+        }
+        self
+    }
+
+    /// Advance one coupled step: per-cell `J = σ⟨E⟩`, source, field step,
+    /// vector-potential integration.
+    pub fn advance(&mut self) -> MultiscaleRecord {
+        let t = self.sim.field.time();
+        let currents: Vec<f64> = self
+            .sim
+            .cells
+            .iter()
+            .zip(&self.sigma)
+            .map(|(c, s)| {
+                let e: f64 = self.sim.field.ex[c.node0..c.node0 + c.width]
+                    .iter()
+                    .sum::<f64>()
+                    / c.width as f64;
+                s * e
+            })
+            .collect();
+        let src = self.pulse.field(t) * self.sim.field.dt;
+        let vector_potentials = self.sim.step(&currents, Some((self.source_node, src)));
+        MultiscaleRecord {
+            time: self.sim.field.time(),
+            vector_potentials,
+            energy: self.sim.field.energy(),
+        }
+    }
+
+    /// Field time (natural units).
+    pub fn time(&self) -> f64 {
+        self.sim.field.time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulsed_yee_matches_hand_rolled_loop() {
+        let pulse = GaussianPulse::new(0.2, 0.3, 40.0, 12.0);
+        let mut reference = Yee1d::new(300, 1.0, 0.5);
+        let mut driven = PulsedYee::new(Yee1d::new(300, 1.0, 0.5), pulse, 50);
+        for _ in 0..400 {
+            let t = reference.time();
+            let j = vec![0.0; reference.len()];
+            reference.step(&j, Some((50, pulse.field(t) * reference.dt)));
+            driven.advance();
+        }
+        for (a, b) in driven.field.ex.iter().zip(&reference.ex) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "driven run must match bit-for-bit"
+            );
+        }
+        assert_eq!(driven.time(), reference.time());
+    }
+
+    #[test]
+    fn conductor_absorbs_energy() {
+        let pulse = GaussianPulse::new(0.2, 0.3, 40.0, 12.0);
+        let run = |sim: PulsedYee| {
+            let mut sim = sim;
+            let mut peak: f64 = 0.0;
+            for _ in 0..600 {
+                let r = sim.advance();
+                peak = peak.max(r.energy);
+            }
+            (peak, sim.field.energy())
+        };
+        let (_, vac_end) = run(PulsedYee::new(Yee1d::new(200, 1.0, 0.5), pulse, 50));
+        let (_, cond_end) =
+            run(PulsedYee::new(Yee1d::new(200, 1.0, 0.5), pulse, 50).with_conductor(100, 140, 0.2));
+        assert!(
+            cond_end < vac_end || cond_end < 1e-6,
+            "conductor must absorb: {cond_end} vs {vac_end}"
+        );
+    }
+
+    #[test]
+    fn pulsed_multiscale_accumulates_vector_potential() {
+        let sim = MultiscaleMaxwell::new(500, 1.0, 0.5, 300, 4, 10);
+        let pulse = GaussianPulse::new(0.2, 0.3, 40.0, 12.0);
+        let mut driven = PulsedMultiscale::new(sim, pulse, 50);
+        let mut last = None;
+        for _ in 0..1200 {
+            last = Some(driven.advance());
+        }
+        let a = last.unwrap().vector_potentials;
+        for (i, &ai) in a.iter().enumerate() {
+            assert!(ai.abs() > 1e-8, "cell {i} never saw the pulse: A = {ai}");
+        }
+    }
+
+    #[test]
+    fn uniform_conductivity_attenuates_transmission() {
+        let run = |sigma: f64| {
+            let sim = MultiscaleMaxwell::new(600, 1.0, 0.5, 200, 15, 4);
+            let pulse = GaussianPulse::new(0.2, 0.3, 40.0, 12.0);
+            let mut driven = PulsedMultiscale::new(sim, pulse, 50).with_uniform_conductivity(sigma);
+            let mut transmitted: f64 = 0.0;
+            for _ in 0..1400 {
+                driven.advance();
+                transmitted = transmitted.max(driven.sim.field.ex[450].abs());
+            }
+            transmitted
+        };
+        let free = run(0.0);
+        let damped = run(0.5);
+        assert!(
+            damped < 0.6 * free,
+            "absorbing slab must attenuate: {damped} vs {free}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "source node outside")]
+    fn source_node_checked() {
+        PulsedYee::new(
+            Yee1d::new(100, 1.0, 0.5),
+            GaussianPulse::new(0.1, 0.3, 10.0, 4.0),
+            100,
+        );
+    }
+}

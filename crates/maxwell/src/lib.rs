@@ -1,8 +1,8 @@
 //! # mlmd-maxwell
 //!
-//! Light: Maxwell's equations for the MLMD stack (paper refs [7, 8, 25]).
+//! Light: Maxwell's equations for the MLMD stack (paper refs \[7, 8, 25\]).
 //!
-//! The multiscale Maxwell+TDDFT method (as in SALMON, ref [25]) treats light
+//! The multiscale Maxwell+TDDFT method (as in SALMON, ref \[25\]) treats light
 //! on a *macroscopic* 1-D grid whose cells are far larger than a DC domain:
 //! each macro-cell holds a piece of matter described microscopically, the
 //! field hands the local vector potential `A(t)` down to the electron
@@ -13,13 +13,17 @@
 //! * [`yee1d`] — 1-D staggered Yee FDTD with Mur absorbing boundaries.
 //! * [`source`] — Gaussian-envelope laser pulses.
 //! * [`multiscale`] — the macro-cell ↔ DC-domain coupling loop.
+//! * [`driver`] — self-driving wrappers (solver + source + Ohmic
+//!   response) in the no-argument stepper shape the engine layer runs.
 //! * [`units`] — atomic-unit conversions for fields and intensities.
 
+pub mod driver;
 pub mod multiscale;
 pub mod source;
 pub mod units;
 pub mod yee1d;
 
+pub use driver::{PulsedMultiscale, PulsedYee};
 pub use multiscale::MultiscaleMaxwell;
 pub use source::GaussianPulse;
 pub use yee1d::Yee1d;

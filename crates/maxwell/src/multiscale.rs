@@ -1,4 +1,4 @@
-//! Multiscale Maxwell ↔ matter coupling (paper Eq. (3), ref [25]).
+//! Multiscale Maxwell ↔ matter coupling (paper Eq. (3), ref \[25\]).
 //!
 //! The macroscopic 1-D field grid is divided into cells; each *matter cell*
 //! hosts microscopic electron dynamics (a cluster of DC domains). Per

@@ -1,5 +1,5 @@
 //! Fidelity scaling: time-to-failure of large NNQMD simulations
-//! (paper Sec. V.A.6, ref [27]).
+//! (paper Sec. V.A.6, ref \[27\]).
 //!
 //! "Small prediction errors propagate and lead to unphysical atomic forces
 //! that even cause the simulation to terminate unexpectedly. As
@@ -20,7 +20,7 @@
 //!   fails at the minimum over N atoms, giving
 //!   `E[t_fail] ∝ N^{−1/k}`. SAM's flatter minima correspond to larger
 //!   `k` (thinner early-failure tail): `k ≈ 1/0.14` for Legato vs
-//!   `k ≈ 1/0.29` for plain — the measured exponents of ref [27]. This is
+//!   `k ≈ 1/0.29` for plain — the measured exponents of ref \[27\]. This is
 //!   the documented substitution for the 10⁹-atom-scale failure
 //!   statistics that cannot be gathered on a host machine.
 

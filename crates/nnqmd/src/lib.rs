@@ -2,7 +2,7 @@
 //!
 //! The XS-NNQMD module of MLMD (paper Secs. V.A.6–V.A.8, V.B.9): a
 //! strictly-local equivariant neural-network potential in the spirit of
-//! Allegro (ref [36]), trained on QXMD reference data, with
+//! Allegro (ref \[36\]), trained on QXMD reference data, with
 //!
 //! * **Allegro-lite architecture** ([`model`]): per-edge radial Bessel
 //!   features ([`basis`]) → species-pair scalar latents → an equivariant
@@ -11,11 +11,11 @@
 //!   reverse-mode gradients give exact forces `F = −∇E` and parameter
 //!   gradients (property-tested against finite differences).
 //! * **Allegro-Legato training** ([`train`]): Adam plus sharpness-aware
-//!   minimization (SAM, ref [46]) — the loss-landscape-flattening recipe
-//!   that extends simulation time-to-failure (ref [27]).
+//!   minimization (SAM, ref \[46\]) — the loss-landscape-flattening recipe
+//!   that extends simulation time-to-failure (ref \[27\]).
 //! * **Allegro-FM** ([`fm`], [`tea`]): multi-fidelity dataset unification
 //!   by total-energy alignment (affine metamodel-space algebra, MSA type 2,
-//!   ref [49]) and fine-tuning of a pretrained foundation model to the
+//!   ref \[49\]) and fine-tuning of a pretrained foundation model to the
 //!   excited-state task.
 //! * **XS/GS force mixing** ([`mix`]): paper Eq. (4),
 //!   `F = (1−w)·F_GS + w·F_XS`, with `w` driven by the per-domain
@@ -40,6 +40,7 @@ pub mod model;
 pub mod tea;
 pub mod train;
 
+pub use md::{NnForceField, NnMdLoop, NnMdRecord};
 pub use mix::XsGsModel;
 pub use model::{AllegroLite, ModelConfig};
 pub use train::{Adam, Dataset, Frame, SamConfig, Trainer};

@@ -15,7 +15,7 @@ pub struct XsGsModel {
     pub xs: AllegroLite,
     /// Excitation count (per atom) at which the XS model fully takes over.
     pub n_sat_per_atom: f64,
-    /// Current mixing weight `w ∈ [0, 1]`.
+    /// Current mixing weight `w ∈ \[0, 1\]`.
     w: f64,
 }
 

@@ -1,4 +1,4 @@
-//! Total Energy Alignment (TEA) — MSA type 2 (paper Sec. V.A.7, ref [49]).
+//! Total Energy Alignment (TEA) — MSA type 2 (paper Sec. V.A.7, ref \[49\]).
 //!
 //! Foundation-model training unifies datasets computed at different levels
 //! of theory (different xc functionals, codes, pseudopotentials). Their

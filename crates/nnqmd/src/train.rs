@@ -9,7 +9,7 @@
 //!   `v = ΔF/|ΔF|`, and the directional derivative is evaluated by a
 //!   central difference of the *analytic* `dE/dθ` at `x ± εv` — two extra
 //!   gradient evaluations per frame, exact to O(ε²).
-//! * SAM (ref [46]): gradients are evaluated at the adversarially-perturbed
+//! * SAM (ref \[46\]): gradients are evaluated at the adversarially-perturbed
 //!   point `θ + ρ·g/|g|`, flattening the loss landscape — the
 //!   Allegro-Legato robustness mechanism of paper Sec. V.A.6.
 
@@ -269,7 +269,7 @@ impl Trainer {
 /// Loss-landscape sharpness: the adversarial (gradient-ascent) loss
 /// increase at radius ρ — exactly the quantity SAM minimizes
 /// (`max_{|ε|≤ρ} L(θ+ε) − L(θ)`, evaluated at the first-order maximizer
-/// `ε = ρ·g/|g|`). Ref [27] correlates this with time-to-failure.
+/// `ε = ρ·g/|g|`). Ref \[27\] correlates this with time-to-failure.
 pub fn sharpness(model: &AllegroLite, data: &Dataset, rho: f64) -> f64 {
     let (l0, g) = loss_and_grad(model, data, LossConfig::default(), true);
     let g = g.unwrap();

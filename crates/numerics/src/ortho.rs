@@ -1,7 +1,7 @@
 //! Orthonormalization of orbital panels.
 //!
 //! The self-consistent, time-reversible propagation of DC-MESH (paper
-//! Sec. A.5, ref [43]) keeps the KS orbitals orthonormal; modified
+//! Sec. A.5, ref \[43\]) keeps the KS orbitals orthonormal; modified
 //! Gram–Schmidt is the workhorse, Löwdin (symmetric) orthonormalization is
 //! used where basis democracy matters (it perturbs all orbitals equally,
 //! preserving subspace character between QD steps).

@@ -7,8 +7,8 @@
 //!
 //! [`Hierarchy::build`] splits a world communicator into per-domain
 //! communicators and derives band- and space-communicators within each
-//! domain; [`BandSpace`] describes which orbitals / grid slabs a rank owns
-//! under each decomposition.
+//! domain; [`Hierarchy::band_range`] / [`Hierarchy::space_range`] describe
+//! which orbitals / grid slabs a rank owns under each decomposition.
 
 use crate::comm::Comm;
 

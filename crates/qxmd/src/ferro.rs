@@ -1,7 +1,7 @@
 //! The effective ferroelectric Hamiltonian of the PbTiO3 substrate.
 //!
 //! A second-principles-style model (à la Zhong–Vanderbilt effective
-//! Hamiltonians, the approach the paper's ref [13] calls "second
+//! Hamiltonians, the approach the paper's ref \[13\] calls "second
 //! principles"): the soft-mode coordinate of each unit cell is the Ti
 //! off-centering `u_i`, with
 //!
@@ -17,10 +17,10 @@
 //! anisotropy favours ⟨100⟩ polarization (tetragonal PbTiO3).
 //!
 //! **Photoexcitation** enters through the per-cell excitation fraction
-//! `x_i ∈ [0,1]` (from the DC-MESH `n_exc` handshake, paper Sec. V.A.8):
+//! `x_i ∈ \[0,1\]` (from the DC-MESH `n_exc` handshake, paper Sec. V.A.8):
 //! `a₂(x) = a₂ + β·x` and `J(x) = J·max(0, 1−κ_J·(x_i+x_j)/2)` — carrier
 //! screening flattens the double well and decouples the dipoles, the
-//! switching mechanism established in ref [11].
+//! switching mechanism established in ref \[11\].
 
 use crate::atoms::AtomsSystem;
 use crate::perovskite::PerovskiteLattice;
@@ -95,7 +95,7 @@ pub struct FerroModel {
     /// Which atoms are tethered (everything but Ti).
     tethered: Vec<bool>,
     cell_centers: Vec<Vec3>,
-    /// Per-cell excitation fraction x ∈ [0,1].
+    /// Per-cell excitation fraction x ∈ \[0,1\].
     excitation: Vec<f64>,
     /// External field (V/Å), couples as −z*·E·u.
     pub e_field: Vec3,
@@ -144,7 +144,7 @@ impl FerroModel {
         self.ti_index.len()
     }
 
-    /// Set the per-cell excitation fractions (clamped to [0,1]) — the
+    /// Set the per-cell excitation fractions (clamped to \[0,1\]) — the
     /// XS/GS mixing input delivered by DC-MESH.
     pub fn set_excitation(&mut self, x: &[f64]) {
         assert_eq!(x.len(), self.cell_count());

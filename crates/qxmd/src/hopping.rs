@@ -2,7 +2,7 @@
 //!
 //! The paper updates occupations "perturbatively according to nonadiabatic
 //! coupling arising from slow atomic motions". We implement that as a
-//! master equation on the spin-degenerate occupations `f_s ∈ [0, 2]`:
+//! master equation on the spin-degenerate occupations `f_s ∈ \[0, 2\]`:
 //!
 //! ```text
 //! W_{i→j} = Γ·|d_ij|²·Δt · B(ε_j − ε_i)          (B = 1 downhill,

@@ -10,7 +10,7 @@
 //! vector `u` with ferroelectric nearest-neighbour coupling — the minimal
 //! Hamiltonian that hosts polar topological textures. Photoexcitation
 //! flattens the double well proportionally to the excitation density
-//! (the mechanism established in ref [11]), which is what makes
+//! (the mechanism established in ref \[11\]), which is what makes
 //! light-induced switching possible.
 //!
 //! * [`atoms`] — the atomistic system state (positions, velocities,
@@ -22,6 +22,8 @@
 //! * [`ferro`] — the ferroelectric double-well model, ground and excited
 //!   state variants.
 //! * [`integrator`] — velocity Verlet NVE driver over a [`ForceField`].
+//! * [`md_stage`] — self-contained MD stage (integrator + thermostat +
+//!   RNG stream) in the no-argument driver shape the engine layer steps.
 //! * [`thermostat`] — Berendsen and Langevin thermostats.
 //! * [`nac`] — nonadiabatic couplings from orbital overlaps.
 //! * [`hopping`] — surface hopping as occupation kinetics (master
@@ -31,6 +33,7 @@ pub mod atoms;
 pub mod ferro;
 pub mod hopping;
 pub mod integrator;
+pub mod md_stage;
 pub mod nac;
 pub mod neighbor;
 pub mod pair;
@@ -40,4 +43,5 @@ pub mod thermostat;
 pub use atoms::{AtomsSystem, Species};
 pub use ferro::FerroModel;
 pub use integrator::{ForceField, VelocityVerlet};
+pub use md_stage::{MdRecord, MdStage};
 pub use perovskite::PerovskiteLattice;

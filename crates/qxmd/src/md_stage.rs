@@ -1,0 +1,234 @@
+//! A self-contained MD stage: velocity Verlet over a [`ForceField`] with
+//! an optional Langevin thermostat and its own RNG stream.
+//!
+//! [`MdStage`] is the no-argument driver shape the `mlmd-core` engine
+//! layer steps: everything a stage needs (system, force model, integrator,
+//! thermostat, random stream) is owned by the stage, so one call to
+//! [`MdStage::advance`] performs exactly one MD step. The pipeline's
+//! prepare (GS relaxation) and respond (XS-NNQMD dynamics) stages are both
+//! instances of this wrapper, differing only in force model, thermostat,
+//! and RNG stream.
+
+use crate::atoms::AtomsSystem;
+use crate::integrator::{ForceField, VelocityVerlet};
+use crate::thermostat::Langevin;
+use mlmd_numerics::rng::Xoshiro256;
+
+/// What one [`MdStage::advance`] call reports.
+#[derive(Clone, Copy, Debug)]
+pub struct MdRecord {
+    /// Simulation time after the step (fs).
+    pub time_fs: f64,
+    /// Potential energy at the new positions (eV).
+    pub potential_energy: f64,
+}
+
+/// Velocity Verlet + optional Langevin dissipation over an owned system.
+///
+/// Construction computes the initial forces (the precondition of
+/// [`VelocityVerlet::step`]); each [`advance`](Self::advance) performs one
+/// deterministic step followed by the stochastic thermostat impulse, in
+/// that order. Time is reported as `steps × dt` (one multiplication, not
+/// an accumulated sum), so trace timestamps are reproducible bit-for-bit
+/// regardless of how a caller batches the steps.
+pub struct MdStage<F: ForceField> {
+    system: AtomsSystem,
+    force: F,
+    vv: VelocityVerlet,
+    thermostat: Option<Langevin>,
+    rng: Xoshiro256,
+    steps_taken: usize,
+}
+
+impl<F: ForceField> MdStage<F> {
+    /// Assemble a stage and compute the initial forces. `thermostat:
+    /// None` gives pure NVE dynamics; the RNG is consumed only by the
+    /// thermostat, so an NVE stage ignores it.
+    pub fn new(
+        mut system: AtomsSystem,
+        force: F,
+        dt_fs: f64,
+        thermostat: Option<Langevin>,
+        rng: Xoshiro256,
+    ) -> Self {
+        force.compute(&mut system);
+        Self {
+            system,
+            force,
+            vv: VelocityVerlet::new(dt_fs),
+            thermostat,
+            rng,
+            steps_taken: 0,
+        }
+    }
+
+    /// One MD step: velocity Verlet, then the thermostat impulse.
+    pub fn advance(&mut self) -> MdRecord {
+        let pe = self.vv.step(&mut self.system, &self.force);
+        if let Some(thermo) = self.thermostat {
+            thermo.apply(&mut self.system, self.vv.dt, &mut self.rng);
+        }
+        self.steps_taken += 1;
+        MdRecord {
+            time_fs: self.time_fs(),
+            potential_energy: pe,
+        }
+    }
+
+    /// Simulation time (fs) after the steps taken so far.
+    pub fn time_fs(&self) -> f64 {
+        self.steps_taken as f64 * self.vv.dt
+    }
+
+    /// Steps advanced since construction.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// MD time step (fs).
+    pub fn dt_fs(&self) -> f64 {
+        self.vv.dt
+    }
+
+    /// The evolving system.
+    pub fn system(&self) -> &AtomsSystem {
+        &self.system
+    }
+
+    /// The force model.
+    pub fn force(&self) -> &F {
+        &self.force
+    }
+
+    /// Dissolve the stage, returning the system and force model so the
+    /// caller can reclaim ownership after an engine run.
+    pub fn into_parts(self) -> (AtomsSystem, F) {
+        (self.system, self.force)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atoms::Species;
+    use crate::ferro::{FerroModel, FerroParams};
+    use crate::perovskite::PerovskiteLattice;
+    use mlmd_numerics::vec3::Vec3;
+
+    /// Harmonic tether to the origin — analytic testbed.
+    struct Harmonic {
+        k: f64,
+    }
+
+    impl ForceField for Harmonic {
+        fn accumulate(&self, sys: &mut AtomsSystem) -> f64 {
+            let mut e = 0.0;
+            for i in 0..sys.len() {
+                let d = sys.positions[i];
+                e += 0.5 * self.k * d.norm_sqr();
+                sys.forces[i] -= d * self.k;
+            }
+            e
+        }
+    }
+
+    fn oscillator() -> AtomsSystem {
+        AtomsSystem::new(
+            vec![Species::O],
+            vec![Vec3::new(0.5, 0.0, 0.0)],
+            Vec3::splat(100.0),
+        )
+    }
+
+    #[test]
+    fn stage_matches_bare_integrator_loop() {
+        // NVE: the stage must reproduce the hand-rolled loop bit-for-bit.
+        let ff = Harmonic { k: 3.0 };
+        let mut sys = oscillator();
+        sys.velocities[0] = Vec3::new(0.01, 0.02, 0.0);
+        let vv = VelocityVerlet::new(0.2);
+        let mut reference = sys.clone();
+        ff.compute(&mut reference);
+        for _ in 0..50 {
+            vv.step(&mut reference, &ff);
+        }
+        let mut stage = MdStage::new(sys, Harmonic { k: 3.0 }, 0.2, None, Xoshiro256::new(1));
+        for _ in 0..50 {
+            stage.advance();
+        }
+        assert_eq!(stage.system().positions[0].x, reference.positions[0].x);
+        assert_eq!(stage.system().velocities[0].y, reference.velocities[0].y);
+    }
+
+    #[test]
+    fn thermostatted_stage_matches_hand_rolled_loop() {
+        // Langevin: same RNG seed, same step/apply ordering → identical.
+        let p = FerroParams::pbtio3();
+        let lat = PerovskiteLattice::uniform(2, 2, 2, Vec3::new(0.0, 0.0, 0.2));
+        let ff = FerroModel::new(&lat, p);
+        let dt = 0.2;
+        let thermo = Langevin::new(50.0, 0.2);
+        // Hand-rolled loop.
+        let mut reference = lat.system.clone();
+        let mut rng = Xoshiro256::new(7);
+        let vv = VelocityVerlet::new(dt);
+        ff.compute(&mut reference);
+        for _ in 0..20 {
+            vv.step(&mut reference, &ff);
+            thermo.apply(&mut reference, dt, &mut rng);
+        }
+        // Stage.
+        let mut stage = MdStage::new(
+            lat.system.clone(),
+            ff.clone(),
+            dt,
+            Some(thermo),
+            Xoshiro256::new(7),
+        );
+        for _ in 0..20 {
+            stage.advance();
+        }
+        for (a, b) in stage.system().positions.iter().zip(&reference.positions) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits(), "positions must match exactly");
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+    }
+
+    #[test]
+    fn time_is_multiplicative_not_accumulated() {
+        let mut stage = MdStage::new(
+            oscillator(),
+            Harmonic { k: 1.0 },
+            0.1,
+            None,
+            Xoshiro256::new(1),
+        );
+        for _ in 0..1000 {
+            stage.advance();
+        }
+        // 1000 × 0.1 by multiplication is exactly 100.0; an accumulated
+        // sum of 0.1s would not be.
+        assert_eq!(stage.time_fs(), 1000.0 * 0.1);
+        assert_eq!(stage.steps_taken(), 1000);
+        assert_eq!(stage.dt_fs(), 0.1);
+    }
+
+    #[test]
+    fn into_parts_returns_evolved_system() {
+        let mut stage = MdStage::new(
+            oscillator(),
+            Harmonic { k: 2.0 },
+            0.2,
+            None,
+            Xoshiro256::new(1),
+        );
+        let r = stage.advance();
+        assert!(r.potential_energy.is_finite());
+        assert!(r.time_fs > 0.0);
+        let (sys, _ff) = stage.into_parts();
+        assert!(
+            (sys.positions[0].x - 0.5).abs() > 0.0,
+            "system must have moved"
+        );
+    }
+}

@@ -6,7 +6,7 @@
 //! Ehrenfest run driven by the same field history) feeds a current back
 //! into Ampère's law. Prints the per-cell vector potential A(t), the
 //! driven current, and the absorbed energy — the observables of
-//! Maxwell+TDDFT codes like SALMON (paper refs [23, 25]).
+//! Maxwell+TDDFT codes like SALMON (paper refs \[23, 25\]).
 //!
 //! ```sh
 //! cargo run --release --example attosecond_pulse

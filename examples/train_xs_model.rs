@@ -6,7 +6,7 @@
 //! 3. pretrain the foundation model (SAM/Legato training);
 //! 4. fine-tune the XS model from the FM weights;
 //! 5. report held-out force errors and the Eq. (4) mixed-force behaviour,
-//!    plus the fidelity-scaling exponents of ref [27].
+//!    plus the fidelity-scaling exponents of ref \[27\].
 //!
 //! ```sh
 //! cargo run --release --example train_xs_model

@@ -22,6 +22,12 @@ cargo test -q --test dc_dist
 echo "==> cargo bench -p mlmd-bench --bench dc_scaling -- --test  (smoke)"
 cargo bench -p mlmd-bench --bench dc_scaling -- --test
 
+echo "==> cargo bench -p mlmd-bench --bench pump_probe -- --test  (smoke)"
+cargo bench -p mlmd-bench --bench pump_probe -- --test
+
+echo "==> cargo doc --no-deps  (warnings as errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

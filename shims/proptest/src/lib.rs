@@ -8,8 +8,11 @@
 //!
 //! Semantics: deterministic generate-and-check. Each test runs
 //! `ProptestConfig::cases` cases seeded from a hash of the test name and
-//! the case index, so failures reproduce exactly across runs. There is no
-//! shrinking — the failure message reports the case seed instead.
+//! the case index, so failures reproduce exactly across runs. On failure
+//! the runner shrinks: [`Strategy::shrink`] proposes simpler candidates
+//! (halving toward the range start, shortening collections, shrinking
+//! tuple components one at a time) and the smallest input that still
+//! fails is reported alongside the raw one and the reproducing seed.
 
 use std::ops::{Range, RangeInclusive};
 
@@ -111,8 +114,8 @@ fn name_seed(name: &str) -> u64 {
 /// Panic payload used to abort a case whose generated input was filtered
 /// out; [`run_proptest`] catches it and retries with a fresh seed. Keeping
 /// [`Strategy::generate`] infallible (rather than `Result`-returning) is
-/// what lets untyped literals like `0..1` fall back to `i32` inside the
-/// `proptest!` closure.
+/// what lets untyped literals like `0..1` fall back to `i32` in the
+/// strategy tuple the `proptest!` macro assembles.
 #[derive(Clone, Debug)]
 pub struct RejectCase(pub String);
 
@@ -120,6 +123,14 @@ pub trait Strategy: Sized {
     type Value;
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Simpler candidates for a failing value, simplest first. The runner
+    /// greedily re-tests them, descending to the first candidate that
+    /// still fails; an empty list (the default) means the value is
+    /// already minimal for this strategy.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -140,6 +151,9 @@ pub trait Strategy: Sized {
     }
 }
 
+/// Mapped strategy. Mapping has no inverse, so `Map` cannot shrink: the
+/// default empty candidate list applies and the mapped value is reported
+/// as-is.
 pub struct Map<S, F> {
     inner: S,
     f: F,
@@ -182,6 +196,16 @@ where
             self.whence
         )))
     }
+
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        // Shrink through the inner strategy, keeping only candidates the
+        // predicate still admits.
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|v| (self.f)(v))
+            .collect()
+    }
 }
 
 /// Always yields a clone of the given value.
@@ -194,6 +218,30 @@ impl<T: Clone> Strategy for Just<T> {
     fn generate(&self, _rng: &mut TestRng) -> T {
         self.0.clone()
     }
+}
+
+/// Shrink candidates for a failing float, simplest first: the range start,
+/// then the geometric ladder `v − (v−lo)/2^k`. Re-shrinking each accepted
+/// candidate turns the ladder into a bisection that converges onto the
+/// failure boundary.
+fn shrink_float(lo_f: f64, v_f: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    if v_f == lo_f {
+        return out;
+    }
+    out.push(lo_f);
+    let mut delta = (v_f - lo_f) / 2.0;
+    for _ in 0..50 {
+        let cand = v_f - delta;
+        if cand == v_f || !cand.is_finite() {
+            break;
+        }
+        if cand != lo_f {
+            out.push(cand);
+        }
+        delta /= 2.0;
+    }
+    out
 }
 
 macro_rules! float_range_strategy {
@@ -213,6 +261,14 @@ macro_rules! float_range_strategy {
                     v
                 }
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_float(self.start as f64, *value as f64)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .filter(|c| self.contains(c))
+                    .collect()
+            }
         }
 
         impl Strategy for RangeInclusive<$t> {
@@ -222,6 +278,14 @@ macro_rules! float_range_strategy {
                 let (lo, hi) = (*self.start() as f64, *self.end() as f64);
                 assert!(lo <= hi, "empty range strategy");
                 (lo + rng.next_f64() * (hi - lo)) as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_float(*self.start() as f64, *value as f64)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .filter(|c| self.contains(c))
+                    .collect()
             }
         }
     )*};
@@ -240,6 +304,13 @@ macro_rules! int_range_strategy {
                 let off = (rng.next_u64() as u128 % span) as i128;
                 (self.start as i128 + off) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
 
         impl Strategy for RangeInclusive<$t> {
@@ -252,8 +323,37 @@ macro_rules! int_range_strategy {
                 let off = (rng.next_u64() as u128 % span) as i128;
                 (lo + off) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
     )*};
+}
+
+/// Shrink candidates for a failing integer, simplest first: the range
+/// start, then the geometric ladder `v − (v−lo)/2^k` down to `v − 1`.
+/// Re-shrinking each accepted candidate bisects onto the exact failure
+/// boundary; the dense tail (`…, v−2, v−1`) lets the descent step over
+/// values a `prop_filter` rejects.
+fn shrink_int(lo: i128, v: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if v == lo {
+        return out;
+    }
+    out.push(lo);
+    let mut delta = (v - lo) / 2;
+    while delta > 0 {
+        let cand = v - delta;
+        if cand != lo {
+            out.push(cand);
+        }
+        delta /= 2;
+    }
+    out
 }
 
 int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
@@ -275,27 +375,48 @@ impl Strategy for Range<char> {
     }
 }
 
+/// The empty strategy (zero-argument `proptest!` functions).
+impl Strategy for () {
+    type Value = ();
+
+    fn generate(&self, _rng: &mut TestRng) -> Self::Value {}
+}
+
 macro_rules! tuple_strategy {
-    ($(($($s:ident),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+    ($(($($s:ident $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
 
-            #[allow(non_snake_case)]
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($s,)+) = self;
-                ($($s.generate(rng),)+)
+                ($(self.$i.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Shrink one component at a time, holding the others.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$i.shrink(&value.$i) {
+                        let mut t = value.clone();
+                        t.$i = cand;
+                        out.push(t);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 
 tuple_strategy! {
-    (A)
-    (A, B)
-    (A, B, C)
-    (A, B, C, D)
-    (A, B, C, D, E)
-    (A, B, C, D, E, F)
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
 }
 
 // ----------------------------------------------------------- collections
@@ -338,7 +459,10 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
@@ -351,6 +475,31 @@ pub mod collection {
                 };
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let lo = self.size.lo;
+            let len = value.len();
+            // Length shrinks first (simplest-first): the minimal prefix,
+            // the halved prefix, then dropping one element.
+            if len > lo {
+                let half = lo + (len - lo) / 2;
+                for cut in [lo, half, len - 1] {
+                    if cut < len && out.last().map(Vec::len) != Some(cut) {
+                        out.push(value[..cut].to_vec());
+                    }
+                }
+            }
+            // Element shrinks: a couple of candidates per position.
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink(v).into_iter().take(2) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
     }
 }
 
@@ -361,37 +510,136 @@ pub mod prop {
 
 // --------------------------------------------------------------- runner
 
-pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+/// Cap on candidate evaluations during a shrink pass (keeps pathological
+/// strategies from stalling the failure report).
+const MAX_SHRINK_EVALS: u32 = 512;
+
+enum CaseOutcome {
+    Pass,
+    Reject(String),
+    Fail(String),
+}
+
+/// Run the case body once, classifying panics: `RejectCase` payloads are
+/// rejections (filter retries exhausted), anything else is a failure whose
+/// message is preserved for the report.
+fn run_case<V, F>(case: &F, value: V) -> CaseOutcome
 where
-    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    F: Fn(V) -> Result<(), TestCaseError>,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(value))) {
+        Ok(Ok(())) => CaseOutcome::Pass,
+        Ok(Err(TestCaseError::Reject(why))) => CaseOutcome::Reject(why),
+        Ok(Err(TestCaseError::Fail(msg))) => CaseOutcome::Fail(msg),
+        Err(payload) => match payload.downcast::<RejectCase>() {
+            Ok(reject) => CaseOutcome::Reject(reject.0),
+            Err(payload) => CaseOutcome::Fail(panic_message(&payload)),
+        },
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+/// Greedy shrink: repeatedly descend to the first candidate that still
+/// fails, until no candidate fails or the evaluation budget runs out.
+/// Returns the minimal failing input, its failure message, and the number
+/// of accepted shrink steps.
+fn shrink_failure<S, F>(
+    strategy: &S,
+    case: &F,
+    mut current: S::Value,
+    mut msg: String,
+) -> (S::Value, String, u32)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    // Candidate bodies that fail by panicking (assert!/unwrap rather than
+    // prop_assert) would print one default-hook backtrace per failing
+    // candidate — up to MAX_SHRINK_EVALS of them — burying the final
+    // report. Silence the hook for the duration of the descent.
+    let saved_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut steps = 0u32;
+    let mut evals = 0u32;
+    'descend: loop {
+        for candidate in strategy.shrink(&current) {
+            if evals >= MAX_SHRINK_EVALS {
+                break 'descend;
+            }
+            evals += 1;
+            if let CaseOutcome::Fail(m) = run_case(case, candidate.clone()) {
+                current = candidate;
+                msg = m;
+                steps += 1;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    std::panic::set_hook(saved_hook);
+    (current, msg, steps)
+}
+
+/// Generate-and-check loop: `config.cases` passing cases are required; a
+/// failing case is shrunk via [`Strategy::shrink`] before the panic
+/// reports the seed, the raw failing input, and the minimized witness.
+pub fn run_proptest<S, F>(config: &ProptestConfig, name: &str, strategy: &S, case: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
 {
     let base = name_seed(name);
     let mut passed = 0u32;
     let mut rejected = 0u32;
     let mut attempt = 0u64;
+    let reject = |rejected: &mut u32, why: String| {
+        *rejected += 1;
+        if *rejected > config.max_global_rejects {
+            panic!(
+                "proptest '{name}': too many rejected inputs ({rejected}); last: {why}",
+                rejected = *rejected
+            );
+        }
+    };
     while passed < config.cases {
         attempt += 1;
         let seed = base ^ mix(attempt);
         let mut rng = TestRng::new(seed);
-        // Strategies reject filtered-out inputs by panicking with
-        // `RejectCase`; everything else unwinds through unchanged.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)))
-            .unwrap_or_else(|payload| match payload.downcast::<RejectCase>() {
-                Ok(reject) => Err(TestCaseError::Reject(reject.0)),
-                Err(payload) => std::panic::resume_unwind(payload),
-            });
-        match outcome {
-            Ok(()) => passed += 1,
-            Err(TestCaseError::Reject(why)) => {
-                rejected += 1;
-                if rejected > config.max_global_rejects {
-                    panic!("proptest '{name}': too many rejected inputs ({rejected}); last: {why}");
+        // Generation can reject (a `prop_filter` that exhausts retries
+        // panics with `RejectCase`).
+        let generated =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| strategy.generate(&mut rng)));
+        let value = match generated {
+            Ok(v) => v,
+            Err(payload) => match payload.downcast::<RejectCase>() {
+                Ok(r) => {
+                    reject(&mut rejected, r.0);
+                    continue;
                 }
-            }
-            Err(TestCaseError::Fail(msg)) => {
+                Err(payload) => std::panic::resume_unwind(payload),
+            },
+        };
+        match run_case(&case, value.clone()) {
+            CaseOutcome::Pass => passed += 1,
+            CaseOutcome::Reject(why) => reject(&mut rejected, why),
+            CaseOutcome::Fail(msg) => {
+                let (minimal, min_msg, steps) = shrink_failure(strategy, &case, value.clone(), msg);
                 panic!(
                     "proptest '{name}' failed after {passed} passing case(s) \
-                     [reproduce with seed {seed:#018x}]: {msg}"
+                     [reproduce with seed {seed:#018x}]: {min_msg}\n\
+                     raw failing input: {value:?}\n\
+                     minimal failing input ({steps} shrink step(s)): {minimal:?}"
                 );
             }
         }
@@ -421,8 +669,8 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::ProptestConfig = $cfg;
-            $crate::run_proptest(&__config, stringify!($name), |__rng| {
-                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+            let __strategy = ($($strat,)*);
+            $crate::run_proptest(&__config, stringify!($name), &__strategy, |($($arg,)*)| {
                 $body
                 ::std::result::Result::Ok(())
             });
@@ -549,8 +797,129 @@ mod tests {
     #[test]
     #[should_panic(expected = "proptest 'always_fails' failed")]
     fn failure_panics_with_seed() {
-        crate::run_proptest(&ProptestConfig::with_cases(4), "always_fails", |_rng| {
-            Err(TestCaseError::fail("boom"))
+        crate::run_proptest(
+            &ProptestConfig::with_cases(4),
+            "always_fails",
+            &(0u64..10),
+            |_x| Err(TestCaseError::fail("boom")),
+        );
+    }
+
+    /// Run a failing property and capture its panic message plus the raw
+    /// (first) and minimal (last) failing inputs the case observed.
+    fn capture_shrink<S, F>(name: &str, strategy: S, fails: F) -> (String, S::Value, S::Value)
+    where
+        S: Strategy,
+        S::Value: Clone + std::fmt::Debug,
+        F: Fn(&S::Value) -> bool,
+    {
+        use std::cell::RefCell;
+        let seen: RefCell<Vec<S::Value>> = RefCell::new(Vec::new());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_proptest(&ProptestConfig::with_cases(16), name, &strategy, |v| {
+                if fails(&v) {
+                    seen.borrow_mut().push(v);
+                    return Err(TestCaseError::fail("witness"));
+                }
+                Ok(())
+            });
+        }));
+        let payload = result.expect_err("property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic message")
+            .clone();
+        let seen = seen.into_inner();
+        let raw = seen.first().expect("at least one failure").clone();
+        let minimal = seen.last().expect("at least one failure").clone();
+        (msg, raw, minimal)
+    }
+
+    #[test]
+    fn shrink_minimizes_integer_witness_to_boundary() {
+        // Property: x < 17. The raw witness is whatever the seed produced
+        // in [17, 1000); the greedy halving descent must land exactly on
+        // the failure boundary.
+        let (msg, raw, minimal) = capture_shrink("int_shrink", 0u64..1000, |&x| x >= 17);
+        assert_eq!(minimal, 17, "shrink must reach the boundary: {msg}");
+        assert!(raw >= 17);
+        assert!(
+            minimal < raw,
+            "regression: reported witness ({minimal}) must be smaller than the raw one ({raw})"
+        );
+        assert!(msg.contains("raw failing input"));
+        assert!(
+            msg.contains("minimal failing input") && msg.contains(": 17"),
+            "report must carry the minimized witness: {msg}"
+        );
+        assert!(msg.contains("reproduce with seed"));
+    }
+
+    #[test]
+    fn shrink_minimizes_vector_length() {
+        let (_, raw, minimal) = capture_shrink(
+            "vec_shrink",
+            crate::collection::vec(0.0f64..1.0, 0..20),
+            |v: &Vec<f64>| v.len() >= 3,
+        );
+        assert_eq!(minimal.len(), 3, "minimal witness has boundary length");
+        assert!(minimal.len() <= raw.len());
+    }
+
+    #[test]
+    fn shrink_descends_tuple_components_independently() {
+        // Fails iff both components are large; each must shrink to its
+        // own boundary.
+        let (_, _, minimal) = capture_shrink("tuple_shrink", (0i64..100, 0i64..100), |&(a, b)| {
+            a >= 10 && b >= 20
         });
+        assert_eq!(minimal, (10, 20));
+    }
+
+    #[test]
+    fn shrink_respects_filters() {
+        // The filter only admits odd values; the minimal failing input
+        // must stay odd (21), not the raw boundary (20).
+        let (_, _, minimal) = capture_shrink(
+            "filter_shrink",
+            (0i64..1000).prop_filter("odd", |x| x % 2 == 1),
+            |&x| x >= 20,
+        );
+        assert_eq!(minimal, 21);
+        assert_eq!(minimal % 2, 1, "shrunk witness must satisfy the filter");
+    }
+
+    #[test]
+    fn float_shrink_converges_toward_range_start() {
+        let (_, raw, minimal) = capture_shrink("float_shrink", 0.0f64..100.0, |&x| x >= 12.5);
+        assert!(minimal >= 12.5, "witness must still fail");
+        assert!(minimal <= raw);
+        assert!(
+            minimal < 12.5 * (1.0 + 1e-6),
+            "halving descent must approach the boundary: {minimal}"
+        );
+    }
+
+    #[test]
+    fn body_panics_are_shrunk_too() {
+        // A panic inside the case (not a prop_assert) is treated as a
+        // failure and still minimized.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_proptest(
+                &ProptestConfig::with_cases(8),
+                "panic_shrink",
+                &(0u64..1000),
+                |x| {
+                    assert!(x < 29, "boom at {x}");
+                    Ok(())
+                },
+            );
+        }));
+        let payload = result.expect_err("must fail");
+        let msg = payload.downcast_ref::<String>().expect("panic message");
+        assert!(
+            msg.contains("minimal failing input") && msg.contains(": 29"),
+            "panicking bodies must shrink to the boundary: {msg}"
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! shim provides the slice of rayon's API the MLMD kernels use: parallel
 //! mutable slice chunking, `par_iter_mut`, parallel ranges, and sized
 //! thread pools. Since PR 2 it is backed by a persistent work-stealing
-//! scheduler (see [`registry`]): workers are spawned once per pool (lazily
+//! scheduler (the private `registry` module): workers are spawned once per pool (lazily
 //! for the implicit global pool), each job's index space is partitioned
 //! into per-participant ranges held in atomic cursors, and a participant
 //! whose range runs dry steals the upper half of the richest remaining
