@@ -1,0 +1,61 @@
+//! Criterion bench: serial vs rank-parallel MESH step driver.
+//!
+//! The `mesh_scaling` group runs the canonical `small_mesh_driver`
+//! fixture through the serial `MeshDriver` oracle and through
+//! `DistributedMeshDriver` at 1, 2, and 4 ranks per domain, plus the
+//! lit/dark pump-probe pair as a two-domain world. On a single CPU the
+//! distributed drivers pay thread + collective overhead on top of the
+//! serial kernels (panel/term allgathers per MD step, the world-level
+//! E/J allreduce), so the group measures the *cost of the communication
+//! pattern* — the number the exasim cost model needs to extrapolate
+//! multi-node scaling. Driver construction (the eigenstate pre-descent)
+//! is inside the timed region for every variant — it is identical
+//! serial work per replica, so the deltas between variants still isolate
+//! the communication pattern (world sizes stay bounded so CI smoke runs
+//! fast).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlmd_dcmesh::dist_mesh::run_distributed_mesh;
+use mlmd_dcmesh::fixture::small_mesh_driver;
+use std::hint::black_box;
+
+const STEPS: usize = 2;
+const E0: f64 = 0.05;
+
+fn bench_mesh_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_scaling");
+    group.sample_size(10);
+
+    group.bench_function("serial_1dom", |b| {
+        b.iter(|| {
+            let mut drv = small_mesh_driver(E0);
+            black_box(drv.run(STEPS))
+        });
+    });
+
+    for ranks_per_domain in [1usize, 2, 4] {
+        group.bench_function(format!("dist_1dom_{ranks_per_domain}rpd"), |b| {
+            b.iter(|| {
+                black_box(run_distributed_mesh(1, ranks_per_domain, STEPS, |_| {
+                    small_mesh_driver(E0)
+                }))
+            });
+        });
+    }
+
+    // The pump-probe pair as a two-domain world (the ROADMAP's "RunPlan
+    // batch inside World::run"): lit and dark advance concurrently, one
+    // rank each.
+    group.bench_function("lit_dark_2dom_1rpd", |b| {
+        b.iter(|| {
+            black_box(run_distributed_mesh(2, 1, STEPS, |d| {
+                small_mesh_driver(if d == 0 { E0 } else { 0.0 })
+            }))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mesh_scaling);
+criterion_main!(benches);

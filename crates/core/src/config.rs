@@ -36,6 +36,14 @@ pub struct PipelineConfig {
     /// Sec. V.B.9 neighbor-list blocking). `None` (the default) keeps the
     /// analytic excitation-reshaped landscape only.
     pub respond_nn_batches: Option<usize>,
+    /// When `Some(r)`, the pump–probe MESH batch (the lit/dark pair of
+    /// `Pipeline::run`, or the N-amplitude `pump_probe_sweep`) executes
+    /// *inside* a simulated-MPI `World::run` region: one
+    /// `DistributedMeshDriver` domain per run, `r` ranks per domain
+    /// sharding each driver's band-local work. `None` (the default) keeps
+    /// the in-process `RunPlan` batch on the work-stealing pool — both
+    /// paths are bit-identical (pinned in `tests/mesh_dist.rs`).
+    pub mesh_ranks_per_domain: Option<usize>,
     /// MD time step (fs).
     pub dt_fs: f64,
     /// Excitation gain from DC-MESH n_exc to the per-cell fraction
@@ -66,6 +74,7 @@ impl PipelineConfig {
             response_steps: 2000,
             response_sample_stride: 10,
             respond_nn_batches: None,
+            mesh_ranks_per_domain: None,
             dt_fs: 0.2,
             excitation_gain: 8.0,
             seed: 2025,

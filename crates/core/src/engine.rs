@@ -24,6 +24,7 @@
 //! internally serial, so batched execution reproduces sequential results
 //! bit-for-bit — asserted in `tests/engine_pipeline.rs`.
 
+use mlmd_dcmesh::dist_mesh::DistributedMeshDriver;
 use mlmd_dcmesh::mesh::{MeshDriver, MeshStepRecord};
 use mlmd_maxwell::driver::{FieldRecord, MultiscaleRecord, PulsedMultiscale, PulsedYee};
 use mlmd_nnqmd::md::{NnForceField, NnMdLoop, NnMdRecord};
@@ -179,6 +180,36 @@ pub struct PlannedRun<S, O> {
 /// internally serial, so the batch is bit-identical to executing the runs
 /// one after another (pinned in `tests/engine_pipeline.rs` at pool widths
 /// 1/2/4).
+///
+/// # Example
+///
+/// Batch two runs of a toy stepper and read the traces back in
+/// submission order:
+///
+/// ```
+/// use mlmd_core::engine::{RunPlan, Stepper, TraceObserver};
+///
+/// /// Counts up from a starting value; the record is the new count.
+/// struct Counter(u64);
+///
+/// impl Stepper for Counter {
+///     type Record = u64;
+///     fn step(&mut self) -> u64 {
+///         self.0 += 1;
+///         self.0
+///     }
+///     fn time_fs(&self) -> f64 {
+///         self.0 as f64
+///     }
+/// }
+///
+/// let mut plan = RunPlan::new();
+/// plan.push(Counter(0), TraceObserver::every(), 3);
+/// plan.push(Counter(100), TraceObserver::every(), 2);
+/// let done = plan.execute();
+/// assert_eq!(done[0].observer.trace, vec![1, 2, 3]);
+/// assert_eq!(done[1].observer.trace, vec![101, 102]);
+/// ```
 #[derive(Default)]
 pub struct RunPlan<S, O> {
     runs: Vec<PlannedRun<S, O>>,
@@ -245,6 +276,23 @@ impl Stepper for MeshDriver {
 
     fn time_fs(&self) -> f64 {
         MeshDriver::time_fs(self)
+    }
+}
+
+/// The rank-distributed MESH driver is a stepper too: inside a
+/// `World::run` region each rank engine-drives its replica in lockstep
+/// (every `step()` is collective over the world), so observers, traces,
+/// and `RunPlan`-style batch logic compose with the sharded driver
+/// exactly as with the serial one.
+impl Stepper for DistributedMeshDriver {
+    type Record = MeshStepRecord;
+
+    fn step(&mut self) -> MeshStepRecord {
+        DistributedMeshDriver::step(self)
+    }
+
+    fn time_fs(&self) -> f64 {
+        DistributedMeshDriver::time_fs(self)
     }
 }
 

@@ -20,8 +20,14 @@
 //! Every stage is an engine run (see [`crate::engine`]): prepare and
 //! respond drive an [`MdStage`] over the [`SupercellForce`], and the
 //! pump–probe measurement executes its lit and dark [`MeshDriver`] runs
-//! as one concurrent [`RunPlan`] batch ([`Pipeline::pump_probe_sweep`]
-//! generalizes the pair to an N-amplitude sweep).
+//! as one [`Pipeline::mesh_batch`] ([`Pipeline::pump_probe_sweep`]
+//! generalizes the pair to an N-amplitude sweep). The batch has two
+//! bit-identical execution forms: a concurrent [`RunPlan`] on the
+//! work-stealing pool (the default), or — with
+//! `PipelineConfig::mesh_ranks_per_domain` set — a simulated-MPI
+//! [`World::run`] region with one rank-sharded
+//! [`DistributedMeshDriver`] domain per run (`tests/mesh_dist.rs` pins
+//! the equivalence).
 
 use crate::config::PipelineConfig;
 use crate::engine::{
@@ -29,6 +35,7 @@ use crate::engine::{
     SupercellForce, TraceObserver,
 };
 use crate::msa::XnNnCoupling;
+use mlmd_dcmesh::dist_mesh::DistributedMeshDriver;
 use mlmd_dcmesh::mesh::{MeshConfig, MeshDriver, MeshDriverBuilder, MeshStepRecord};
 use mlmd_lfd::occupation::Occupations;
 use mlmd_lfd::potential::AtomSite;
@@ -39,6 +46,7 @@ use mlmd_nnqmd::model::{AllegroLite, ModelConfig};
 use mlmd_numerics::grid::Grid3;
 use mlmd_numerics::rng::Xoshiro256;
 use mlmd_numerics::vec3::Vec3;
+use mlmd_parallel::comm::World;
 use mlmd_qxmd::atoms::AtomsSystem;
 use mlmd_qxmd::ferro::{FerroModel, FerroParams};
 use mlmd_qxmd::md_stage::MdStage;
@@ -192,30 +200,71 @@ impl Pipeline {
             .build()
     }
 
+    /// Execute one MESH driver per amplitude for `n_steps` each and
+    /// return the trajectories in amplitude order. This is the one batch
+    /// seam both the lit/dark pulse measurement and the N-amplitude sweep
+    /// go through, in one of two bit-identical forms:
+    ///
+    /// * `mesh_ranks_per_domain: None` — an in-process [`RunPlan`] batch
+    ///   on the work-stealing pool (each run internally serial);
+    /// * `mesh_ranks_per_domain: Some(r)` — a simulated-MPI
+    ///   [`World::run`] region of `amplitudes.len() × r` ranks: one
+    ///   [`DistributedMeshDriver`] domain per run, `r` ranks sharding each
+    ///   driver's band-local work, every rank engine-driving its replica
+    ///   in lockstep. The ROADMAP's "engine runs as simulated-MPI jobs".
+    ///
+    /// `tests/mesh_dist.rs` pins the two forms bit-identical.
+    pub fn mesh_batch(&self, amplitudes: &[f64], n_steps: usize) -> Vec<Vec<MeshStepRecord>> {
+        assert!(!amplitudes.is_empty(), "need at least one MESH run");
+        match self.config.mesh_ranks_per_domain {
+            None => {
+                let mut plan = RunPlan::new();
+                for &e0 in amplitudes {
+                    plan.push(self.mesh_stage(e0), TraceObserver::every(), n_steps);
+                }
+                plan.execute()
+                    .into_iter()
+                    .map(|run| run.observer.trace)
+                    .collect()
+            }
+            Some(ranks_per_domain) => {
+                let n_domains = amplitudes.len();
+                let results = World::run(n_domains * ranks_per_domain, |world| {
+                    let mut drv = DistributedMeshDriver::new(world, n_domains, |d| {
+                        self.mesh_stage(amplitudes[d])
+                    });
+                    let mut obs = TraceObserver::every();
+                    Engine::run(&mut drv, n_steps, &mut obs);
+                    obs.trace
+                });
+                // Replicas within a domain are identical; keep each
+                // domain root's trace, in domain (= amplitude) order.
+                results.into_iter().step_by(ranks_per_domain).collect()
+            }
+        }
+    }
+
     /// Stage 2: DC-MESH pulse on the embedded quantum region, measured
     /// pump–probe style: the excitation count is the *difference* between
     /// the driven run and a dark reference run, removing the residual
     /// baseline from eigenstate imperfection. The lit and dark drivers
-    /// execute as one concurrent [`RunPlan`] batch.
+    /// execute as one [`Self::mesh_batch`] (an in-process [`RunPlan`] or,
+    /// with `mesh_ranks_per_domain` set, rank-sharded inside
+    /// [`World::run`]).
     fn pulse(&mut self) -> (Vec<MeshStepRecord>, f64) {
         let cfg = self.config;
         let with_dark = cfg.pulse_e0 != 0.0;
-        let mut plan = RunPlan::new();
-        plan.push(
-            self.mesh_stage(cfg.pulse_e0),
-            TraceObserver::every(),
-            cfg.mesh_steps,
-        );
+        let mut amplitudes = vec![cfg.pulse_e0];
         if with_dark {
-            plan.push(self.mesh_stage(0.0), TraceObserver::every(), cfg.mesh_steps);
+            amplitudes.push(0.0);
         }
-        let mut done = plan.execute();
+        let mut traces = self.mesh_batch(&amplitudes, cfg.mesh_steps);
         let peak_dark = if with_dark {
-            peak_exc(&done.pop().expect("dark run").observer.trace)
+            peak_exc(&traces.pop().expect("dark run"))
         } else {
             0.0
         };
-        let records = done.pop().expect("lit run").observer.trace;
+        let records = traces.pop().expect("lit run");
         let delta = if with_dark {
             (peak_exc(&records) - peak_dark).max(0.0)
         } else {
@@ -225,22 +274,17 @@ impl Pipeline {
     }
 
     /// Pump–probe amplitude sweep: N lit drivers plus one shared dark
-    /// reference, all executed as a single `RunPlan` batch on the
-    /// work-stealing pool.
+    /// reference, all executed as a single [`Self::mesh_batch`].
     pub fn pump_probe_sweep(&self, amplitudes: &[f64]) -> Vec<PumpProbeRun> {
         let cfg = self.config;
-        let mut plan = RunPlan::new();
-        for &e0 in amplitudes {
-            plan.push(self.mesh_stage(e0), TraceObserver::every(), cfg.mesh_steps);
-        }
-        plan.push(self.mesh_stage(0.0), TraceObserver::every(), cfg.mesh_steps);
-        let mut done = plan.execute();
-        let peak_dark = peak_exc(&done.pop().expect("dark reference").observer.trace);
+        let mut all = amplitudes.to_vec();
+        all.push(0.0);
+        let mut traces = self.mesh_batch(&all, cfg.mesh_steps);
+        let peak_dark = peak_exc(&traces.pop().expect("dark reference"));
         amplitudes
             .iter()
-            .zip(done)
-            .map(|(&e0, run)| {
-                let records = run.observer.trace;
+            .zip(traces)
+            .map(|(&e0, records)| {
                 let n_exc_peak = (peak_exc(&records) - peak_dark).max(0.0);
                 PumpProbeRun {
                     e0,
@@ -285,6 +329,26 @@ impl Pipeline {
     }
 
     /// Run all stages.
+    ///
+    /// # Example
+    ///
+    /// The laptop-scale demo, shrunk to a few steps per stage so the
+    /// example stays fast:
+    ///
+    /// ```
+    /// use mlmd_core::config::PipelineConfig;
+    /// use mlmd_core::pipeline::Pipeline;
+    ///
+    /// let mut cfg = PipelineConfig::small_demo();
+    /// cfg.cells = (4, 4, 1);
+    /// cfg.prepare_steps = 2;
+    /// cfg.mesh_steps = 1;
+    /// cfg.response_steps = 10;
+    /// let out = Pipeline::new(cfg).run();
+    /// assert_eq!(out.mesh_records.len(), 1);
+    /// assert!(out.n_exc_peak >= 0.0);
+    /// assert!(out.response_trace.last().unwrap().polar_order.is_finite());
+    /// ```
     pub fn run(&mut self) -> PipelineOutcome {
         self.prepare();
         let before = self.polarization();

@@ -111,6 +111,105 @@ pub fn pulse_field(pulse: GaussianPulse, polarization: Vec3) -> impl Fn(f64) -> 
     move |t| polarization * pulse.field(t)
 }
 
+/// Band-sharded half of the inner loop: propagate only the orbital
+/// sub-panel `sub` (the columns `col0..col0 + sub.norb` of the full panel)
+/// through all `n_qd` QD steps, recording each owned orbital's raw
+/// current term at every step.
+///
+/// With a frozen potential the split-operator step is exactly
+/// column-local, so propagating a sub-panel produces the same orbitals
+/// bit-for-bit as propagating them inside the full panel — this is what
+/// lets the distributed MESH driver shard the loop by
+/// [`mlmd_parallel::hier::Hierarchy::band_range`] and recombine with one
+/// `allgather_vec` per MD step. The self-consistent Hartree update
+/// couples the orbitals every QD step and is therefore not shardable this
+/// way (the distributed driver falls back to redundant full-panel
+/// propagation for it).
+///
+/// The returned terms are laid out owned-column-major
+/// (`[local_col * n_qd + step]`), so concatenating the blocks of
+/// consecutive ranks yields the orbital-major layout
+/// [`fold_inner_loop`] consumes.
+#[allow(clippy::too_many_arguments)] // physics driver: mirrors run_inner_loop's signature + the column range
+pub fn propagate_columns(
+    qd: &QdStep,
+    sub: &mut WaveFunctions,
+    occ: &Occupations,
+    col0: usize,
+    frozen_v: &[f64],
+    mut a: Vec3,
+    field: impl Fn(f64) -> Vec3,
+    t0: f64,
+    cfg: EhrenfestConfig,
+) -> Vec<mlmd_lfd::current::OrbitalCurrentTerm> {
+    assert!(
+        !cfg.self_consistent,
+        "column sharding requires a frozen Hartree term"
+    );
+    let ncols = sub.norb;
+    let mut terms = vec![mlmd_lfd::current::OrbitalCurrentTerm::default(); ncols * cfg.n_qd];
+    for step in 0..cfg.n_qd {
+        let t = t0 + step as f64 * cfg.dt_qd;
+        let e_field = field(t);
+        a -= e_field * cfg.dt_qd;
+        if ncols > 0 {
+            qd.step(sub, frozen_v, a, cfg.dt_qd);
+        }
+        for lc in 0..ncols {
+            if occ.f(col0 + lc) == 0.0 {
+                continue;
+            }
+            terms[lc * cfg.n_qd + step] =
+                mlmd_lfd::current::orbital_current_term(&sub.grid, sub.psi.col(lc));
+        }
+    }
+    terms
+}
+
+/// Recombining half of the sharded inner loop: replay the (purely
+/// field-driven, wave-function-independent) vector-potential schedule and
+/// fold the gathered per-orbital current terms into the serial
+/// [`EhrenfestResult`] — trace, absorbed energy, and final `A`.
+///
+/// `terms` must be orbital-major (`[orbital * n_qd + step]`, all `norb`
+/// orbitals). Every float operation matches [`run_inner_loop`]'s
+/// non-self-consistent path exactly, so the fold is bit-identical to the
+/// monolithic loop.
+#[allow(clippy::too_many_arguments)] // physics driver: mirrors run_inner_loop's signature + the term table
+pub fn fold_inner_loop(
+    terms: &[mlmd_lfd::current::OrbitalCurrentTerm],
+    norb: usize,
+    occ: &Occupations,
+    grid: &mlmd_numerics::grid::Grid3,
+    mut a: Vec3,
+    field: impl Fn(f64) -> Vec3,
+    t0: f64,
+    cfg: EhrenfestConfig,
+) -> EhrenfestResult {
+    assert_eq!(terms.len(), norb * cfg.n_qd, "need every orbital's trace");
+    let mut current_trace = Vec::with_capacity(cfg.n_qd);
+    let mut absorbed = 0.0;
+    let mut step_terms = vec![mlmd_lfd::current::OrbitalCurrentTerm::default(); norb];
+    for step in 0..cfg.n_qd {
+        let t = t0 + step as f64 * cfg.dt_qd;
+        let e_field = field(t);
+        a -= e_field * cfg.dt_qd;
+        for (s, slot) in step_terms.iter_mut().enumerate() {
+            *slot = terms[s * cfg.n_qd + step];
+        }
+        let j = mlmd_lfd::current::fold_current_terms(&step_terms, occ, a, grid);
+        let jt = j.total();
+        current_trace.push(jt.x);
+        let (lx, ly, lz) = grid.lengths();
+        absorbed -= jt.dot(e_field) * cfg.dt_qd * (lx * ly * lz);
+    }
+    EhrenfestResult {
+        current_trace,
+        absorbed_energy: absorbed,
+        a_final: a,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +342,85 @@ mod tests {
             cfg,
         );
         assert!(wf.norm_error() < 1e-9, "norm error {}", wf.norm_error());
+    }
+
+    #[test]
+    fn sharded_inner_loop_matches_monolithic_bitwise() {
+        // propagate_columns + fold_inner_loop over any column partition
+        // must reproduce run_inner_loop exactly: trace, absorbed energy,
+        // final vector potential, and the propagated panel itself.
+        let (qd, wf, occ, vloc) = setup();
+        let cfg = EhrenfestConfig {
+            dt_qd: 0.05,
+            n_qd: 40,
+            self_consistent: false,
+        };
+        let pulse = GaussianPulse::new(0.04, 0.4, 1.0, 0.6);
+        let field = pulse_field(pulse, Vec3::EX);
+        let mut mono = wf.clone();
+        let want = run_inner_loop(&qd, &mut mono, &occ, &vloc, Vec3::ZERO, &field, 0.0, cfg);
+        // "Ranks" own columns 0..3 and 3..7.
+        let ngrid = wf.ngrid();
+        let mut all_terms = Vec::new();
+        let mut panel = Vec::new();
+        for cols in [0usize..3, 3..7] {
+            let mut sub = WaveFunctions::zeros(wf.grid, cols.len());
+            sub.psi
+                .as_mut_slice()
+                .copy_from_slice(&wf.psi.as_slice()[cols.start * ngrid..cols.end * ngrid]);
+            let terms = propagate_columns(
+                &qd,
+                &mut sub,
+                &occ,
+                cols.start,
+                &vloc,
+                Vec3::ZERO,
+                &field,
+                0.0,
+                cfg,
+            );
+            all_terms.extend(terms);
+            panel.extend_from_slice(sub.psi.as_slice());
+        }
+        let got = fold_inner_loop(&all_terms, 7, &occ, &wf.grid, Vec3::ZERO, &field, 0.0, cfg);
+        assert_eq!(want.current_trace.len(), got.current_trace.len());
+        for (a, b) in want.current_trace.iter().zip(&got.current_trace) {
+            assert_eq!(a.to_bits(), b.to_bits(), "current trace must be exact");
+        }
+        assert_eq!(
+            want.absorbed_energy.to_bits(),
+            got.absorbed_energy.to_bits()
+        );
+        assert_eq!(want.a_final.x.to_bits(), got.a_final.x.to_bits());
+        for (a, b) in mono.psi.as_slice().iter().zip(&panel) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "panel must be exact");
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_column_range_contributes_nothing() {
+        // Surplus ranks (more ranks than orbitals) own empty band ranges;
+        // their propagate_columns call must be a no-op with no terms.
+        let (qd, wf, occ, vloc) = setup();
+        let cfg = EhrenfestConfig {
+            dt_qd: 0.05,
+            n_qd: 5,
+            self_consistent: false,
+        };
+        let mut sub = WaveFunctions::zeros(wf.grid, 0);
+        let terms = propagate_columns(
+            &qd,
+            &mut sub,
+            &occ,
+            7,
+            &vloc,
+            Vec3::ZERO,
+            |_| Vec3::ZERO,
+            0.0,
+            cfg,
+        );
+        assert!(terms.is_empty());
     }
 
     #[test]

@@ -11,23 +11,59 @@
 //! * [`scf`] — global–local self-consistent field: local orbitals refined
 //!   per domain against a *global* KS potential solved by multigrid
 //!   (the GSLF/GSLD solver split of Sec. V.A.2).
-//! * [`dist`] — the same SCF sharded across simulated-MPI ranks: one
-//!   communicator per domain, orbital blocks split over ranks by
-//!   [`mlmd_parallel::hier::Hierarchy::band_range`], recombine/restrict as
-//!   real collectives. The serial [`scf::DcScf`] is the kept oracle; the
-//!   distributed trajectory matches it bit-for-bit.
 //! * [`ehrenfest`] — the N_QD-step inner loop of Eq. (2): split-operator
 //!   QD steps under frozen Δv with the self-consistent time-reversible
-//!   Hartree update of ref \[43\].
+//!   Hartree update of ref \[43\], plus the band-sharded
+//!   [`ehrenfest::propagate_columns`]/[`ehrenfest::fold_inner_loop`]
+//!   kernel pair the distributed driver runs it through.
 //! * [`shadow`] — shadow dynamics (Sec. V.A.3): GPU-resident wave
 //!   functions, CPU↔GPU handshake limited to Δv_loc (down) and
 //!   Δf / n_exc / J (up), byte-accounted so tests can assert the
 //!   O(occupations) transfer claim.
 //! * [`mesh`] — the full MESH step driver: Maxwell field ↔ Ehrenfest
-//!   electrons ↔ surface hopping ↔ QXMD atoms.
+//!   electrons ↔ surface hopping ↔ QXMD atoms, with per-step
+//!   topological-charge accumulation of the QM patch.
+//! * [`dist`] / [`dist_mesh`] — the SCF and the MESH step driver sharded
+//!   across simulated-MPI ranks (see below).
+//! * [`fixture`] — the canonical laptop-scale problems every
+//!   oracle-comparison surface builds (SCF two-domain fixture, MESH
+//!   driver fixture).
 //! * [`metrics`] — per-kernel FLOP/time accounting (Tables IV–V rows).
+//!
+//! # Distributed vs. serial oracle
+//!
+//! Both rank-parallel drivers follow one discipline, and both keep their
+//! serial counterpart alive *as the oracle*:
+//!
+//! | distributed driver | serial oracle | pinned by |
+//! |---|---|---|
+//! | [`dist::DistributedDcScf`] | [`scf::DcScf`] | `tests/dc_dist.rs` |
+//! | [`dist_mesh::DistributedMeshDriver`] | [`mesh::MeshDriver`] | `tests/mesh_dist.rs` |
+//!
+//! Each runs inside [`mlmd_parallel::comm::World::run`] with one
+//! communicator per domain ([`mlmd_parallel::hier::Hierarchy::build`]).
+//! Work that reads and writes a single orbital column — SCF descent and
+//! subspace-Hamiltonian columns; MESH Ehrenfest propagation, current
+//! terms, excitation terms, band energies — is sharded by
+//! [`mlmd_parallel::hier::Hierarchy::band_range`] and recombined with
+//! `allgather_vec` in band order. Orbital- and atom-coupling steps —
+//! Gram–Schmidt, Rayleigh–Ritz, density mixing and the multigrid solve on
+//! the SCF side; NACs, the hopping master equation, velocity Verlet, the
+//! shadow handshake, and the per-step topological charge on the MESH
+//! side — run redundantly on replicated inputs. World-level reductions
+//! (the SCF density recombine and band-energy total; the MESH boundary
+//! E/J exchange) carry exactly one non-zero contribution per domain, so
+//! the left-fold over ranks reproduces the serial domain-loop order.
+//!
+//! Because the serial drivers are refactored into the *same kernel
+//! functions* the distributed drivers call ([`scf::run_scf_loop`],
+//! [`scf::descend_columns`], `mesh`'s step kernels), no float sum is ever
+//! reordered and the distributed trajectories match the serial oracles
+//! **bit-for-bit** at 1, 2, and 4 ranks per domain — no tolerances
+//! anywhere in the comparison suites.
 
 pub mod dist;
+pub mod dist_mesh;
 pub mod domain;
 pub mod ehrenfest;
 pub mod fixture;
@@ -37,6 +73,7 @@ pub mod scf;
 pub mod shadow;
 
 pub use dist::DistributedDcScf;
+pub use dist_mesh::{DistributedMeshDriver, MeshExchange};
 pub use domain::{DomainDecomposition, DomainSpec};
 pub use mesh::{MeshConfig, MeshDriver, MeshDriverBuilder};
 pub use shadow::ShadowDomain;

@@ -23,6 +23,7 @@ use mlmd_lfd::potential::{ionic_potential, AtomSite};
 use mlmd_lfd::wavefunction::WaveFunctions;
 use mlmd_maxwell::source::GaussianPulse;
 use mlmd_maxwell::units;
+use mlmd_numerics::grid::Grid3;
 use mlmd_numerics::vec3::Vec3;
 use mlmd_parallel::device::TransferLedger;
 use mlmd_qxmd::atoms::AtomsSystem;
@@ -30,6 +31,8 @@ use mlmd_qxmd::ferro::FerroModel;
 use mlmd_qxmd::hopping::SurfaceHopping;
 use mlmd_qxmd::integrator::{ForceField, VelocityVerlet};
 use mlmd_qxmd::nac::NacMatrix;
+use mlmd_topo::polarization::PolarizationField;
+use mlmd_topo::switching::TextureReport;
 use std::sync::Arc;
 
 /// Driver settings.
@@ -72,6 +75,10 @@ pub struct MeshStepRecord {
     pub mean_polarization: Vec3,
     pub occupations: Vec<f64>,
     pub atom_potential_energy: f64,
+    /// Mean topological charge per z-layer of the QM patch's polar
+    /// texture after the step (the Û_SH → QXMD → topology accumulation of
+    /// the MESH loop).
+    pub topological_charge: f64,
 }
 
 /// Builder for [`MeshDriver`]: names the eight construction inputs and
@@ -79,6 +86,35 @@ pub struct MeshStepRecord {
 /// ledger, polarization axis). This is the construction seam the
 /// `mlmd-core` engine layer exposes — pipeline code and tests assemble
 /// probe drivers through it instead of a hidden escape hatch.
+///
+/// # Example
+///
+/// Assemble a dark (no-pulse) driver from the four mandatory physical
+/// inputs and advance it one MESH MD step:
+///
+/// ```
+/// use mlmd_dcmesh::mesh::MeshDriverBuilder;
+/// use mlmd_lfd::occupation::Occupations;
+/// use mlmd_lfd::wavefunction::WaveFunctions;
+/// use mlmd_numerics::grid::Grid3;
+/// use mlmd_numerics::vec3::Vec3;
+/// use mlmd_qxmd::ferro::{FerroModel, FerroParams};
+/// use mlmd_qxmd::perovskite::PerovskiteLattice;
+///
+/// let grid = Grid3::new(8, 8, 8, 0.5);
+/// let lat = PerovskiteLattice::uniform(2, 2, 2, Vec3::new(0.0, 0.0, 0.3));
+/// let ferro = FerroModel::new(&lat, FerroParams::pbtio3());
+/// let mut driver = MeshDriverBuilder::new(
+///     WaveFunctions::plane_waves(grid, 2),
+///     Occupations::aufbau(2, 2.0),
+///     lat.system.clone(),
+///     ferro,
+/// )
+/// .build();
+/// let record = driver.step();
+/// assert!(record.n_exc.is_finite());
+/// assert!(driver.time_fs() > 0.0);
+/// ```
 pub struct MeshDriverBuilder {
     config: MeshConfig,
     wf: WaveFunctions,
@@ -160,6 +196,10 @@ impl MeshDriverBuilder {
 
 /// The integrated MESH driver for one DC domain coupled to a QXMD
 /// supercell.
+///
+/// Fields the distributed driver (`crate::dist_mesh`) replicates per rank
+/// and advances through the shared kernel functions below are
+/// `pub(crate)`; everything else is public API.
 pub struct MeshDriver {
     pub config: MeshConfig,
     pub shadow: ShadowDomain,
@@ -168,18 +208,21 @@ pub struct MeshDriver {
     pub pulse: GaussianPulse,
     pub polarization_axis: Vec3,
     /// Reference orbital panel (t = 0) for excitation projection.
-    psi0: WaveFunctions,
+    pub(crate) psi0: WaveFunctions,
     /// Which reference states were occupied at t = 0 (the projection
     /// target: promotion *out of this subset* is excitation, even into
     /// the panel's own virtual states).
-    occupied0: Vec<bool>,
+    pub(crate) occupied0: Vec<bool>,
     /// The LFD atom sites tracking selected QXMD degrees of freedom:
     /// (cell index, base site). The Ti displacement of that cell moves the
     /// site, producing the Δv_loc of the shadow handshake.
-    tracked_sites: Vec<(usize, AtomSite)>,
-    last_vloc: Vec<f64>,
-    time_fs: f64,
-    hopping: SurfaceHopping,
+    pub(crate) tracked_sites: Vec<(usize, AtomSite)>,
+    pub(crate) last_vloc: Vec<f64>,
+    pub(crate) time_fs: f64,
+    pub(crate) hopping: SurfaceHopping,
+    /// Band energies ε_s of the last step's post-propagation panel (the
+    /// surface-hopping inputs; empty before the first step).
+    pub(crate) last_eps: Vec<f64>,
 }
 
 impl MeshDriver {
@@ -197,11 +240,11 @@ impl MeshDriver {
         tracked_sites: Vec<(usize, AtomSite)>,
         ledger: Arc<TransferLedger>,
     ) -> Self {
-        let vloc0 = Self::assemble_vloc(&wf, &tracked_sites, &ferro, &atoms);
+        let grid = wf.grid;
+        let vloc0 = assemble_vloc(&grid, &tracked_sites, &ferro, &atoms);
         // Relax the initial orbitals into adiabatic eigenstates of the
         // initial potential, so the excitation projection measures genuine
         // light-induced promotion rather than basis mismatch.
-        let grid = wf.grid;
         crate::scf::refine_orbitals(&grid, &vloc0, &mut wf, 0.1, 60);
         crate::scf::subspace_rotate(&grid, &vloc0, &mut wf);
         let psi0 = wf.clone();
@@ -222,64 +265,34 @@ impl MeshDriver {
             last_vloc: vloc0,
             time_fs: 0.0,
             hopping: SurfaceHopping::new(config.sh_temperature, config.sh_rate),
+            last_eps: Vec::new(),
         }
-    }
-
-    /// Ionic potential of the tracked sites displaced by their cells'
-    /// current Ti off-centering (Å → bohr).
-    fn assemble_vloc(
-        wf: &WaveFunctions,
-        tracked: &[(usize, AtomSite)],
-        ferro: &FerroModel,
-        atoms: &AtomsSystem,
-    ) -> Vec<f64> {
-        let u = ferro.displacement_field(atoms);
-        let sites: Vec<AtomSite> = tracked
-            .iter()
-            .map(|(cell, base)| {
-                let d = u[*cell] * (1.0 / units::BOHR_ANGSTROM);
-                AtomSite {
-                    pos: base.pos + d,
-                    ..*base
-                }
-            })
-            .collect();
-        ionic_potential(&wf.grid, &sites)
     }
 
     pub fn time_fs(&self) -> f64 {
         self.time_fs
     }
 
-    /// Excitation out of the initially *occupied* subspace:
-    /// `n_exc = Σ_{s occupied} f_s (1 − Σ_{s' occupied} |⟨ψ_{s'}(0)|ψ_s(t)⟩|²)`.
-    ///
-    /// Projecting onto the occupied span (not orbital-by-orbital) makes
-    /// the measure invariant under mixing *within* the occupied manifold;
-    /// promotion into the panel's virtual states — the resolved excitation
-    /// targets — and leakage beyond the panel both count.
-    fn excitation_projection(&self, wf: &WaveFunctions) -> f64 {
-        let mut n = 0.0;
-        for s in 0..wf.norb {
-            if !self.occupied0[s] {
-                continue;
-            }
-            let f = self.shadow.occupations.f(s);
-            if f == 0.0 {
-                continue;
-            }
-            let mut in_span = 0.0;
-            for sp in 0..self.psi0.norb {
-                if self.occupied0[sp] {
-                    in_span += self.psi0.overlap(sp, wf, s).norm_sqr();
-                }
-            }
-            n += f * (1.0 - in_span.min(1.0));
-        }
-        n
+    /// Band energies of the last step's post-propagation panel — the
+    /// surface-hopping inputs (empty before the first step). The
+    /// distributed-oracle suite pins these bit-for-bit across rank counts.
+    pub fn band_energies(&self) -> &[f64] {
+        &self.last_eps
+    }
+
+    /// Topological charge of the QM patch's current polar texture (mean
+    /// over z-layers).
+    pub fn topological_charge(&self) -> f64 {
+        patch_topological_charge(&self.ferro, &self.atoms)
     }
 
     /// Advance one full MESH MD step.
+    ///
+    /// The body is a sequence of the per-domain kernel functions below —
+    /// the exact functions the distributed driver
+    /// (`crate::dist_mesh::DistributedMeshDriver`) calls, which is what
+    /// makes the serial driver its bit-for-bit oracle (the same seam
+    /// [`crate::scf::run_scf_loop`] provides for the SCF drivers).
     pub fn step(&mut self) -> MeshStepRecord {
         let cfg = self.config;
         // --- 1. LFD inner loop under the laser (device side) ---
@@ -291,8 +304,19 @@ impl MeshDriver {
             self.shadow
                 .run_md_step(move |t| pol * pulse.field(t), t0_au, cfg.ehrenfest);
         let psi_after = self.shadow.download_wavefunctions_unmetered();
-        // --- 2. excitation measurement ---
-        let n_exc = self.excitation_projection(&psi_after);
+        // --- 2. excitation measurement (fold of the per-state kernel) ---
+        let exc_terms: Vec<f64> = (0..psi_after.norb)
+            .map(|s| {
+                excitation_state_term(
+                    &self.psi0,
+                    &self.occupied0,
+                    &self.shadow.occupations,
+                    &psi_after,
+                    s,
+                )
+            })
+            .collect();
+        let n_exc = fold_excitation(&exc_terms, &self.occupied0, &self.shadow.occupations);
         // --- 3. surface hopping on the occupations ---
         let dt_md_au = units::fs_to_au(cfg.dt_md_fs);
         let nac = NacMatrix::from_overlaps(
@@ -302,43 +326,204 @@ impl MeshDriver {
             dt_md_au,
         );
         let eps = band_energies(&psi_after.grid, &self.last_vloc, &psi_after);
-        let mut f: Vec<f64> = self.shadow.occupations.as_slice().to_vec();
-        self.hopping.step(&mut f, &eps, &nac, dt_md_au);
+        let f = hop_occupations(
+            &self.hopping,
+            &self.shadow.occupations,
+            &eps,
+            &nac,
+            dt_md_au,
+        );
         self.shadow.set_occupations(&f);
+        self.last_eps = eps;
         // --- 4. QXMD with excitation-reshaped forces ---
-        let n_cells = self.ferro.cell_count();
-        let x = (n_exc * cfg.exc_per_cell_scale / n_cells as f64).clamp(0.0, 1.0);
-        self.ferro.set_uniform_excitation(x);
-        let vv = VelocityVerlet::new(cfg.dt_md_fs);
-        self.ferro.compute(&mut self.atoms);
-        let pe = vv.step(&mut self.atoms, &self.ferro);
+        let pe = advance_atoms(&cfg, &mut self.ferro, &mut self.atoms, n_exc);
         // --- 5. shadow handshake: Δv_loc from the moved atoms ---
-        let template = WaveFunctions::zeros(psi_after.grid, psi_after.norb);
-        let v_new = Self::assemble_vloc(&template, &self.tracked_sites, &self.ferro, &self.atoms);
-        let delta_v: Vec<f64> = v_new
-            .iter()
-            .zip(&self.last_vloc)
-            .map(|(a, b)| a - b)
-            .collect();
-        self.shadow.push_delta_v(&delta_v);
-        self.last_vloc = v_new;
+        self.last_vloc = shadow_handshake(
+            &mut self.shadow,
+            &psi_after.grid,
+            &self.tracked_sites,
+            &self.ferro,
+            &self.atoms,
+            &self.last_vloc,
+        );
         self.time_fs += cfg.dt_md_fs;
-        // Record.
-        let u = self.ferro.displacement_field(&self.atoms);
-        let mean_p = u.iter().copied().sum::<Vec3>() / u.len().max(1) as f64;
-        MeshStepRecord {
-            time_fs: self.time_fs,
+        make_record(
+            self.time_fs,
             n_exc,
-            absorbed_energy: inner.absorbed_energy,
-            mean_polarization: mean_p,
-            occupations: f,
-            atom_potential_energy: pe,
-        }
+            inner.absorbed_energy,
+            &self.ferro,
+            &self.atoms,
+            f,
+            pe,
+        )
     }
 
     /// Run `n` MD steps, returning the trajectory of records.
     pub fn run(&mut self, n: usize) -> Vec<MeshStepRecord> {
         (0..n).map(|_| self.step()).collect()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Per-domain MESH step kernels — shared by the serial [`MeshDriver`] and
+// the distributed `crate::dist_mesh::DistributedMeshDriver`, exactly as
+// `run_scf_loop`/`descend_columns` are shared by the SCF drivers. Each
+// kernel either reads/writes a single orbital column (shardable by band
+// range, bit-identically) or runs redundantly on replicated inputs.
+// ----------------------------------------------------------------------
+
+/// Ionic potential of the tracked sites displaced by their cells'
+/// current Ti off-centering (Å → bohr).
+pub(crate) fn assemble_vloc(
+    grid: &Grid3,
+    tracked: &[(usize, AtomSite)],
+    ferro: &FerroModel,
+    atoms: &AtomsSystem,
+) -> Vec<f64> {
+    let u = ferro.displacement_field(atoms);
+    let sites: Vec<AtomSite> = tracked
+        .iter()
+        .map(|(cell, base)| {
+            let d = u[*cell] * (1.0 / units::BOHR_ANGSTROM);
+            AtomSite {
+                pos: base.pos + d,
+                ..*base
+            }
+        })
+        .collect();
+    ionic_potential(grid, &sites)
+}
+
+/// One state's contribution to the excitation count:
+/// `f_s (1 − Σ_{s' occupied} |⟨ψ_{s'}(0)|ψ_s(t)⟩|²)` for an initially
+/// occupied state `s`, `0` otherwise. Reads only column `s` of the
+/// current panel, so the band tier shards this kernel over ranks.
+pub(crate) fn excitation_state_term(
+    psi0: &WaveFunctions,
+    occupied0: &[bool],
+    occ: &Occupations,
+    wf: &WaveFunctions,
+    s: usize,
+) -> f64 {
+    if !occupied0[s] {
+        return 0.0;
+    }
+    let f = occ.f(s);
+    if f == 0.0 {
+        return 0.0;
+    }
+    let mut in_span = 0.0;
+    for (sp, &occ0) in occupied0.iter().enumerate().take(psi0.norb) {
+        if occ0 {
+            in_span += psi0.overlap(sp, wf, s).norm_sqr();
+        }
+    }
+    f * (1.0 - in_span.min(1.0))
+}
+
+/// Fold the gathered per-state excitation terms in band order, skipping
+/// exactly the states the monolithic projection skips. Projecting onto
+/// the occupied *span* (inside [`excitation_state_term`]) makes the
+/// measure invariant under mixing within the occupied manifold;
+/// promotion into the panel's virtual states and leakage beyond the
+/// panel both count.
+pub(crate) fn fold_excitation(terms: &[f64], occupied0: &[bool], occ: &Occupations) -> f64 {
+    let mut n = 0.0;
+    for (s, &term) in terms.iter().enumerate() {
+        if !occupied0[s] || occ.f(s) == 0.0 {
+            continue;
+        }
+        n += term;
+    }
+    n
+}
+
+/// Surface hopping on the occupations (the `Û_SH` of Eq. (2)): one
+/// explicit-Euler master-equation step against the current occupations.
+/// Runs redundantly on replicated inputs in the distributed driver.
+pub(crate) fn hop_occupations(
+    hopping: &SurfaceHopping,
+    occ: &Occupations,
+    eps: &[f64],
+    nac: &NacMatrix,
+    dt_md_au: f64,
+) -> Vec<f64> {
+    let mut f: Vec<f64> = occ.as_slice().to_vec();
+    hopping.step(&mut f, eps, nac, dt_md_au);
+    f
+}
+
+/// QXMD stage: the excitation fraction reshapes the ferroelectric energy
+/// landscape (XS forces) and velocity Verlet advances the atoms. Returns
+/// the potential energy. Runs redundantly in the distributed driver.
+pub(crate) fn advance_atoms(
+    cfg: &MeshConfig,
+    ferro: &mut FerroModel,
+    atoms: &mut AtomsSystem,
+    n_exc: f64,
+) -> f64 {
+    let n_cells = ferro.cell_count();
+    let x = (n_exc * cfg.exc_per_cell_scale / n_cells as f64).clamp(0.0, 1.0);
+    ferro.set_uniform_excitation(x);
+    let vv = VelocityVerlet::new(cfg.dt_md_fs);
+    ferro.compute(atoms);
+    vv.step(atoms, ferro)
+}
+
+/// Shadow handshake: ship the ionic-motion-induced Δv_loc back to the
+/// device and return the new v_loc. Runs redundantly in the distributed
+/// driver (every rank's device replica receives the same increment).
+pub(crate) fn shadow_handshake(
+    shadow: &mut ShadowDomain,
+    grid: &Grid3,
+    tracked: &[(usize, AtomSite)],
+    ferro: &FerroModel,
+    atoms: &AtomsSystem,
+    last_vloc: &[f64],
+) -> Vec<f64> {
+    let v_new = assemble_vloc(grid, tracked, ferro, atoms);
+    let delta_v: Vec<f64> = v_new.iter().zip(last_vloc).map(|(a, b)| a - b).collect();
+    shadow.push_delta_v(&delta_v);
+    v_new
+}
+
+/// Topological charge of a displacement field on the ferro model's
+/// supercell (mean over z-layers) — the one definition both the per-step
+/// record and [`MeshDriver::topological_charge`] go through.
+fn charge_of_displacements(ferro: &FerroModel, u: Vec<Vec3>) -> f64 {
+    let (nx, ny, nz) = ferro.n_cells();
+    let field = PolarizationField::new(nx, ny, nz, u);
+    TextureReport::analyze(&field).mean_charge
+}
+
+/// Topological charge of the QM patch (mean over z-layers of the polar
+/// texture the ferro model binds to).
+pub(crate) fn patch_topological_charge(ferro: &FerroModel, atoms: &AtomsSystem) -> f64 {
+    charge_of_displacements(ferro, ferro.displacement_field(atoms))
+}
+
+/// Assemble the per-step record from the post-step state. Runs
+/// redundantly in the distributed driver.
+pub(crate) fn make_record(
+    time_fs: f64,
+    n_exc: f64,
+    absorbed_energy: f64,
+    ferro: &FerroModel,
+    atoms: &AtomsSystem,
+    occupations: Vec<f64>,
+    atom_potential_energy: f64,
+) -> MeshStepRecord {
+    let u = ferro.displacement_field(atoms);
+    let mean_p = u.iter().copied().sum::<Vec3>() / u.len().max(1) as f64;
+    let topological_charge = charge_of_displacements(ferro, u);
+    MeshStepRecord {
+        time_fs,
+        n_exc,
+        absorbed_energy,
+        mean_polarization: mean_p,
+        occupations,
+        atom_potential_energy,
+        topological_charge,
     }
 }
 
@@ -349,79 +534,49 @@ mod tests {
     use mlmd_qxmd::ferro::FerroParams;
     use mlmd_qxmd::perovskite::PerovskiteLattice;
 
+    /// The canonical MESH fixture (8³ grid, 8-state panel, 3×3×3 patch at
+    /// the coupled minimum, resonant pulse) — shared with the `mesh_dist`
+    /// integration suite, the `mesh_scaling` bench, and the
+    /// `distributed_mesh` example.
     fn build_driver(e0: f64) -> MeshDriver {
-        let grid = Grid3::new(8, 8, 8, 0.5);
-        // 8-state panel with 2 occupied + 6 virtual: the virtual states
-        // are resolved excitation targets, and the low occupied states
-        // converge well in the pre-run descent.
-        let wf = WaveFunctions::plane_waves(grid, 8);
-        let occ = Occupations::aufbau(8, 4.0);
-        let p = FerroParams::pbtio3();
-        // Start at the *coupled* minimum so the dark run is force-free and
-        // the excitation baseline stays small.
-        let u_star = ((3.0 * p.j_nn - p.a2) / (2.0 * p.a4)).sqrt();
-        let lat = PerovskiteLattice::uniform(3, 3, 3, Vec3::new(0.0, 0.0, u_star));
-        let ferro = FerroModel::new(&lat, p);
-        // Resonant drive (box level spacing ≈ 1.2 Ha on this grid).
-        let pulse = GaussianPulse::new(e0, 0.8, 4.0, 2.0);
-        let site = AtomSite {
-            pos: Vec3::new(2.0, 2.0, 2.0),
-            z_eff: 1.0,
-            sigma: 0.8,
-        };
-        let cfg = MeshConfig {
-            ehrenfest: EhrenfestConfig {
-                dt_qd: 0.05,
-                n_qd: 30,
-                self_consistent: false,
-            },
-            exc_per_cell_scale: 30.0,
-            ..Default::default()
-        };
-        MeshDriver::new(
-            cfg,
-            wf,
-            occ,
-            lat.system.clone(),
-            ferro,
-            pulse,
-            vec![(0, site)],
-            Arc::new(TransferLedger::new()),
-        )
+        crate::fixture::small_mesh_driver(e0)
     }
 
     #[test]
     fn builder_matches_direct_construction() {
-        let mut direct = build_driver(0.05);
+        // The fixture goes through `MeshDriverBuilder`; a driver assembled
+        // with the raw constructor from the same inputs must be
+        // bit-identical.
+        let mut built = build_driver(0.05);
         let grid = Grid3::new(8, 8, 8, 0.5);
         let p = FerroParams::pbtio3();
         let u_star = ((3.0 * p.j_nn - p.a2) / (2.0 * p.a4)).sqrt();
         let lat = PerovskiteLattice::uniform(3, 3, 3, Vec3::new(0.0, 0.0, u_star));
-        let mut built = MeshDriverBuilder::new(
+        let mut direct = MeshDriver::new(
+            MeshConfig {
+                ehrenfest: EhrenfestConfig {
+                    dt_qd: 0.05,
+                    n_qd: 30,
+                    self_consistent: false,
+                },
+                exc_per_cell_scale: 30.0,
+                ..Default::default()
+            },
             WaveFunctions::plane_waves(grid, 8),
             Occupations::aufbau(8, 4.0),
             lat.system.clone(),
             FerroModel::new(&lat, p),
-        )
-        .config(MeshConfig {
-            ehrenfest: EhrenfestConfig {
-                dt_qd: 0.05,
-                n_qd: 30,
-                self_consistent: false,
-            },
-            exc_per_cell_scale: 30.0,
-            ..Default::default()
-        })
-        .pulse(GaussianPulse::new(0.05, 0.8, 4.0, 2.0))
-        .track_site(
-            0,
-            AtomSite {
-                pos: Vec3::new(2.0, 2.0, 2.0),
-                z_eff: 1.0,
-                sigma: 0.8,
-            },
-        )
-        .build();
+            GaussianPulse::new(0.05, 0.8, 4.0, 2.0),
+            vec![(
+                0,
+                AtomSite {
+                    pos: Vec3::new(2.0, 2.0, 2.0),
+                    z_eff: 1.0,
+                    sigma: 0.8,
+                },
+            )],
+            Arc::new(TransferLedger::new()),
+        );
         let rd = direct.run(3);
         let rb = built.run(3);
         for (a, b) in rd.iter().zip(&rb) {

@@ -62,20 +62,32 @@ pub fn apply_h(grid: &Grid3, vloc: &[f64], psi: &[c64]) -> Vec<c64> {
         .collect()
 }
 
+/// Band energies `ε_s = ⟨ψ_s|Ĥ|ψ_s⟩` for `s ∈ cols` only. Each energy
+/// reads one column, so the band tier shards this call over ranks and
+/// concatenates the results in rank order — every entry is computed
+/// exactly as in the serial path, so sharding is bit-identical.
+pub fn band_energy_columns(
+    grid: &Grid3,
+    vloc: &[f64],
+    wf: &WaveFunctions,
+    cols: Range<usize>,
+) -> Vec<f64> {
+    let dv = grid.dv();
+    cols.map(|s| {
+        let col = wf.psi.col(s);
+        let hpsi = apply_h(grid, vloc, col);
+        col.iter()
+            .zip(&hpsi)
+            .map(|(a, b)| (a.conj() * *b).re)
+            .sum::<f64>()
+            * dv
+    })
+    .collect()
+}
+
 /// Band energies `ε_s = ⟨ψ_s|Ĥ|ψ_s⟩` of a panel.
 pub fn band_energies(grid: &Grid3, vloc: &[f64], wf: &WaveFunctions) -> Vec<f64> {
-    let dv = grid.dv();
-    (0..wf.norb)
-        .map(|s| {
-            let col = wf.psi.col(s);
-            let hpsi = apply_h(grid, vloc, col);
-            col.iter()
-                .zip(&hpsi)
-                .map(|(a, b)| (a.conj() * *b).re)
-                .sum::<f64>()
-                * dv
-        })
-        .collect()
+    band_energy_columns(grid, vloc, wf, 0..wf.norb)
 }
 
 /// Subspace-Hamiltonian columns `H_ab = ⟨ψ_a|H|ψ_b⟩` for `b ∈ cols`,

@@ -126,9 +126,7 @@ impl ShadowDomain {
             .device_slice_mut()
             .copy_from_slice(wf.psi.as_slice());
         // The report payload crosses the link: Δf (Norb) + n_exc + J (4).
-        let payload_len = self.occupations.len() + 4;
-        self.ledger
-            .record_d2h((payload_len * std::mem::size_of::<f64>()) as u64);
+        self.record_report_payload();
         let j_mean = if result.current_trace.is_empty() {
             0.0
         } else {
@@ -169,6 +167,36 @@ impl ShadowDomain {
             .as_mut_slice()
             .copy_from_slice(self.device_psi.device_slice());
         wf
+    }
+
+    /// Device-side overwrite of the wave functions — the write half of
+    /// `use_device_ptr`, used by the distributed MESH driver to install
+    /// the allgathered panel after a band-sharded inner loop (device-side
+    /// compute, no link traffic).
+    pub fn upload_wavefunctions_unmetered(&mut self, wf: &WaveFunctions) {
+        assert_eq!(wf.grid, self.wf_shape.grid, "panel grid mismatch");
+        assert_eq!(wf.norb, self.wf_shape.norb, "panel width mismatch");
+        self.device_psi
+            .device_slice_mut()
+            .copy_from_slice(wf.psi.as_slice());
+    }
+
+    /// Device-side view of the frozen potential the inner loop actually
+    /// propagates under (the incrementally-updated `device_v`, which is
+    /// deliberately *not* bit-identical to a freshly assembled v_loc —
+    /// it accumulates the pushed Δv's exactly as the serial loop does).
+    pub fn device_potential_unmetered(&self) -> Vec<f64> {
+        self.device_v.device_slice().to_vec()
+    }
+
+    /// Ledger-account the per-MD-step D2H report payload
+    /// (`Norb + 4` doubles) without running the inner loop — the
+    /// distributed driver moves the same small report up the link after
+    /// its sharded propagation.
+    pub fn record_report_payload(&self) {
+        let payload_len = self.occupations.len() + 4;
+        self.ledger
+            .record_d2h((payload_len * std::mem::size_of::<f64>()) as u64);
     }
 }
 

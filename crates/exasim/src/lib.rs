@@ -20,6 +20,21 @@
 //!
 //! Everything is pure arithmetic: no randomness, no wall clock — the same
 //! inputs always print the same tables.
+//!
+//! # Where the model's inputs come from
+//!
+//! The FLOP counts mirror the instrumented kernels (`mlmd-numerics`
+//! `FlopCounter` totals through the LFD propagators), and the
+//! communication terms are shaped after the *measured* collective
+//! patterns of the distributed drivers: the `dc_scaling` and
+//! `mesh_scaling` bench groups time the real per-iteration allgathers,
+//! allreduces, and split/retire cycles of `DistributedDcScf` and
+//! `DistributedMeshDriver` on simulated-MPI worlds (see
+//! `docs/BENCHMARKS.md` — on the 1-CPU CI container those numbers are
+//! pure communication overhead, exactly the quantity an α–β network
+//! term needs). Feeding those measured costs into this model, in place
+//! of its analytic estimates, is the standing ROADMAP item for closing
+//! the loop between the simulated and extrapolated machines.
 
 pub mod dcmesh_model;
 pub mod machine;

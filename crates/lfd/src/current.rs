@@ -14,6 +14,7 @@
 use crate::occupation::Occupations;
 use crate::wavefunction::WaveFunctions;
 use mlmd_numerics::complex::c64;
+use mlmd_numerics::grid::Grid3;
 use mlmd_numerics::vec3::Vec3;
 
 /// Macroscopic current: paramagnetic and diamagnetic parts.
@@ -29,48 +30,97 @@ impl Current {
     }
 }
 
-/// Compute the cell-averaged current for vector potential `a`.
-pub fn macroscopic_current(wf: &WaveFunctions, occ: &Occupations, a: Vec3) -> Current {
-    assert_eq!(occ.len(), wf.norb);
-    let grid = wf.grid;
+/// One orbital's raw (occupation-unweighted) contribution to the
+/// macroscopic current: the grid sum of `Im(ψ* ∇ψ)` and of `|ψ|²`.
+///
+/// Orbitals are independent, so the DC-MESH band tier shards this kernel
+/// over ranks and [`fold_current_terms`] recombines the gathered terms in
+/// orbital order — every value is computed exactly as in the serial path,
+/// so sharding is bit-identical.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OrbitalCurrentTerm {
+    /// Σ_r Im(ψ* ∇ψ) (raw grid sum, no `f` weight, no dV).
+    pub paramagnetic: Vec3,
+    /// Σ_r |ψ|² (raw grid sum).
+    pub norm_sqr: f64,
+}
+
+/// Compute one orbital column's [`OrbitalCurrentTerm`] on `grid` (periodic
+/// central differences for the gradient).
+pub fn orbital_current_term(grid: &Grid3, col: &[c64]) -> OrbitalCurrentTerm {
+    assert_eq!(col.len(), grid.len());
+    let inv_2h = 0.5 / grid.h;
+    let mut acc = Vec3::ZERO;
+    let mut norm = 0.0;
+    for k in 0..grid.nz {
+        let kp = (k + 1) % grid.nz;
+        let km = (k + grid.nz - 1) % grid.nz;
+        for j in 0..grid.ny {
+            let jp = (j + 1) % grid.ny;
+            let jm = (j + grid.ny - 1) % grid.ny;
+            for i in 0..grid.nx {
+                let ip = (i + 1) % grid.nx;
+                let im = (i + grid.nx - 1) % grid.nx;
+                let z = col[grid.idx(i, j, k)];
+                let gx = (col[grid.idx(ip, j, k)] - col[grid.idx(im, j, k)]).scale(inv_2h);
+                let gy = (col[grid.idx(i, jp, k)] - col[grid.idx(i, jm, k)]).scale(inv_2h);
+                let gz = (col[grid.idx(i, j, kp)] - col[grid.idx(i, j, km)]).scale(inv_2h);
+                acc += Vec3::new(im_conj_mul(z, gx), im_conj_mul(z, gy), im_conj_mul(z, gz));
+                norm += z.norm_sqr();
+            }
+        }
+    }
+    OrbitalCurrentTerm {
+        paramagnetic: acc,
+        norm_sqr: norm,
+    }
+}
+
+/// Recombine per-orbital terms (indexed by orbital, in band order) into
+/// the macroscopic [`Current`] for vector potential `a`. Orbitals with
+/// `f = 0` are skipped exactly as in the monolithic path, so their terms
+/// may be left at `Default`.
+pub fn fold_current_terms(
+    terms: &[OrbitalCurrentTerm],
+    occ: &Occupations,
+    a: Vec3,
+    grid: &Grid3,
+) -> Current {
+    assert_eq!(terms.len(), occ.len());
     let (lx, ly, lz) = grid.lengths();
     let volume = lx * ly * lz;
-    let inv_2h = 0.5 / grid.h;
     let mut para = Vec3::ZERO;
     let mut n_electrons = 0.0;
-    for s in 0..wf.norb {
+    for (s, t) in terms.iter().enumerate() {
         let f = occ.f(s);
         if f == 0.0 {
             continue;
         }
-        let col = wf.psi.col(s);
-        let mut acc = Vec3::ZERO;
-        let mut norm = 0.0;
-        for k in 0..grid.nz {
-            let kp = (k + 1) % grid.nz;
-            let km = (k + grid.nz - 1) % grid.nz;
-            for j in 0..grid.ny {
-                let jp = (j + 1) % grid.ny;
-                let jm = (j + grid.ny - 1) % grid.ny;
-                for i in 0..grid.nx {
-                    let ip = (i + 1) % grid.nx;
-                    let im = (i + grid.nx - 1) % grid.nx;
-                    let z = col[grid.idx(i, j, k)];
-                    let gx = (col[grid.idx(ip, j, k)] - col[grid.idx(im, j, k)]).scale(inv_2h);
-                    let gy = (col[grid.idx(i, jp, k)] - col[grid.idx(i, jm, k)]).scale(inv_2h);
-                    let gz = (col[grid.idx(i, j, kp)] - col[grid.idx(i, j, km)]).scale(inv_2h);
-                    acc += Vec3::new(im_conj_mul(z, gx), im_conj_mul(z, gy), im_conj_mul(z, gz));
-                    norm += z.norm_sqr();
-                }
-            }
-        }
-        para += acc * (f * grid.dv());
-        n_electrons += f * norm * grid.dv();
+        para += t.paramagnetic * (f * grid.dv());
+        n_electrons += f * t.norm_sqr * grid.dv();
     }
     Current {
         paramagnetic: para / volume,
         diamagnetic: a * (n_electrons / volume),
     }
+}
+
+/// Compute the cell-averaged current for vector potential `a`: the fold
+/// of every orbital's [`orbital_current_term`] — the exact kernel pair the
+/// distributed MESH driver shards over ranks.
+pub fn macroscopic_current(wf: &WaveFunctions, occ: &Occupations, a: Vec3) -> Current {
+    assert_eq!(occ.len(), wf.norb);
+    let grid = wf.grid;
+    let terms: Vec<OrbitalCurrentTerm> = (0..wf.norb)
+        .map(|s| {
+            if occ.f(s) == 0.0 {
+                OrbitalCurrentTerm::default()
+            } else {
+                orbital_current_term(&grid, wf.psi.col(s))
+            }
+        })
+        .collect();
+    fold_current_terms(&terms, occ, a, &grid)
 }
 
 /// Im(z* w).
@@ -82,7 +132,6 @@ fn im_conj_mul(z: c64, w: c64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlmd_numerics::grid::Grid3;
 
     #[test]
     fn gamma_state_carries_no_current() {
@@ -126,6 +175,33 @@ mod tests {
         let v = lx * ly * lz;
         let expect = a * (2.0 / v);
         assert!((j.diamagnetic - expect).norm() < 1e-10);
+    }
+
+    #[test]
+    fn sharded_terms_fold_to_the_monolithic_current() {
+        // The DC-MESH band tier computes orbital terms on different ranks
+        // and folds the gathered vector: any column partition must
+        // reproduce the monolithic current bit-for-bit.
+        let grid = Grid3::new(8, 8, 8, 0.5);
+        let wf = WaveFunctions::random(grid, 5, 9);
+        let occ = Occupations::new(vec![2.0, 1.5, 0.0, 0.5, 1.0]);
+        let a = Vec3::new(0.1, -0.2, 0.05);
+        let want = macroscopic_current(&wf, &occ, a);
+        // "Rank 0" owns orbitals 0..2, "rank 1" owns 2..5.
+        let mut terms = vec![OrbitalCurrentTerm::default(); 5];
+        for cols in [0..2usize, 2..5] {
+            for (s, slot) in terms[cols.clone()].iter_mut().enumerate() {
+                let s = cols.start + s;
+                if occ.f(s) != 0.0 {
+                    *slot = orbital_current_term(&grid, wf.psi.col(s));
+                }
+            }
+        }
+        let got = fold_current_terms(&terms, &occ, a, &grid);
+        assert_eq!(got.paramagnetic.x.to_bits(), want.paramagnetic.x.to_bits());
+        assert_eq!(got.paramagnetic.y.to_bits(), want.paramagnetic.y.to_bits());
+        assert_eq!(got.paramagnetic.z.to_bits(), want.paramagnetic.z.to_bits());
+        assert_eq!(got.diamagnetic.x.to_bits(), want.diamagnetic.x.to_bits());
     }
 
     #[test]

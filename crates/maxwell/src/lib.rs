@@ -16,6 +16,24 @@
 //! * [`driver`] — self-driving wrappers (solver + source + Ohmic
 //!   response) in the no-argument stepper shape the engine layer runs.
 //! * [`units`] — atomic-unit conversions for fields and intensities.
+//!
+//! # How the rest of the stack consumes light
+//!
+//! [`source::GaussianPulse`] is the field every MESH driver closes over:
+//! the serial `MeshDriver` and the rank-distributed
+//! `DistributedMeshDriver` (in `mlmd-dcmesh`) evaluate `E(t)` pointwise
+//! inside the Ehrenfest inner loop and integrate the velocity-gauge
+//! vector potential `A(t)` from it, while the matter side returns the
+//! macroscopic current `J(t)` — the quantity the distributed driver's
+//! per-step boundary E/J exchange publishes across domains, and the
+//! quantity a [`multiscale`] macro-cell feeds back into Ampère's law.
+//! [`driver::PulsedYee`]/[`driver::PulsedMultiscale`] implement the
+//! engine layer's `Stepper` contract, so FDTD runs batch under the same
+//! `RunPlan` machinery as the MD drivers (see
+//! `docs/ARCHITECTURE.md`). Everything here is deterministic pure
+//! arithmetic: the same pulse parameters always produce bit-identical
+//! field histories, which is what lets the oracle suites pin whole
+//! light-matter trajectories with zero tolerance.
 
 pub mod driver;
 pub mod multiscale;

@@ -25,6 +25,23 @@
 //! * [`buffer`] — [`buffer::DeviceBuffer`], the OMPallocator analogue:
 //!   GPU-resident containers with `enter data`/`exit data` lifetimes and
 //!   explicit `update to/from` transfers that hit the ledger.
+//!
+//! # Who runs on this substrate
+//!
+//! Both rank-distributed DC-MESH drivers in `mlmd-dcmesh` —
+//! `DistributedDcScf` (the global–local SCF) and `DistributedMeshDriver`
+//! (the Maxwell/Ehrenfest/hopping step loop) — are written against this
+//! API exactly as the paper's Fortran/C++ is written against MPI, and
+//! their oracle suites (`tests/dc_dist.rs`, `tests/mesh_dist.rs`) lean
+//! on two comm-layer guarantees: collectives deliver contributions in
+//! *rank order* (so a left-fold with one non-zero term per domain
+//! reproduces a serial domain loop bit-for-bit), and `allgather_vec`
+//! concatenates ragged per-rank blocks in rank order (so contiguous
+//! band-range column blocks reassemble into a column-major panel with no
+//! copy fix-up). The channel-reclamation diagnostics
+//! ([`comm::Comm::fabric_channel_count`] /
+//! [`comm::Comm::fabric_live_comm_count`]) exist so those suites can pin
+//! non-growth across repeated driver build/run/drop cycles.
 
 pub mod buffer;
 pub mod comm;

@@ -144,6 +144,12 @@ impl FerroModel {
         self.ti_index.len()
     }
 
+    /// Supercell dimensions `(nx, ny, nz)` the model is bound to — the
+    /// shape a `PolarizationField` over [`Self::displacement_field`] needs.
+    pub fn n_cells(&self) -> (usize, usize, usize) {
+        self.n_cells
+    }
+
     /// Set the per-cell excitation fractions (clamped to \[0,1\]) — the
     /// XS/GS mixing input delivered by DC-MESH.
     pub fn set_excitation(&mut self, x: &[f64]) {

@@ -28,6 +28,19 @@
 //! * [`nac`] — nonadiabatic couplings from orbital overlaps.
 //! * [`hopping`] — surface hopping as occupation kinetics (master
 //!   equation with detailed balance), the `Û_SH` of paper Eq. (2).
+//!
+//! # Determinism contract
+//!
+//! Every propagator here is deterministic in its inputs — the
+//! [`nac::NacMatrix`] overlaps, the [`hopping::SurfaceHopping`] master
+//! equation (no stochastic hops: occupation kinetics, not trajectory
+//! branching), velocity Verlet, and the [`ferro::FerroModel`] forces —
+//! and [`md_stage::MdStage`] owns its RNG stream rather than sharing
+//! global state. That is what lets the DC-MESH drivers run these exact
+//! kernels *redundantly on every rank* of a simulated-MPI domain group
+//! and stay bit-identical to the serial oracle (`tests/mesh_dist.rs`),
+//! and what lets `RunPlan` batches reproduce sequential trajectories
+//! regardless of pool width (`tests/engine_pipeline.rs`).
 
 pub mod atoms;
 pub mod ferro;

@@ -14,6 +14,21 @@
 //!   spherical-triangle construction (integer-quantized for smooth
 //!   textures, the "topological protection" of Sec. VI.A).
 //! * [`switching`] — before/after metrics for photo-switching runs.
+//!
+//! # Who reads the topology
+//!
+//! Three layers consume these analyses, all through the same
+//! [`polarization::PolarizationField`] construction so the measurements
+//! cannot diverge: the Fig. 3 pipeline's switching verdict
+//! (`mlmd_core::pipeline`), the response-stage trace observer
+//! (`mlmd_core::engine`), and — since the MESH driver accumulates its QM
+//! patch's topology per MD step — every `MeshStepRecord` of the serial
+//! and distributed DC-MESH drivers (`topological_charge`, pinned
+//! bit-for-bit across rank counts in `tests/mesh_dist.rs`). The
+//! Berg–Lüscher charge is deterministic in the input field, so it rides
+//! through every oracle comparison with zero tolerance; its integer
+//! quantization on smooth textures is pinned by
+//! `crates/topo/tests/regression.rs`.
 
 pub mod charge;
 pub mod polarization;

@@ -1,0 +1,47 @@
+//! Distributed MESH step driver: the Maxwell/Ehrenfest/hopping loop on
+//! simulated-MPI ranks.
+//!
+//! Runs the canonical MESH fixture three ways — the serial `MeshDriver`
+//! oracle, `DistributedMeshDriver` on a 4-rank world (band-sharded
+//! Ehrenfest propagation within one domain), and a lit/dark pump-probe
+//! pair as a two-domain world — and prints the excitation trajectories
+//! side by side. Lit runs agree to the last bit: the distributed driver
+//! shards only column-local work (propagation, current terms, excitation
+//! terms, band energies) and runs every coupling step redundantly, so no
+//! float sum is ever reordered.
+//!
+//! ```sh
+//! cargo run --release --example distributed_mesh
+//! ```
+
+use mlmd::dcmesh::dist_mesh::run_distributed_mesh;
+use mlmd::dcmesh::fixture::small_mesh_driver;
+
+fn main() {
+    let (e0, steps) = (0.05, 4);
+
+    println!("MESH fixture: 8-state panel, 3x3x3 PbTiO3 patch, E0 = {e0}\n");
+    let serial = small_mesh_driver(e0).run(steps);
+    let dist = run_distributed_mesh(1, 4, steps, |_| small_mesh_driver(e0));
+    let pair = run_distributed_mesh(2, 2, steps, |d| {
+        small_mesh_driver(if d == 0 { e0 } else { 0.0 })
+    });
+
+    println!("step   n_exc (serial)       n_exc (4 ranks)      n_exc (dark domain)");
+    for (i, ((s, d), dark)) in serial.iter().zip(&dist[0]).zip(&pair[1]).enumerate() {
+        println!(
+            "{:3}    {:18.12}   {:18.12}   {:18.12}",
+            i, s.n_exc, d.n_exc, dark.n_exc
+        );
+        assert_eq!(s.n_exc.to_bits(), d.n_exc.to_bits());
+        assert_eq!(s.n_exc.to_bits(), pair[0][i].n_exc.to_bits());
+    }
+    println!(
+        "\nlit trajectory bit-identical across 1 and 4 ranks per domain, \
+         and inside the two-domain lit/dark world"
+    );
+    println!(
+        "final patch topological charge: {:+.3}",
+        serial.last().unwrap().topological_charge
+    );
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Docs link check: fail on broken *relative* links in README.md and
+# docs/*.md (external http(s)/mailto links and pure #anchors are out of
+# scope — the build environment is offline).
+#
+#   scripts/check_links.sh
+#
+# A link `[text](target)` is broken when `target` (with any #fragment
+# stripped), resolved against the linking file's directory, names a file
+# or directory that does not exist.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in README.md docs/*.md; do
+  [ -e "$f" ] || continue
+  base=$(dirname "$f")
+  # Extract every inline markdown link target.
+  targets=$(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//' || true)
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$base/$path" ]; then
+      echo "broken link in $f: ($target) -> $base/$path does not exist"
+      fail=1
+    fi
+  done <<< "$targets"
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "link check: FAILED"
+  exit 1
+fi
+echo "link check: OK"

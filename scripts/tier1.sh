@@ -19,14 +19,23 @@ cargo test -q
 echo "==> cargo test -q --test dc_dist  (multi-rank DC-SCF vs serial oracle)"
 cargo test -q --test dc_dist
 
+echo "==> cargo test -q --test mesh_dist  (multi-rank MESH driver vs serial oracle)"
+cargo test -q --test mesh_dist
+
 echo "==> cargo bench -p mlmd-bench --bench dc_scaling -- --test  (smoke)"
 cargo bench -p mlmd-bench --bench dc_scaling -- --test
 
 echo "==> cargo bench -p mlmd-bench --bench pump_probe -- --test  (smoke)"
 cargo bench -p mlmd-bench --bench pump_probe -- --test
 
+echo "==> cargo bench -p mlmd-bench --bench mesh_scaling -- --test  (smoke)"
+cargo bench -p mlmd-bench --bench mesh_scaling -- --test
+
 echo "==> cargo doc --no-deps  (warnings as errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> docs link check (README.md, docs/*.md)"
+scripts/check_links.sh
 
 echo "==> cargo fmt --check"
 cargo fmt --check
