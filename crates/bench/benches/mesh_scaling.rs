@@ -16,7 +16,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mlmd_dcmesh::dist_mesh::run_distributed_mesh;
-use mlmd_dcmesh::fixture::small_mesh_driver;
+use mlmd_dcmesh::fixture::{small_mesh_builder, small_mesh_driver};
 use std::hint::black_box;
 
 const STEPS: usize = 2;
@@ -37,7 +37,7 @@ fn bench_mesh_scaling(c: &mut Criterion) {
         group.bench_function(format!("dist_1dom_{ranks_per_domain}rpd"), |b| {
             b.iter(|| {
                 black_box(run_distributed_mesh(1, ranks_per_domain, STEPS, |_| {
-                    small_mesh_driver(E0)
+                    small_mesh_builder(E0)
                 }))
             });
         });
@@ -49,7 +49,7 @@ fn bench_mesh_scaling(c: &mut Criterion) {
     group.bench_function("lit_dark_2dom_1rpd", |b| {
         b.iter(|| {
             black_box(run_distributed_mesh(2, 1, STEPS, |d| {
-                small_mesh_driver(if d == 0 { E0 } else { 0.0 })
+                small_mesh_builder(if d == 0 { E0 } else { 0.0 })
             }))
         });
     });

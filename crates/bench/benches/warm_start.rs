@@ -1,0 +1,92 @@
+//! Criterion bench: cold vs warm-started MESH driver construction.
+//!
+//! The `warm_start` group isolates the cost PR 6 removes: the converged
+//! eigenstate pre-descent (`descent_steps` damped-gradient sweeps plus a
+//! subspace rotation) that `MeshDriver` construction used to replicate
+//! on every rank, every driver, every run. Each variant times *driver
+//! construction only* — no MD steps — so the numbers read directly as
+//! "what does standing up a driver cost":
+//!
+//! - `cold_serial_construct` / `warm_serial_construct`: one serial
+//!   driver, fresh descent vs a pre-seeded in-memory cache hit.
+//! - `cold_dist_construct_{2,4}rpd` / `warm_dist_construct_{2,4}rpd`:
+//!   one domain at 2 and 4 ranks per domain. Cold resolves the descent
+//!   on the domain root (PR 6's root-resolve + panel broadcast — the
+//!   pre-PR-6 per-rank replication is gone either way); warm turns even
+//!   the root's descent into a cache hit, leaving only the broadcast
+//!   and the world/hierarchy envelope.
+//!
+//! Acceptance (BENCH_pr6.json): warm 4-rpd construction within ~1.1x of
+//! warm serial construction — once the descent is cached, rank count
+//! must no longer matter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlmd_dcmesh::checkpoint::{GroundStateCache, WarmStart};
+use mlmd_dcmesh::dist_mesh::DistributedMeshDriver;
+use mlmd_dcmesh::fixture::small_mesh_builder;
+use mlmd_parallel::comm::World;
+use std::hint::black_box;
+
+const E0: f64 = 0.05;
+
+fn seeded_cache() -> GroundStateCache {
+    let cache = GroundStateCache::new();
+    let builder = small_mesh_builder(E0);
+    cache.get_or_compute(builder.config_key(), || builder.ground_state());
+    cache
+}
+
+fn bench_warm_start(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warm_start");
+    group.sample_size(10);
+
+    group.bench_function("cold_serial_construct", |b| {
+        b.iter(|| black_box(small_mesh_builder(E0).build().time_fs()));
+    });
+
+    let cache = seeded_cache();
+    group.bench_function("warm_serial_construct", |b| {
+        b.iter(|| {
+            let drv = small_mesh_builder(E0)
+                .warm_start(WarmStart::InMemory(cache.clone()))
+                .build();
+            black_box(drv.time_fs())
+        });
+    });
+
+    for ranks_per_domain in [2usize, 4] {
+        // The bare simulated-MPI envelope: spawn + join an n-rank world
+        // doing no work. The dist-construct numbers below include this
+        // harness cost once per iteration, so the per-driver construction
+        // comparison in BENCH_pr6.json reads net of it.
+        group.bench_function(format!("world_envelope_{ranks_per_domain}rpd"), |b| {
+            b.iter(|| black_box(World::run(ranks_per_domain, |world| world.rank())));
+        });
+
+        group.bench_function(format!("cold_dist_construct_{ranks_per_domain}rpd"), |b| {
+            b.iter(|| {
+                black_box(World::run(ranks_per_domain, |world| {
+                    DistributedMeshDriver::new(world, 1, |_| small_mesh_builder(E0)).time_fs()
+                }))
+            });
+        });
+
+        let cache = seeded_cache();
+        group.bench_function(format!("warm_dist_construct_{ranks_per_domain}rpd"), |b| {
+            b.iter(|| {
+                black_box(World::run(ranks_per_domain, |world| {
+                    let cache = cache.clone();
+                    DistributedMeshDriver::new(world, 1, move |_| {
+                        small_mesh_builder(E0).warm_start(WarmStart::InMemory(cache))
+                    })
+                    .time_fs()
+                }))
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_warm_start);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! Pipeline configuration.
 
 use mlmd_dcmesh::ehrenfest::EhrenfestConfig;
+use mlmd_dcmesh::WarmStartPolicy;
 
 /// All knobs of the end-to-end Fig. 3 run.
 #[derive(Clone, Copy, Debug)]
@@ -44,6 +45,13 @@ pub struct PipelineConfig {
     /// the in-process `RunPlan` batch on the work-stealing pool — both
     /// paths are bit-identical (pinned in `tests/mesh_dist.rs`).
     pub mesh_ranks_per_domain: Option<usize>,
+    /// Where MESH drivers get their converged ground state from.
+    /// `ProcessCache` (the default) shares one descent per config hash
+    /// across the whole process — a `RunPlan` batch or `pump_probe_sweep`
+    /// runs N amplitudes off 1 descent, since the pulse does not enter
+    /// the ground-state key — and is bit-identical to `Fresh` (the warm
+    /// panel *is* the cold panel; pinned in the checkpoint suite).
+    pub mesh_warm_start: WarmStartPolicy,
     /// MD time step (fs).
     pub dt_fs: f64,
     /// Excitation gain from DC-MESH n_exc to the per-cell fraction
@@ -75,6 +83,7 @@ impl PipelineConfig {
             response_sample_stride: 10,
             respond_nn_batches: None,
             mesh_ranks_per_domain: None,
+            mesh_warm_start: WarmStartPolicy::ProcessCache,
             dt_fs: 0.2,
             excitation_gain: 8.0,
             seed: 2025,

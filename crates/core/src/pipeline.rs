@@ -173,6 +173,17 @@ impl Pipeline {
     /// stationary. Public so tests, benches, and sweeps can engine-drive
     /// the same driver the pipeline measures.
     pub fn mesh_stage(&self, e0: f64) -> MeshDriver {
+        self.mesh_stage_builder(e0).build()
+    }
+
+    /// The builder of [`Self::mesh_stage`]'s driver, with the configured
+    /// warm-start source attached but not yet resolved. The distributed
+    /// batch path hands this to every rank so the domain root resolves
+    /// the ground state once and broadcasts it; `PipelineConfig`'s
+    /// default `ProcessCache` policy additionally shares that one descent
+    /// across every amplitude and batch in the process, since the pulse
+    /// amplitude does not enter the ground-state config hash.
+    pub fn mesh_stage_builder(&self, e0: f64) -> MeshDriverBuilder {
         let cfg = self.config;
         let grid = Grid3::new(8, 8, 8, 0.5);
         // 8-state panel, 2 occupied + 6 virtual (see MeshDriver docs).
@@ -197,7 +208,7 @@ impl Pipeline {
                     sigma: 0.8,
                 },
             )
-            .build()
+            .warm_start(cfg.mesh_warm_start.to_warm_start())
     }
 
     /// Execute one MESH driver per amplitude for `n_steps` each and
@@ -231,7 +242,7 @@ impl Pipeline {
                 let n_domains = amplitudes.len();
                 let results = World::run(n_domains * ranks_per_domain, |world| {
                     let mut drv = DistributedMeshDriver::new(world, n_domains, |d| {
-                        self.mesh_stage(amplitudes[d])
+                        self.mesh_stage_builder(amplitudes[d])
                     });
                     let mut obs = TraceObserver::every();
                     Engine::run(&mut drv, n_steps, &mut obs);

@@ -44,6 +44,7 @@
 //!   term per domain in world-rank order — the same order as the serial
 //!   domain loop.
 
+use crate::checkpoint::WarmStart;
 use crate::domain::{Domain, DomainDecomposition};
 use crate::scf::{self, ScfIteration};
 use mlmd_lfd::occupation::Occupations;
@@ -82,6 +83,7 @@ impl DistributedDcScf {
     /// [`crate::scf::DcScf::new`]: domain `d` gets a random orthonormal panel seeded
     /// with `seed + d` and aufbau occupations, so a world of any
     /// compatible size starts from exactly the serial initial state.
+    /// Equivalent to [`Self::with_warm_start`] with [`WarmStart::Fresh`].
     pub fn new(
         world: Comm,
         decomposition: DomainDecomposition,
@@ -90,9 +92,59 @@ impl DistributedDcScf {
         atoms: Vec<AtomSite>,
         seed: u64,
     ) -> Self {
+        Self::with_warm_start(
+            world,
+            decomposition,
+            norb,
+            electrons_per_domain,
+            atoms,
+            seed,
+            &WarmStart::Fresh,
+        )
+    }
+
+    /// Initialize with this domain's initial panel resolved through a
+    /// warm-start source — **once, on the domain root** — and broadcast
+    /// over the domain communicator, instead of every rank constructing
+    /// its own replica. Broadcasting a value the serial kernel produced
+    /// preserves bit-identity trivially, and it means a cache hit or a
+    /// checkpoint file is read by one rank per domain, not all of them.
+    #[allow(clippy::too_many_arguments)] // mirrors the serial constructor + source
+    pub fn with_warm_start(
+        world: Comm,
+        decomposition: DomainDecomposition,
+        norb: usize,
+        electrons_per_domain: f64,
+        atoms: Vec<AtomSite>,
+        seed: u64,
+        warm_start: &WarmStart,
+    ) -> Self {
         let hier = Hierarchy::build(world, decomposition.len());
         let dom = decomposition.domains[hier.domain_index].clone();
-        let wf = WaveFunctions::random(dom.grid, norb, seed + hier.domain_index as u64);
+        let wf = if hier.domain.size() == 1 {
+            scf::resolve_initial_panel(
+                &dom.grid,
+                norb,
+                electrons_per_domain,
+                seed,
+                hier.domain_index,
+                warm_start,
+            )
+        } else {
+            let panel = if hier.domain.rank() == 0 {
+                Some(scf::resolve_initial_panel(
+                    &dom.grid,
+                    norb,
+                    electrons_per_domain,
+                    seed,
+                    hier.domain_index,
+                    warm_start,
+                ))
+            } else {
+                None
+            };
+            hier.domain.bcast(0, panel)
+        };
         let occ = Occupations::aufbau(norb, electrons_per_domain);
         let global_len = decomposition.spec.global.len();
         let v_local = vec![0.0; dom.grid.len()];

@@ -56,7 +56,7 @@
 //! `World::run`, still bit-identical — just not band-sharded).
 
 use crate::ehrenfest::{fold_inner_loop, propagate_columns, EhrenfestResult};
-use crate::mesh::{self, MeshDriver, MeshStepRecord};
+use crate::mesh::{self, MeshDriver, MeshDriverBuilder, MeshStepRecord};
 use crate::scf;
 use mlmd_lfd::wavefunction::WaveFunctions;
 use mlmd_maxwell::units;
@@ -97,18 +97,40 @@ pub struct DistributedMeshDriver {
 }
 
 impl DistributedMeshDriver {
-    /// Initialize on one rank of an SPMD region. `make_domain` builds the
-    /// serial driver for a given domain index (it is called once per rank,
-    /// with this rank's domain index); a world of any compatible size
-    /// starts every replica from exactly the serial initial state, because
-    /// driver construction is deterministic in its inputs.
+    /// Initialize on one rank of an SPMD region. `make_domain` assembles
+    /// the *builder* of the serial driver for a given domain index (called
+    /// once per rank, with this rank's domain index).
+    ///
+    /// The expensive part of construction — the 60-sweep ground-state
+    /// pre-descent — is **not** replicated per rank: the domain root
+    /// resolves the converged ground state (through the builder's
+    /// warm-start source, so a cache or checkpoint also short-circuits
+    /// the root's descent) and broadcasts it over the domain
+    /// communicator; every rank then assembles its replica from that one
+    /// panel via [`MeshDriverBuilder::build_with`], which re-checks the
+    /// config hash rank-locally — a divergent replica input is a hard
+    /// error, never a silent mismatch. Broadcasting one value computed by
+    /// the serial kernel sequence preserves the bit-identity discipline
+    /// trivially: every replica starts from exactly the serial initial
+    /// state.
     pub fn new(
         world: Comm,
         n_domains: usize,
-        make_domain: impl FnOnce(usize) -> MeshDriver,
+        make_domain: impl FnOnce(usize) -> MeshDriverBuilder,
     ) -> Self {
         let hier = Hierarchy::build(world, n_domains);
-        let inner = make_domain(hier.domain_index);
+        let builder = make_domain(hier.domain_index);
+        let inner = if hier.domain.size() == 1 {
+            builder.build()
+        } else {
+            let gs = if hier.domain.rank() == 0 {
+                Some(builder.resolve_ground_state())
+            } else {
+                None
+            };
+            let gs = hier.domain.bcast(0, gs);
+            builder.build_with(gs)
+        };
         Self {
             hier,
             inner,
@@ -343,7 +365,7 @@ pub fn run_distributed_mesh<F>(
     make_domain: F,
 ) -> Vec<Vec<MeshStepRecord>>
 where
-    F: Fn(usize) -> MeshDriver + Sync,
+    F: Fn(usize) -> MeshDriverBuilder + Sync,
 {
     let results = World::run(n_domains * ranks_per_domain, |world| {
         let mut drv = DistributedMeshDriver::new(world, n_domains, &make_domain);
@@ -355,7 +377,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fixture::small_mesh_driver;
+    use crate::fixture::{small_mesh_builder, small_mesh_driver};
 
     // The full oracle comparison (1/2/4 ranks per domain, lit/dark
     // two-domain worlds, band-energy and topological-charge pins, fabric
@@ -389,7 +411,7 @@ mod tests {
     #[test]
     fn two_ranks_per_domain_match_serial_bitwise() {
         let want = small_mesh_driver(0.05).run(2);
-        let got = run_distributed_mesh(1, 2, 2, |_| small_mesh_driver(0.05));
+        let got = run_distributed_mesh(1, 2, 2, |_| small_mesh_builder(0.05));
         records_equal(&want, &got[0]);
     }
 
@@ -397,7 +419,7 @@ mod tests {
     fn exchange_reports_one_slot_per_domain() {
         let out = World::run(2, |world| {
             let mut drv = DistributedMeshDriver::new(world, 2, |d| {
-                small_mesh_driver(if d == 0 { 0.05 } else { 0.0 })
+                small_mesh_builder(if d == 0 { 0.05 } else { 0.0 })
             });
             drv.step();
             let ex = drv.last_exchange().expect("exchange after a step").clone();

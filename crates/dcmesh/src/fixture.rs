@@ -60,6 +60,17 @@ pub fn small_serial_scf() -> crate::scf::DcScf {
 /// `distributed_mesh` example — builds exactly this driver, mirroring
 /// what [`small_two_domain`] does for the SCF comparisons.
 pub fn small_mesh_driver(e0: f64) -> crate::mesh::MeshDriver {
+    small_mesh_builder(e0).build()
+}
+
+/// The canonical MESH fixture as a *builder*, so callers can pick the
+/// ground-state source before building: the distributed driver hands the
+/// builder to every rank and lets the domain root resolve the descent
+/// once ([`crate::dist_mesh::DistributedMeshDriver::new`]), and the
+/// warm-start suites attach caches or checkpoint files to it. Note the
+/// pulse amplitude `e0` does not enter the ground-state config hash, so
+/// every amplitude built from this fixture shares one cached descent.
+pub fn small_mesh_builder(e0: f64) -> crate::mesh::MeshDriverBuilder {
     use crate::ehrenfest::EhrenfestConfig;
     use crate::mesh::{MeshConfig, MeshDriverBuilder};
     use mlmd_lfd::occupation::Occupations;
@@ -94,5 +105,4 @@ pub fn small_mesh_driver(e0: f64) -> crate::mesh::MeshDriver {
                 sigma: 0.8,
             },
         )
-        .build()
 }

@@ -23,6 +23,12 @@
 //! * [`mesh`] — the full MESH step driver: Maxwell field ↔ Ehrenfest
 //!   electrons ↔ surface hopping ↔ QXMD atoms, with per-step
 //!   topological-charge accumulation of the QM patch.
+//! * [`checkpoint`] — ground-state checkpointing and warm starts: the
+//!   converged pre-descent panel as a first-class, FNV-keyed artifact
+//!   ([`checkpoint::GroundState`]) that can be cached in-process
+//!   ([`checkpoint::GroundStateCache`]) or saved to a versioned,
+//!   digest-protected binary file, so one descent serves every driver,
+//!   rank, and sweep amplitude with the same configuration.
 //! * [`dist`] / [`dist_mesh`] — the SCF and the MESH step driver sharded
 //!   across simulated-MPI ranks (see below).
 //! * [`fixture`] — the canonical laptop-scale problems every
@@ -62,6 +68,7 @@
 //! **bit-for-bit** at 1, 2, and 4 ranks per domain — no tolerances
 //! anywhere in the comparison suites.
 
+pub mod checkpoint;
 pub mod dist;
 pub mod dist_mesh;
 pub mod domain;
@@ -72,6 +79,7 @@ pub mod metrics;
 pub mod scf;
 pub mod shadow;
 
+pub use checkpoint::{GroundState, GroundStateCache, WarmStart, WarmStartPolicy};
 pub use dist::DistributedDcScf;
 pub use dist_mesh::{DistributedMeshDriver, MeshExchange};
 pub use domain::{DomainDecomposition, DomainSpec};

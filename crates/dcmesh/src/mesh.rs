@@ -15,6 +15,7 @@
 //! 5. **shadow handshake** — the ionic-motion-induced Δv_loc goes back to
 //!    the device (O(Ngrid)), closing the loop.
 
+use crate::checkpoint::{self, DescentMeta, GroundState, WarmStart};
 use crate::ehrenfest::EhrenfestConfig;
 use crate::scf::band_energies;
 use crate::shadow::ShadowDomain;
@@ -48,6 +49,13 @@ pub struct MeshConfig {
     /// Scaling from `n_exc` to the per-cell excitation fraction fed to
     /// the ferroelectric model.
     pub exc_per_cell_scale: f64,
+    /// Steepest-descent damping η of the ground-state pre-descent that
+    /// relaxes the initial panel into adiabatic eigenstates. Participates
+    /// in the checkpoint config hash ([`crate::checkpoint::ground_state_key`]).
+    pub descent_eta: f64,
+    /// Sweep count of the ground-state pre-descent. Participates in the
+    /// checkpoint config hash.
+    pub descent_steps: usize,
 }
 
 impl Default for MeshConfig {
@@ -62,6 +70,8 @@ impl Default for MeshConfig {
             sh_temperature: 300.0,
             sh_rate: 10.0,
             exc_per_cell_scale: 1.0,
+            descent_eta: 0.1,
+            descent_steps: 60,
         }
     }
 }
@@ -125,6 +135,7 @@ pub struct MeshDriverBuilder {
     tracked_sites: Vec<(usize, AtomSite)>,
     ledger: Arc<TransferLedger>,
     polarization_axis: Vec3,
+    warm_start: WarmStart,
 }
 
 impl MeshDriverBuilder {
@@ -147,6 +158,7 @@ impl MeshDriverBuilder {
             tracked_sites: Vec::new(),
             ledger: Arc::new(TransferLedger::new()),
             polarization_axis: Vec3::EZ,
+            warm_start: WarmStart::Fresh,
         }
     }
 
@@ -178,10 +190,80 @@ impl MeshDriverBuilder {
         self
     }
 
-    pub fn build(self) -> MeshDriver {
-        let mut driver = MeshDriver::new(
+    /// Where to get the converged ground state from: `Fresh` (always
+    /// descend — the default, and the serial oracle's behavior), an
+    /// in-memory [`crate::checkpoint::GroundStateCache`], or a checkpoint
+    /// file. Warm sources are bit-identical to the cold path: the cached
+    /// panel was produced by exactly the descent `build` would run, and
+    /// [`Self::config_key`] pins every input that enters it.
+    pub fn warm_start(mut self, warm_start: WarmStart) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
+    /// The FNV config hash of this builder's ground-state problem: grid,
+    /// orbital count, descent parameters, occupations, initial panel, and
+    /// the initial potential samples (which capture the ferro-patch
+    /// geometry and tracked sites). Cheap relative to the descent — no
+    /// orbital refinement runs.
+    pub fn config_key(&self) -> u64 {
+        let grid = self.wf.grid;
+        let vloc0 = assemble_vloc(&grid, &self.tracked_sites, &self.ferro, &self.atoms);
+        checkpoint::ground_state_key(
+            &grid,
+            self.wf.panel_digest(),
+            self.occupations.as_slice(),
+            &vloc0,
+            self.config.descent_eta,
+            self.config.descent_steps,
+        )
+    }
+
+    /// Run the ground-state descent fresh from this builder's inputs (the
+    /// cold path), regardless of the warm-start source.
+    pub fn ground_state(&self) -> GroundState {
+        compute_ground_state(
+            &self.config,
+            self.wf.clone(),
+            &self.occupations,
+            &self.tracked_sites,
+            &self.ferro,
+            &self.atoms,
+        )
+    }
+
+    /// Resolve the converged ground state through the warm-start source:
+    /// fresh descent, cache lookup (computing and caching on a miss), or
+    /// checkpoint file (hard error on a missing file, foreign key, wrong
+    /// version, or corrupt payload — never a silent fresh descent).
+    pub fn resolve_ground_state(&self) -> GroundState {
+        match &self.warm_start {
+            WarmStart::Fresh => self.ground_state(),
+            WarmStart::InMemory(cache) => {
+                cache.get_or_compute(self.config_key(), || self.ground_state())
+            }
+            WarmStart::File(path) => checkpoint::load_for_key(path, self.config_key())
+                .unwrap_or_else(|e| {
+                    panic!("warm start from checkpoint {} failed: {e}", path.display())
+                }),
+        }
+    }
+
+    /// Build the driver from an already-converged ground state. The
+    /// state's config hash must match this builder's
+    /// ([`Self::config_key`]) — seeding a driver with a foreign ground
+    /// state would silently break the bit-identity discipline.
+    pub fn build_with(self, gs: GroundState) -> MeshDriver {
+        let expected = self.config_key();
+        assert_eq!(
+            gs.key, expected,
+            "ground state key {:#018x} does not match this builder's config \
+             hash {expected:#018x}: grid/orbital-count/descent/geometry differ",
+            gs.key
+        );
+        let mut driver = MeshDriver::from_ground_state(
             self.config,
-            self.wf,
+            gs,
             self.occupations,
             self.atoms,
             self.ferro,
@@ -191,6 +273,11 @@ impl MeshDriverBuilder {
         );
         driver.polarization_axis = self.polarization_axis;
         driver
+    }
+
+    pub fn build(self) -> MeshDriver {
+        let gs = self.resolve_ground_state();
+        self.build_with(gs)
     }
 }
 
@@ -232,7 +319,7 @@ impl MeshDriver {
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         config: MeshConfig,
-        mut wf: WaveFunctions,
+        wf: WaveFunctions,
         occupations: Occupations,
         atoms: AtomsSystem,
         ferro: FerroModel,
@@ -240,18 +327,40 @@ impl MeshDriver {
         tracked_sites: Vec<(usize, AtomSite)>,
         ledger: Arc<TransferLedger>,
     ) -> Self {
-        let grid = wf.grid;
-        let vloc0 = assemble_vloc(&grid, &tracked_sites, &ferro, &atoms);
-        // Relax the initial orbitals into adiabatic eigenstates of the
-        // initial potential, so the excitation projection measures genuine
-        // light-induced promotion rather than basis mismatch.
-        crate::scf::refine_orbitals(&grid, &vloc0, &mut wf, 0.1, 60);
-        crate::scf::subspace_rotate(&grid, &vloc0, &mut wf);
-        let psi0 = wf.clone();
+        let gs = compute_ground_state(&config, wf, &occupations, &tracked_sites, &ferro, &atoms);
+        Self::from_ground_state(
+            config,
+            gs,
+            occupations,
+            atoms,
+            ferro,
+            pulse,
+            tracked_sites,
+            ledger,
+        )
+    }
+
+    /// Assemble a driver from an already-converged ground state (the warm
+    /// path). [`Self::new`] is exactly `compute_ground_state` followed by
+    /// this constructor, which is what makes a warm-started driver
+    /// bit-identical to a cold-started one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_ground_state(
+        config: MeshConfig,
+        gs: GroundState,
+        occupations: Occupations,
+        atoms: AtomsSystem,
+        ferro: FerroModel,
+        pulse: GaussianPulse,
+        tracked_sites: Vec<(usize, AtomSite)>,
+        ledger: Arc<TransferLedger>,
+    ) -> Self {
+        let GroundState { panel, vloc0, .. } = gs;
+        let psi0 = panel.clone();
         let occupied0: Vec<bool> = (0..occupations.len())
             .map(|s| occupations.f(s) > 0.0)
             .collect();
-        let shadow = ShadowDomain::new(wf, occupations, &vloc0, ledger);
+        let shadow = ShadowDomain::new(panel, occupations, &vloc0, ledger);
         Self {
             config,
             shadow,
@@ -371,6 +480,51 @@ impl MeshDriver {
 // kernel either reads/writes a single orbital column (shardable by band
 // range, bit-identically) or runs redundantly on replicated inputs.
 // ----------------------------------------------------------------------
+
+/// Run the ground-state pre-descent: relax the initial orbitals into
+/// adiabatic eigenstates of the initial potential, so the excitation
+/// projection measures genuine light-induced promotion rather than basis
+/// mismatch. The returned [`GroundState`] is keyed by the FNV config
+/// hash over the *inputs* (initial panel, not the converged one), which
+/// is what lets a cache or checkpoint answer "is this the descent I
+/// would run?" without running it.
+pub(crate) fn compute_ground_state(
+    config: &MeshConfig,
+    mut wf: WaveFunctions,
+    occupations: &Occupations,
+    tracked_sites: &[(usize, AtomSite)],
+    ferro: &FerroModel,
+    atoms: &AtomsSystem,
+) -> GroundState {
+    let grid = wf.grid;
+    let vloc0 = assemble_vloc(&grid, tracked_sites, ferro, atoms);
+    let key = checkpoint::ground_state_key(
+        &grid,
+        wf.panel_digest(),
+        occupations.as_slice(),
+        &vloc0,
+        config.descent_eta,
+        config.descent_steps,
+    );
+    crate::scf::refine_orbitals(
+        &grid,
+        &vloc0,
+        &mut wf,
+        config.descent_eta,
+        config.descent_steps,
+    );
+    crate::scf::subspace_rotate(&grid, &vloc0, &mut wf);
+    GroundState {
+        key,
+        panel: wf,
+        occupations: occupations.as_slice().to_vec(),
+        vloc0,
+        meta: DescentMeta {
+            eta: config.descent_eta,
+            steps: config.descent_steps as u64,
+        },
+    }
+}
 
 /// Ionic potential of the tracked sites displaced by their cells'
 /// current Ti off-centering (Å → bohr).

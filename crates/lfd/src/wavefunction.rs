@@ -10,6 +10,7 @@
 //!   Sec. V.B.2 that lets one stencil coefficient be reused across all
 //!   orbitals in the innermost loop.
 
+use mlmd_numerics::codec::{ByteReader, ByteWriter, CodecError, Fnv64};
 use mlmd_numerics::complex::c64;
 use mlmd_numerics::grid::Grid3;
 use mlmd_numerics::matrix::Matrix;
@@ -136,6 +137,62 @@ impl WaveFunctions {
     pub fn bytes(&self) -> u64 {
         (self.ngrid() * self.norb * std::mem::size_of::<c64>()) as u64
     }
+
+    /// Serialize the panel into `w`: grid descriptor (nx, ny, nz, h),
+    /// orbital count, then every ψ value column-major as (re, im) bit
+    /// patterns. The framing is deterministic, so encode → decode is the
+    /// identity on the panel and the byte stream hashes identically
+    /// across hosts — the property the ground-state checkpoint layer
+    /// builds on.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.grid.nx as u64);
+        w.put_u64(self.grid.ny as u64);
+        w.put_u64(self.grid.nz as u64);
+        w.put_f64(self.grid.h);
+        w.put_u64(self.norb as u64);
+        for z in self.psi.as_slice() {
+            w.put_f64(z.re);
+            w.put_f64(z.im);
+        }
+    }
+
+    /// Decode a panel written by [`Self::encode`]. A short buffer
+    /// surfaces as [`CodecError::Truncated`] rather than a panic.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let nx = r.take_u64()? as usize;
+        let ny = r.take_u64()? as usize;
+        let nz = r.take_u64()? as usize;
+        let h = r.take_f64()?;
+        let norb = r.take_u64()? as usize;
+        let grid = Grid3::new(nx, ny, nz, h);
+        let mut data = Vec::with_capacity(grid.len() * norb);
+        for _ in 0..grid.len() * norb {
+            let re = r.take_f64()?;
+            let im = r.take_f64()?;
+            data.push(c64::new(re, im));
+        }
+        Ok(Self {
+            grid,
+            norb,
+            psi: Matrix::from_vec(grid.len(), norb, data),
+        })
+    }
+
+    /// FNV-1a digest over the panel's shape and every ψ bit pattern —
+    /// equal digests mean bit-identical panels on identical grids.
+    pub fn panel_digest(&self) -> u64 {
+        let mut d = Fnv64::new();
+        d.write_u64(self.grid.nx as u64);
+        d.write_u64(self.grid.ny as u64);
+        d.write_u64(self.grid.nz as u64);
+        d.write_f64(self.grid.h);
+        d.write_u64(self.norb as u64);
+        for z in self.psi.as_slice() {
+            d.write_f64(z.re);
+            d.write_f64(z.im);
+        }
+        d.finish()
+    }
 }
 
 /// The `n` smallest integer modes (mx, my, mz), sorted by |m|² then lexical.
@@ -228,6 +285,45 @@ mod tests {
     fn footprint_counts_bytes() {
         let wf = WaveFunctions::zeros(small_grid(), 2);
         assert_eq!(wf.bytes(), (8 * 6 * 4 * 2 * 16) as u64);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_is_bit_identical() {
+        let wf = WaveFunctions::random(small_grid(), 4, 13);
+        let mut w = ByteWriter::new();
+        wf.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = WaveFunctions::decode(&mut r).expect("round trip");
+        assert_eq!(r.remaining(), 0, "decode must consume the full frame");
+        assert_eq!(back.grid, wf.grid);
+        assert_eq!(back.norb, wf.norb);
+        for (a, b) in wf.psi.as_slice().iter().zip(back.psi.as_slice()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        assert_eq!(wf.panel_digest(), back.panel_digest());
+    }
+
+    #[test]
+    fn truncated_panel_frame_is_rejected_not_panicked() {
+        let wf = WaveFunctions::random(small_grid(), 2, 5);
+        let mut w = ByteWriter::new();
+        wf.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..bytes.len() - 9]);
+        assert!(matches!(
+            WaveFunctions::decode(&mut r),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn panel_digest_distinguishes_panels() {
+        let a = WaveFunctions::random(small_grid(), 3, 1);
+        let b = WaveFunctions::random(small_grid(), 3, 2);
+        assert_ne!(a.panel_digest(), b.panel_digest());
+        assert_eq!(a.panel_digest(), a.clone().panel_digest());
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!
 //! * [`complex`] — `Complex<T>` arithmetic (the `c64`/`c32` of the KS wave
 //!   functions).
+//! * [`codec`] — deterministic little-endian byte framing + FNV-1a
+//!   hashing (the ground-state checkpoint serializer substrate).
 //! * [`bf16`] — software brain-float-16 with round-to-nearest-even and the
 //!   1/2/3-component split decomposition used by the MKL
 //!   `float_to_BF16{,x2,x3}` compute modes (paper Sec. VI.C).
@@ -31,6 +33,7 @@
 
 pub mod bf16;
 pub mod cgemm;
+pub mod codec;
 pub mod complex;
 pub mod eigen;
 pub mod fft;

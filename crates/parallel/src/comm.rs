@@ -38,6 +38,30 @@ struct Envelope {
 
 type Channel = (Sender<Envelope>, Receiver<Envelope>);
 
+/// Environment variable overriding the default recv-stall timeout, in
+/// (possibly fractional) seconds. Must parse as a positive float.
+pub const RECV_STALL_ENV: &str = "MLMD_RECV_STALL_SECS";
+
+/// The recv-stall timeout a world runs with unless overridden: 60 s, or
+/// the value of [`RECV_STALL_ENV`] — the knob slow CI machines raise so a
+/// long root-side compute before a broadcast (a multigrid solve, a
+/// ground-state descent) can't trip a false stall panic.
+pub fn default_recv_stall() -> std::time::Duration {
+    match std::env::var(RECV_STALL_ENV) {
+        Ok(s) => {
+            let secs: f64 = s.parse().unwrap_or_else(|_| {
+                panic!("{RECV_STALL_ENV} must be a number of seconds, got {s:?}")
+            });
+            assert!(
+                secs > 0.0 && secs.is_finite(),
+                "{RECV_STALL_ENV} must be positive and finite, got {s:?}"
+            );
+            std::time::Duration::from_secs_f64(secs)
+        }
+        Err(_) => std::time::Duration::from_secs(60),
+    }
+}
+
 /// Shared message fabric: lazily-created channels keyed by
 /// (communicator id, global source, global destination).
 struct Fabric {
@@ -48,14 +72,18 @@ struct Fabric {
     /// reclaimed — otherwise drivers that `split` per step leak channels
     /// without bound.
     live: Mutex<HashMap<u64, usize>>,
+    /// How long a `recv` with no matching envelope waits before it is
+    /// declared a protocol error.
+    stall: std::time::Duration,
 }
 
 impl Fabric {
-    fn new() -> Self {
+    fn with_stall(stall: std::time::Duration) -> Self {
         Self {
             channels: Mutex::new(HashMap::new()),
             comm_ids: AtomicU64::new(1),
             live: Mutex::new(HashMap::new()),
+            stall,
         }
     }
 
@@ -223,8 +251,10 @@ impl Comm {
         // ranks): panic with diagnostics instead of hanging the world
         // until an outer CI timeout. Legitimate waits in this codebase
         // (e.g. non-roots parked in a bcast while the root runs a
-        // multigrid solve) are orders of magnitude shorter.
-        const STALL: std::time::Duration = std::time::Duration::from_secs(60);
+        // multigrid solve or a ground-state descent) are orders of
+        // magnitude shorter; slow machines can raise the limit via
+        // [`RECV_STALL_ENV`] or [`World::run_with_stall`].
+        let stall = self.fabric.stall;
         let g_src = self.members[src];
         let g_dst = self.members[self.me];
         let payload = {
@@ -236,7 +266,7 @@ impl Comm {
         let payload = payload.unwrap_or_else(|| {
             let (_, r) = self.fabric.endpoint(self.id, g_src, g_dst);
             loop {
-                let env = match r.recv_timeout(STALL) {
+                let env = match r.recv_timeout(stall) {
                     Ok(env) => env,
                     Err(err) => {
                         let stash = self.stash.lock();
@@ -246,7 +276,7 @@ impl Comm {
                             .map(|((_, t), _)| *t)
                             .collect();
                         panic!(
-                            "recv stalled ({err}): rank {} waited {STALL:?} for tag {tag:#x} \
+                            "recv stalled ({err}): rank {} waited {stall:?} for tag {tag:#x} \
                              from rank {src}; stashed tags from that source: {stashed:x?} \
                              (no matching envelope ever arrived — protocol error)",
                             self.me
@@ -453,14 +483,27 @@ pub struct World;
 
 impl World {
     /// Run an SPMD region on `n` ranks; returns each rank's result, indexed
-    /// by rank.
+    /// by rank. The recv-stall limit is [`default_recv_stall`] (60 s, or
+    /// the [`RECV_STALL_ENV`] override).
     pub fn run<R, F>(n: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(Comm) -> R + Sync,
     {
+        Self::run_with_stall(n, default_recv_stall(), f)
+    }
+
+    /// [`Self::run`] with an explicit recv-stall limit for this world —
+    /// how tests pin the stall diagnostics without waiting a minute, and
+    /// how embedders with known-slow root-side compute raise the limit
+    /// programmatically.
+    pub fn run_with_stall<R, F>(n: usize, stall: std::time::Duration, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
         assert!(n > 0, "world must have at least one rank");
-        let fabric = Arc::new(Fabric::new());
+        let fabric = Arc::new(Fabric::with_stall(stall));
         let members: Arc<Vec<usize>> = Arc::new((0..n).collect());
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -761,6 +804,34 @@ mod tests {
             assert_eq!(after, 1);
             assert_eq!(s, 2.0);
         }
+    }
+
+    #[test]
+    fn sub_second_stall_timeout_still_reports_stashed_tags() {
+        // The stall limit is configurable per world (env:
+        // MLMD_RECV_STALL_SECS, or run_with_stall). A world with a
+        // 50 ms limit must fail fast AND keep the full diagnostics: the
+        // waited-for tag and the tags stashed from that source while the
+        // doomed recv was scanning the channel.
+        let mut out = World::run_with_stall(1, std::time::Duration::from_millis(50), |c| {
+            c.send(0, 7, 41u64); // never consumed under its own tag
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _: u64 = c.recv(0, 8);
+            }))
+            .expect_err("recv with no matching envelope must stall-panic");
+            err.downcast_ref::<String>().cloned().unwrap_or_default()
+        });
+        let msg = out.swap_remove(0);
+        assert!(msg.contains("recv stalled"), "got: {msg}");
+        assert!(msg.contains("for tag 0x8"), "got: {msg}");
+        assert!(
+            msg.contains("stashed tags from that source: [7]"),
+            "the tag-7 envelope skipped during the scan must be reported: {msg}"
+        );
+        assert!(
+            msg.contains("50ms"),
+            "the configured limit must be named: {msg}"
+        );
     }
 
     #[test]

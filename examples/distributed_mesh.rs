@@ -15,16 +15,16 @@
 //! ```
 
 use mlmd::dcmesh::dist_mesh::run_distributed_mesh;
-use mlmd::dcmesh::fixture::small_mesh_driver;
+use mlmd::dcmesh::fixture::{small_mesh_builder, small_mesh_driver};
 
 fn main() {
     let (e0, steps) = (0.05, 4);
 
     println!("MESH fixture: 8-state panel, 3x3x3 PbTiO3 patch, E0 = {e0}\n");
     let serial = small_mesh_driver(e0).run(steps);
-    let dist = run_distributed_mesh(1, 4, steps, |_| small_mesh_driver(e0));
+    let dist = run_distributed_mesh(1, 4, steps, |_| small_mesh_builder(e0));
     let pair = run_distributed_mesh(2, 2, steps, |d| {
-        small_mesh_driver(if d == 0 { e0 } else { 0.0 })
+        small_mesh_builder(if d == 0 { e0 } else { 0.0 })
     });
 
     println!("step   n_exc (serial)       n_exc (4 ranks)      n_exc (dark domain)");

@@ -1,0 +1,70 @@
+//! Inspect a ground-state checkpoint file: print its self-describing
+//! header (format version, config hash, descent metadata, panel shape)
+//! without deserializing the panel itself. The trailing payload digest
+//! is still verified first, so a corrupt file is reported as corrupt,
+//! never summarized.
+//!
+//! ```sh
+//! cargo run --release --example inspect_checkpoint -- path/to/state.ckpt
+//! ```
+//!
+//! With no argument, the example saves the canonical MESH fixture's
+//! ground state to a temporary file and inspects that — a one-command
+//! demonstration of the full save → header → load-for-key cycle.
+//! `scripts/ckpt_header.sh` wraps the single-file form.
+
+use mlmd::dcmesh::checkpoint::{self, CheckpointError};
+use mlmd::dcmesh::fixture::small_mesh_builder;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn inspect(path: &Path) -> Result<(), CheckpointError> {
+    let header = checkpoint::read_header(path)?;
+    println!("checkpoint   {}", path.display());
+    println!("version      {}", header.version);
+    println!("config hash  {:#018x}", header.config_hash);
+    println!(
+        "payload      {} bytes (digest verified)",
+        header.payload_len
+    );
+    println!(
+        "descent      eta = {}, steps = {}",
+        header.meta.eta, header.meta.steps
+    );
+    println!(
+        "panel        {} orbitals on a {}x{}x{} grid (h = {})",
+        header.norb, header.grid.0, header.grid.1, header.grid.2, header.grid_h
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let path = match std::env::args_os().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            // Demo mode: descend the fixture once, save, inspect.
+            let builder = small_mesh_builder(0.05);
+            let key = builder.config_key();
+            let gs = builder.ground_state();
+            let path = std::env::temp_dir().join(format!("mlmd_demo_{}.ckpt", std::process::id()));
+            checkpoint::save_checkpoint(&gs, &path).expect("save demo checkpoint");
+            println!("no path given; wrote the MESH fixture's ground state\n");
+            let r = inspect(&path);
+            let loaded = checkpoint::load_for_key(&path, key).expect("reload demo checkpoint");
+            println!(
+                "\nload_for_key round-trip: panel digest {:#018x}",
+                loaded.panel.panel_digest()
+            );
+            let _ = std::fs::remove_file(&path);
+            r.expect("demo header");
+            return ExitCode::SUCCESS;
+        }
+    };
+    match inspect(&path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

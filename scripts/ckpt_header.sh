@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Print a ground-state checkpoint's self-describing header: format
+# version, config hash, descent metadata, and panel shape. The payload
+# digest is verified before anything is printed, so a corrupt file
+# fails loudly instead of being summarized.
+#
+#   scripts/ckpt_header.sh path/to/state.ckpt
+#
+# Thin wrapper around the `inspect_checkpoint` example; run it with no
+# argument for a self-contained save -> inspect -> reload demo.
+set -euo pipefail
+
+if [[ $# -ne 1 ]]; then
+    echo "usage: $0 <checkpoint-file>" >&2
+    exit 2
+fi
+
+cd "$(dirname "$0")/.."
+exec cargo run --release --quiet --example inspect_checkpoint -- "$1"

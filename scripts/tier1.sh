@@ -22,6 +22,9 @@ cargo test -q --test dc_dist
 echo "==> cargo test -q --test mesh_dist  (multi-rank MESH driver vs serial oracle)"
 cargo test -q --test mesh_dist
 
+echo "==> cargo test -q --test checkpoint_warm_start  (checkpoint round-trip + warm-start bit-identity)"
+cargo test -q --test checkpoint_warm_start
+
 echo "==> cargo bench -p mlmd-bench --bench dc_scaling -- --test  (smoke)"
 cargo bench -p mlmd-bench --bench dc_scaling -- --test
 
@@ -30,6 +33,9 @@ cargo bench -p mlmd-bench --bench pump_probe -- --test
 
 echo "==> cargo bench -p mlmd-bench --bench mesh_scaling -- --test  (smoke)"
 cargo bench -p mlmd-bench --bench mesh_scaling -- --test
+
+echo "==> cargo bench -p mlmd-bench --bench warm_start -- --test  (smoke)"
+cargo bench -p mlmd-bench --bench warm_start -- --test
 
 echo "==> cargo doc --no-deps  (warnings as errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -1,0 +1,219 @@
+//! Integration: ground-state checkpointing and the warm-start cache.
+//!
+//! PR 6's contract, end to end through the facade: a converged MESH
+//! ground state can be saved to a versioned checkpoint file, loaded back
+//! bit-for-bit, and used to warm-start a driver whose trajectory is then
+//! **bit-identical** to a cold (fresh-descent) run — the cached panel
+//! *is* the cold panel, so warm starting changes nothing but the work
+//! done. Corrupt, truncated, stale-version, or wrong-config checkpoints
+//! are hard, diagnosable errors, never silent garbage. The in-memory
+//! cache shares one descent across every driver with the same config
+//! hash (the pulse amplitude is deliberately not part of the key), and
+//! the distributed driver resolves the state on the domain root only,
+//! broadcasting the panel to the other ranks.
+
+use mlmd::core::config::PipelineConfig;
+use mlmd::core::pipeline::Pipeline;
+use mlmd::dcmesh::checkpoint::{
+    self, CheckpointError, GroundStateCache, WarmStart, WarmStartPolicy,
+};
+use mlmd::dcmesh::dist_mesh::DistributedMeshDriver;
+use mlmd::dcmesh::fixture::{small_mesh_builder, small_mesh_driver};
+use mlmd::dcmesh::mesh::MeshStepRecord;
+use mlmd::parallel::comm::World;
+use std::path::PathBuf;
+
+const STEPS: usize = 3;
+
+/// Unique temp-file path per test (the suite runs multi-threaded).
+fn temp_ckpt(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mlmd_ckpt_{}_{name}.bin", std::process::id()))
+}
+
+fn assert_traces_equal(want: &[MeshStepRecord], got: &[MeshStepRecord], label: &str) {
+    assert_eq!(want.len(), got.len(), "{label}: trajectory length");
+    for (i, (w, g)) in want.iter().zip(got).enumerate() {
+        assert_eq!(
+            w.time_fs.to_bits(),
+            g.time_fs.to_bits(),
+            "{label}: step {i}"
+        );
+        assert_eq!(w.n_exc.to_bits(), g.n_exc.to_bits(), "{label}: step {i}");
+        assert_eq!(
+            w.absorbed_energy.to_bits(),
+            g.absorbed_energy.to_bits(),
+            "{label}: step {i}"
+        );
+        assert_eq!(
+            w.atom_potential_energy.to_bits(),
+            g.atom_potential_energy.to_bits(),
+            "{label}: step {i}"
+        );
+        assert_eq!(
+            w.topological_charge.to_bits(),
+            g.topological_charge.to_bits(),
+            "{label}: step {i}"
+        );
+        assert_eq!(w.occupations.len(), g.occupations.len());
+        for (a, b) in w.occupations.iter().zip(&g.occupations) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{label}: step {i} occupations");
+        }
+    }
+}
+
+#[test]
+fn file_warm_start_trajectory_is_bit_identical_to_fresh() {
+    let path = temp_ckpt("roundtrip");
+    let builder = small_mesh_builder(0.05);
+    let key = builder.config_key();
+    let gs = builder.ground_state();
+    assert_eq!(gs.key, key, "ground_state must carry the builder's key");
+    checkpoint::save_checkpoint(&gs, &path).expect("save");
+
+    // The file round-trips bit-for-bit.
+    let loaded = checkpoint::load_for_key(&path, key).expect("load");
+    assert_eq!(loaded.panel.panel_digest(), gs.panel.panel_digest());
+    assert_eq!(loaded.occupations.len(), gs.occupations.len());
+    for (a, b) in loaded.vloc0.iter().zip(&gs.vloc0) {
+        assert_eq!(a.to_bits(), b.to_bits(), "vloc0 must round-trip exactly");
+    }
+
+    // The self-describing header matches the panel it frames.
+    let header = checkpoint::read_header(&path).expect("header");
+    assert_eq!(header.version, checkpoint::CHECKPOINT_VERSION);
+    assert_eq!(header.config_hash, key);
+    assert_eq!(header.norb as usize, gs.panel.norb);
+    assert_eq!(header.grid.0 as usize, gs.panel.grid.nx);
+
+    // A warm start from the file reproduces the cold trajectory exactly.
+    let want = small_mesh_driver(0.05).run(STEPS);
+    let got = small_mesh_builder(0.05)
+        .warm_start(WarmStart::File(path.clone()))
+        .build()
+        .run(STEPS);
+    assert_traces_equal(&want, &got, "file warm start");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_rejects_version_key_digest_and_truncation() {
+    let path = temp_ckpt("reject");
+    let builder = small_mesh_builder(0.05);
+    let key = builder.config_key();
+    let gs = builder.ground_state();
+    let frame = checkpoint::encode_checkpoint(&gs);
+
+    // Wrong config hash: the warm-start loading path refuses it.
+    std::fs::write(&path, &frame).expect("write");
+    match checkpoint::load_for_key(&path, key ^ 1) {
+        Err(CheckpointError::KeyMismatch { found, expected }) => {
+            assert_eq!(found, key);
+            assert_eq!(expected, key ^ 1);
+        }
+        other => panic!("expected KeyMismatch, got {other:?}"),
+    }
+
+    // Future format version (bytes 8..12): hard, diagnosable error.
+    let mut versioned = frame.clone();
+    versioned[8] = versioned[8].wrapping_add(1);
+    std::fs::write(&path, &versioned).expect("write");
+    assert!(matches!(
+        checkpoint::load_checkpoint(&path),
+        Err(CheckpointError::VersionMismatch { .. })
+    ));
+
+    // A flipped payload byte trips the trailing digest before any parse.
+    let mut corrupt = frame.clone();
+    let mid = frame.len() / 2;
+    corrupt[mid] ^= 0x40;
+    std::fs::write(&path, &corrupt).expect("write");
+    assert!(matches!(
+        checkpoint::load_checkpoint(&path),
+        Err(CheckpointError::DigestMismatch { .. })
+    ));
+
+    // Truncation anywhere — header, payload, digest — is Truncated.
+    for cut in [4, 20, frame.len() / 2, frame.len() - 3] {
+        std::fs::write(&path, &frame[..cut]).expect("write");
+        assert!(
+            matches!(
+                checkpoint::load_checkpoint(&path),
+                Err(CheckpointError::Truncated { .. })
+            ),
+            "cut at {cut} must report Truncated"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn in_memory_cache_shares_one_descent_across_amplitudes() {
+    // The pulse is not part of the ground-state key, so a whole amplitude
+    // sweep shares a single descent — and every warm trajectory is still
+    // bit-identical to its own cold oracle.
+    let cache = GroundStateCache::new();
+    for &e0 in &[0.05, 0.0, 0.1] {
+        let want = small_mesh_driver(e0).run(STEPS);
+        let got = small_mesh_builder(e0)
+            .warm_start(WarmStart::InMemory(cache.clone()))
+            .build()
+            .run(STEPS);
+        assert_traces_equal(&want, &got, &format!("warm e0={e0}"));
+    }
+    assert_eq!(cache.len(), 1, "all amplitudes share one config hash");
+    assert_eq!(cache.computes(), 1, "three drivers, one descent");
+}
+
+#[test]
+fn distributed_warm_start_resolves_on_root_and_stays_bit_identical() {
+    // The domain root resolves the ground state (from the shared cache)
+    // and broadcasts the panel; non-root ranks never descend. Pinned
+    // bit-for-bit against the serial cold oracle at 1, 2, and 4 ranks
+    // per domain — and the cache records exactly one descent for the
+    // whole ladder.
+    let want = small_mesh_driver(0.05).run(STEPS);
+    let cache = GroundStateCache::new();
+    for ranks_per_domain in [1usize, 2, 4] {
+        let out = World::run(ranks_per_domain, |world| {
+            let cache = cache.clone();
+            let mut drv = DistributedMeshDriver::new(world, 1, move |_| {
+                small_mesh_builder(0.05).warm_start(WarmStart::InMemory(cache))
+            });
+            drv.run(STEPS)
+        });
+        for (rank, trace) in out.iter().enumerate() {
+            assert_traces_equal(
+                &want,
+                trace,
+                &format!("{ranks_per_domain} ranks/domain, rank {rank}"),
+            );
+        }
+    }
+    assert_eq!(
+        cache.computes(),
+        1,
+        "one descent must serve the whole 1/2/4-rank ladder"
+    );
+}
+
+#[test]
+fn pump_probe_sweep_warm_start_matches_cold_path() {
+    // The process-cache policy must be invisible in the numbers: an
+    // N-amplitude sweep warm-started off the shared cache is pinned
+    // bit-for-bit against the same sweep with fresh descents.
+    let amplitudes = [0.05, 0.1];
+    let mut cold_cfg = PipelineConfig::small_demo();
+    cold_cfg.mesh_steps = STEPS;
+    cold_cfg.mesh_warm_start = WarmStartPolicy::Fresh;
+    let mut warm_cfg = cold_cfg;
+    warm_cfg.mesh_warm_start = WarmStartPolicy::ProcessCache;
+
+    let cold = Pipeline::new(cold_cfg).pump_probe_sweep(&amplitudes);
+    let warm = Pipeline::new(warm_cfg).pump_probe_sweep(&amplitudes);
+    assert_eq!(cold.len(), warm.len());
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(c.e0.to_bits(), w.e0.to_bits());
+        assert_eq!(c.n_exc_peak.to_bits(), w.n_exc_peak.to_bits());
+        assert_traces_equal(&c.records, &w.records, &format!("sweep e0={}", c.e0));
+    }
+}

@@ -18,7 +18,7 @@
 use mlmd::core::config::PipelineConfig;
 use mlmd::core::pipeline::Pipeline;
 use mlmd::dcmesh::dist_mesh::{run_distributed_mesh, DistributedMeshDriver};
-use mlmd::dcmesh::fixture::small_mesh_driver;
+use mlmd::dcmesh::fixture::{small_mesh_builder, small_mesh_driver};
 use mlmd::dcmesh::mesh::MeshStepRecord;
 use mlmd::parallel::comm::World;
 
@@ -102,7 +102,7 @@ fn distributed_mesh_trajectory_is_bit_identical_across_rank_counts() {
     // 8, 4, and 2.
     for ranks_per_domain in [1usize, 2, 4] {
         let out = World::run(ranks_per_domain, |world| {
-            let mut drv = DistributedMeshDriver::new(world, 1, |_| small_mesh_driver(0.05));
+            let mut drv = DistributedMeshDriver::new(world, 1, |_| small_mesh_builder(0.05));
             let trace = drv.run(STEPS);
             let eps: Vec<u64> = drv.band_energies().iter().map(|e| e.to_bits()).collect();
             let q = drv.topological_charge();
@@ -129,7 +129,7 @@ fn lit_and_dark_domains_run_concurrently_and_match_their_oracles() {
     let amp = |d: usize| if d == 0 { 0.05 } else { 0.0 };
     let want_lit = small_mesh_driver(0.05).run(STEPS);
     let want_dark = small_mesh_driver(0.0).run(STEPS);
-    let traces = run_distributed_mesh(2, 2, STEPS, |d| small_mesh_driver(amp(d)));
+    let traces = run_distributed_mesh(2, 2, STEPS, |d| small_mesh_builder(amp(d)));
     assert_eq!(traces.len(), 2);
     assert_traces_equal(&want_lit, &traces[0], "lit domain");
     assert_traces_equal(&want_dark, &traces[1], "dark domain");
@@ -146,7 +146,7 @@ fn lit_and_dark_domains_run_concurrently_and_match_their_oracles() {
 fn exchange_table_is_replicated_and_matches_serial_absorption() {
     let out = World::run(4, |world| {
         let mut drv = DistributedMeshDriver::new(world, 2, |d| {
-            small_mesh_driver(if d == 0 { 0.05 } else { 0.0 })
+            small_mesh_builder(if d == 0 { 0.05 } else { 0.0 })
         });
         drv.run(2);
         drv.last_exchange().expect("exchange after steps").clone()
@@ -227,7 +227,7 @@ fn fabric_reclaims_channels_across_repeated_distributed_mesh_cycles() {
         let mut counts = Vec::new();
         for _cycle in 0..3 {
             let mut drv = DistributedMeshDriver::new(world.clone(), 2, |d| {
-                small_mesh_driver(if d == 0 { 0.03 } else { 0.0 })
+                small_mesh_builder(if d == 0 { 0.03 } else { 0.0 })
             });
             drv.run(2);
             drop(drv);

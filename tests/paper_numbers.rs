@@ -92,10 +92,19 @@ fn table_iii_ladder_shape_on_host() {
         assert!(best_parallel > 0.0);
         return;
     }
-    assert!(
-        best_parallel > 1.2,
-        "parallel must beat baseline, got {best_parallel}x"
-    );
+    // The >1× parallel speedup is physically impossible on a single-CPU
+    // host (the thread pool degenerates to one worker), so the speedup
+    // claim is gated on actually having cores; the shape checks above and
+    // the reorder bound below stay unconditional.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores > 1 {
+        assert!(
+            best_parallel > 1.2,
+            "parallel must beat baseline on {cores} cores, got {best_parallel}x"
+        );
+    } else {
+        assert!(best_parallel > 0.0, "ladder must still run on 1 core");
+    }
     assert!(best_reorder > 0.8, "reordering must not regress badly");
 }
 
