@@ -1,0 +1,91 @@
+//! Criterion bench: the job service under synthetic heavy traffic.
+//!
+//! The `service_load` group measures the scheduler as a throughput story
+//! rather than a kernel story: a burst of unique FDTD jobs larger than
+//! the queue (so submission must ride `QueueFull` backpressure) plus a
+//! batch of identical-material pump–probe sweeps that must coalesce onto
+//! one execution, with a fraction of jobs cancelled in flight.
+//!
+//! - `drive_smoke`: the CI-sized profile (16 unique + 8 identical).
+//! - `drive_acceptance`: the PR's acceptance profile (64 unique + 8
+//!   identical, every 9th job cancelled).
+//!
+//! After the timed groups the bench drives the acceptance profile once
+//! more and prints the `BENCH_pr7.json` payload (schema in
+//! docs/BENCHMARKS.md): sustained jobs/sec, p50/p99 submission-to-
+//! resolution latency, dedup hit-rate, backpressure pushbacks, and the
+//! queue high-water mark. Acceptance: dedup hit-rate >= 7/8, bounded
+//! peak queue, cancellations observed.
+
+use criterion::{criterion_group, Criterion};
+use mlmd_core::engine::SampleStride;
+use mlmd_service::loadgen::{self, LoadProfile};
+use mlmd_service::{Scheduler, ServiceConfig};
+
+/// The measured deployment: two workers over a queue deliberately
+/// smaller than the acceptance burst, so admission control is exercised
+/// rather than bypassed.
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        queue_capacity: 32,
+        progress_stride: SampleStride::new(100),
+        dedup: true,
+    }
+}
+
+fn bench_service_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_load");
+    group.sample_size(10);
+
+    // One long-lived service per profile; `drive` reports metric deltas,
+    // so iterations do not contaminate each other.
+    let smoke = Scheduler::new(service_config());
+    let profile = LoadProfile::smoke();
+    group.bench_function("drive_smoke", |b| {
+        b.iter(|| loadgen::drive(&smoke, &profile));
+    });
+    smoke.shutdown();
+
+    let acceptance = Scheduler::new(service_config());
+    let profile = LoadProfile::acceptance();
+    group.bench_function("drive_acceptance", |b| {
+        b.iter(|| loadgen::drive(&acceptance, &profile));
+    });
+    acceptance.shutdown();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_load);
+
+fn main() {
+    benches();
+
+    // The acceptance measurement behind BENCH_pr7.json. `--test` (the CI
+    // bench smoke) downsizes to the smoke profile to stay seconds-scale.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let profile = if test_mode {
+        LoadProfile::smoke()
+    } else {
+        LoadProfile::acceptance()
+    };
+    let config = service_config();
+    let scheduler = Scheduler::new(config);
+    let report = loadgen::drive(&scheduler, &profile);
+    scheduler.shutdown();
+    assert_eq!(
+        report.completed + report.cancelled,
+        report.submitted as u64,
+        "every submitted job must resolve"
+    );
+    assert!(
+        report.dedup_hits >= 7,
+        "identical sweeps must coalesce (got {})",
+        report.dedup_hits
+    );
+    println!(
+        "service_load acceptance report (BENCH_pr7.json schema):\n{}",
+        report.to_json(config.workers, config.queue_capacity)
+    );
+}

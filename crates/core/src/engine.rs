@@ -14,6 +14,10 @@
 //! * [`Observer`] — what to do with each record. Sampling cadence is a
 //!   [`SampleStride`] config value, not a hardcoded `step % 10`.
 //! * [`Engine`] — the run loop gluing a stepper to an observer.
+//!   [`Engine::run_cancellable`] threads a [`CancelToken`] check through
+//!   the loop (checked before each step, so cancellation lands on a step
+//!   boundary and the observer's trace stays a valid prefix); a default
+//!   token never fires, pinning `Engine::run` bit-for-bit.
 //! * [`RunPlan`] — a batch of independent stepper runs executed
 //!   concurrently on the work-stealing pool (the `rayon` shim). The
 //!   pump–probe lit/dark pair and N-amplitude sweeps run as one batch;
@@ -34,6 +38,54 @@ use mlmd_qxmd::md_stage::{MdRecord, MdStage};
 use mlmd_topo::polarization::PolarizationField;
 use mlmd_topo::switching::TextureReport;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+// ------------------------------------------------------- cancellation
+
+/// Cooperative cancellation handle for engine runs.
+///
+/// A token is a cheap, cloneable flag shared between the party driving a
+/// run and the party that may want to stop it. [`Engine::run_cancellable`]
+/// checks the token *before every step*, so cancellation lands on a step
+/// boundary: the stepper is never interrupted mid-step, the observer has
+/// seen every completed step, and the partial trace is a valid prefix of
+/// the full run.
+///
+/// A fresh (default) token never fires, so code paths threaded through
+/// the cancellable entry points with a default token behave bit-for-bit
+/// like the uncancellable originals.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A token that has not been cancelled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has [`Self::cancel`] been called on any clone of this token?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// How an engine run ended: either it took every requested step, or a
+/// [`CancelToken`] stopped it at a step boundary first.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Steps actually taken (== the requested count unless cancelled).
+    pub steps_done: usize,
+    /// Whether the run stopped early on a cancelled token.
+    pub cancelled: bool,
+}
 
 // ------------------------------------------------------------- contract
 
@@ -73,17 +125,37 @@ pub trait Observer<S: Stepper> {
 /// (0, stride, 2·stride, …) plus always the final step.
 ///
 /// `SampleStride::EVERY` records each step; the pipeline's response trace
-/// defaults to `SampleStride(10)`, which reproduces the historical
+/// defaults to `SampleStride::new(10)`, which reproduces the historical
 /// `step % 10 == 0 || last` cadence bit-for-bit.
+///
+/// A stride of zero is rejected at construction ([`SampleStride::new`]),
+/// so a held `SampleStride` is always valid and `should_sample` never has
+/// to re-validate on the hot path.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct SampleStride(pub usize);
+pub struct SampleStride(usize);
 
 impl SampleStride {
     /// Record every step.
     pub const EVERY: SampleStride = SampleStride(1);
 
+    /// A validated stride: sample steps 0, `stride`, `2·stride`, … plus
+    /// always the final step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero — a zero stride samples nothing and
+    /// was historically only caught deep inside the run loop.
+    pub fn new(stride: usize) -> Self {
+        assert!(stride > 0, "sample stride must be non-zero");
+        Self(stride)
+    }
+
+    /// The validated stride value.
+    pub fn get(self) -> usize {
+        self.0
+    }
+
     pub fn should_sample(self, info: StepInfo) -> bool {
-        assert!(self.0 > 0, "sample stride must be non-zero");
         info.index.is_multiple_of(self.0) || info.is_last
     }
 }
@@ -143,13 +215,37 @@ pub struct Engine;
 
 impl Engine {
     pub fn run<S: Stepper, O: Observer<S>>(stepper: &mut S, n_steps: usize, observer: &mut O) {
+        // A fresh token never fires, so this is the plain loop bit-for-bit.
+        Self::run_cancellable(stepper, n_steps, observer, &CancelToken::new());
+    }
+
+    /// The run loop with cooperative cancellation: the token is checked
+    /// *before* each step, so a cancelled run stops on a step boundary
+    /// with every completed step already observed — the observer's trace
+    /// is a valid prefix of the full run, never a torn state.
+    pub fn run_cancellable<S: Stepper, O: Observer<S>>(
+        stepper: &mut S,
+        n_steps: usize,
+        observer: &mut O,
+        cancel: &CancelToken,
+    ) -> RunOutcome {
         for index in 0..n_steps {
+            if cancel.is_cancelled() {
+                return RunOutcome {
+                    steps_done: index,
+                    cancelled: true,
+                };
+            }
             let record = stepper.step();
             let info = StepInfo {
                 index,
                 is_last: index + 1 == n_steps,
             };
             observer.observe(info, stepper, &record);
+        }
+        RunOutcome {
+            steps_done: n_steps,
+            cancelled: false,
         }
     }
 
@@ -167,12 +263,22 @@ impl Engine {
 
 // ------------------------------------------------------------- run plan
 
-/// One entry of a [`RunPlan`]: a stepper, its observer, and how many
-/// steps to drive it.
+/// One entry of a [`RunPlan`]: a stepper, its observer, how many steps to
+/// drive it, and the run's cancellation token (a fresh token — which
+/// never fires — unless the run was pushed with
+/// [`RunPlan::push_cancellable`]).
+///
+/// After [`RunPlan::execute`], `outcome` reports how the run ended; a
+/// cancelled run's observer holds the partial trace of the steps that
+/// completed before the token fired.
 pub struct PlannedRun<S, O> {
     pub stepper: S,
     pub observer: O,
     pub n_steps: usize,
+    /// Cooperative cancellation handle checked before each step.
+    pub cancel: CancelToken,
+    /// Filled in by `execute`: steps taken and whether the token fired.
+    pub outcome: RunOutcome,
 }
 
 /// A batch of independent stepper runs executed concurrently on the
@@ -225,10 +331,28 @@ where
     }
 
     pub fn push(&mut self, stepper: S, observer: O, n_steps: usize) -> &mut Self {
+        self.push_cancellable(stepper, observer, n_steps, CancelToken::new())
+    }
+
+    /// Push a run wired to an externally held [`CancelToken`]. Cancelling
+    /// the token stops that run at its next step boundary; the other runs
+    /// of the batch are unaffected (unless they share the same token) and
+    /// the pool stays healthy — a cancelled run is an early return, not a
+    /// panic. Results still come back in submission order, the cancelled
+    /// run reporting its partial trace and `outcome.cancelled == true`.
+    pub fn push_cancellable(
+        &mut self,
+        stepper: S,
+        observer: O,
+        n_steps: usize,
+        cancel: CancelToken,
+    ) -> &mut Self {
         self.runs.push(PlannedRun {
             stepper,
             observer,
             n_steps,
+            cancel,
+            outcome: RunOutcome::default(),
         });
         self
     }
@@ -248,7 +372,12 @@ where
         self.runs
             .into_par_iter()
             .map(|mut run| {
-                Engine::run(&mut run.stepper, run.n_steps, &mut run.observer);
+                run.outcome = Engine::run_cancellable(
+                    &mut run.stepper,
+                    run.n_steps,
+                    &mut run.observer,
+                    &run.cancel,
+                );
                 run
             })
             .collect()
@@ -475,6 +604,129 @@ mod tests {
             .collect();
         assert_eq!(sampled, historical);
         assert_eq!(sampled, vec![0, 10, 20, 22]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample stride must be non-zero")]
+    fn zero_stride_rejected_at_construction() {
+        let _ = SampleStride::new(0);
+    }
+
+    #[test]
+    fn stride_constructors_agree() {
+        assert_eq!(SampleStride::new(1), SampleStride::EVERY);
+        assert_eq!(SampleStride::default(), SampleStride::new(10));
+        assert_eq!(SampleStride::new(7).get(), 7);
+    }
+
+    #[test]
+    fn default_token_never_cancels() {
+        let mut obs = TraceObserver::every();
+        let out =
+            Engine::run_cancellable(&mut Counter { n: 0 }, 5, &mut obs, &CancelToken::default());
+        assert_eq!(
+            out,
+            RunOutcome {
+                steps_done: 5,
+                cancelled: false
+            }
+        );
+        assert_eq!(obs.trace, vec![0, 1, 4, 9, 16]);
+    }
+
+    /// A stepper that cancels its own token during step number `at`
+    /// (1-based), so the engine — which checks *before* each step —
+    /// stops deterministically after exactly `at` steps.
+    struct SelfCancel {
+        n: usize,
+        at: usize,
+        token: CancelToken,
+    }
+
+    impl Stepper for SelfCancel {
+        type Record = usize;
+
+        fn step(&mut self) -> usize {
+            self.n += 1;
+            if self.n == self.at {
+                self.token.cancel();
+            }
+            self.n
+        }
+
+        fn time_fs(&self) -> f64 {
+            self.n as f64
+        }
+    }
+
+    #[test]
+    fn cancellation_lands_on_a_step_boundary() {
+        let token = CancelToken::new();
+        let mut obs = TraceObserver::every();
+        let mut stepper = SelfCancel {
+            n: 0,
+            at: 3,
+            token: token.clone(),
+        };
+        let out = Engine::run_cancellable(&mut stepper, 10, &mut obs, &token);
+        assert_eq!(
+            out,
+            RunOutcome {
+                steps_done: 3,
+                cancelled: true
+            }
+        );
+        // The partial trace is a valid prefix: every completed step
+        // observed, nothing after the boundary.
+        assert_eq!(obs.trace, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pre_cancelled_run_takes_no_steps() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut obs = TraceObserver::every();
+        let out = Engine::run_cancellable(&mut Counter { n: 0 }, 4, &mut obs, &token);
+        assert_eq!(
+            out,
+            RunOutcome {
+                steps_done: 0,
+                cancelled: true
+            }
+        );
+        assert!(obs.trace.is_empty());
+    }
+
+    #[test]
+    fn run_plan_cancelled_run_reports_partial_trace() {
+        let token = CancelToken::new();
+        let mut plan = RunPlan::new();
+        plan.push(
+            SelfCancel {
+                n: 0,
+                at: usize::MAX,
+                token: CancelToken::new(),
+            },
+            TraceObserver::every(),
+            6,
+        );
+        plan.push_cancellable(
+            SelfCancel {
+                n: 0,
+                at: 2,
+                token: token.clone(),
+            },
+            TraceObserver::every(),
+            6,
+            token,
+        );
+        let done = plan.execute_with_width(2);
+        assert_eq!(done[0].outcome.steps_done, 6);
+        assert!(!done[0].outcome.cancelled);
+        assert_eq!(done[0].observer.trace.len(), 6);
+        assert!(done[1].outcome.cancelled);
+        assert_eq!(done[1].outcome.steps_done, 2);
+        assert_eq!(done[1].observer.trace, vec![1, 2]);
     }
 
     #[test]

@@ -31,8 +31,8 @@
 
 use crate::config::PipelineConfig;
 use crate::engine::{
-    polarization_of, Engine, NullObserver, Observer, ResponseTraceObserver, RunPlan, SampleStride,
-    SupercellForce, TraceObserver,
+    polarization_of, CancelToken, Engine, NullObserver, Observer, ResponseTraceObserver,
+    RunOutcome, RunPlan, SampleStride, SupercellForce, TraceObserver,
 };
 use crate::msa::XnNnCoupling;
 use mlmd_dcmesh::dist_mesh::DistributedMeshDriver;
@@ -228,16 +228,13 @@ impl Pipeline {
     pub fn mesh_batch(&self, amplitudes: &[f64], n_steps: usize) -> Vec<Vec<MeshStepRecord>> {
         assert!(!amplitudes.is_empty(), "need at least one MESH run");
         match self.config.mesh_ranks_per_domain {
-            None => {
-                let mut plan = RunPlan::new();
-                for &e0 in amplitudes {
-                    plan.push(self.mesh_stage(e0), TraceObserver::every(), n_steps);
-                }
-                plan.execute()
-                    .into_iter()
-                    .map(|run| run.observer.trace)
-                    .collect()
-            }
+            None => self
+                .mesh_batch_observed(amplitudes, n_steps, &CancelToken::default(), |_, _| {
+                    TraceObserver::every()
+                })
+                .into_iter()
+                .map(|(obs, _)| obs.trace)
+                .collect(),
             Some(ranks_per_domain) => {
                 let n_domains = amplitudes.len();
                 let results = World::run(n_domains * ranks_per_domain, |world| {
@@ -253,6 +250,50 @@ impl Pipeline {
                 results.into_iter().step_by(ranks_per_domain).collect()
             }
         }
+    }
+
+    /// The observer-generic, cancellable form of the in-process MESH
+    /// batch — the seam the job service streams progress and threads
+    /// cancellation through while sharing this exact code path with the
+    /// synchronous API ([`Self::mesh_batch`] with
+    /// `mesh_ranks_per_domain: None` delegates here with a default token
+    /// and plain [`TraceObserver`]s).
+    ///
+    /// `make_observer(run_index, e0)` builds each run's observer; every
+    /// run is pushed with a clone of `cancel`, so cancelling the token
+    /// stops the whole batch at the next step boundaries, each run
+    /// reporting its partial trace through its observer and its
+    /// [`RunOutcome`]. A default token pins current behavior bit-for-bit.
+    ///
+    /// The rank-distributed batch form (`mesh_ranks_per_domain: Some(r)`)
+    /// does not support cancellation or per-run observers: ranks step in
+    /// lockstep inside `World::run`, where stopping early would need a
+    /// collective agreement protocol.
+    pub fn mesh_batch_observed<O, F>(
+        &self,
+        amplitudes: &[f64],
+        n_steps: usize,
+        cancel: &CancelToken,
+        mut make_observer: F,
+    ) -> Vec<(O, RunOutcome)>
+    where
+        O: Observer<MeshDriver> + Send,
+        F: FnMut(usize, f64) -> O,
+    {
+        assert!(!amplitudes.is_empty(), "need at least one MESH run");
+        let mut plan = RunPlan::new();
+        for (run, &e0) in amplitudes.iter().enumerate() {
+            plan.push_cancellable(
+                self.mesh_stage(e0),
+                make_observer(run, e0),
+                n_steps,
+                cancel.clone(),
+            );
+        }
+        plan.execute()
+            .into_iter()
+            .map(|run| (run.observer, run.outcome))
+            .collect()
     }
 
     /// Stage 2: DC-MESH pulse on the embedded quantum region, measured
@@ -287,10 +328,27 @@ impl Pipeline {
     /// Pump–probe amplitude sweep: N lit drivers plus one shared dark
     /// reference, all executed as a single [`Self::mesh_batch`].
     pub fn pump_probe_sweep(&self, amplitudes: &[f64]) -> Vec<PumpProbeRun> {
-        let cfg = self.config;
         let mut all = amplitudes.to_vec();
         all.push(0.0);
-        let mut traces = self.mesh_batch(&all, cfg.mesh_steps);
+        let traces = self.mesh_batch(&all, self.config.mesh_steps);
+        Self::sweep_runs(amplitudes, traces)
+    }
+
+    /// Reduce a sweep's raw trajectories to [`PumpProbeRun`]s: the last
+    /// trace is the shared dark reference, and each lit run's peak is
+    /// measured above it. This is the one summarization both
+    /// [`Self::pump_probe_sweep`] and the job service's sweep jobs use,
+    /// so the two APIs cannot diverge. Partial (cancelled) traces
+    /// summarize too — the peak is taken over the steps that ran.
+    pub fn sweep_runs(
+        amplitudes: &[f64],
+        mut traces: Vec<Vec<MeshStepRecord>>,
+    ) -> Vec<PumpProbeRun> {
+        assert_eq!(
+            traces.len(),
+            amplitudes.len() + 1,
+            "traces must be the lit runs plus one trailing dark reference"
+        );
         let peak_dark = peak_exc(&traces.pop().expect("dark reference"));
         amplitudes
             .iter()
@@ -304,6 +362,27 @@ impl Pipeline {
                 }
             })
             .collect()
+    }
+
+    /// A supercell MD stage over the current texture with the respond
+    /// stage's force and dissipation wiring (analytic excitation-reshaped
+    /// landscape, low-temperature Langevin drain, the respond RNG
+    /// stream), built over a *clone* of the system so the pipeline is
+    /// untouched — the engine-drivable form of the XS-NNQMD response the
+    /// job service's MD jobs run.
+    pub fn supercell_md_stage(&self, excitation_fraction: f64) -> MdStage<SupercellForce> {
+        let cfg = self.config;
+        let mut ferro = self.ferro.clone();
+        ferro.set_uniform_excitation(excitation_fraction);
+        let force = SupercellForce::analytic(ferro);
+        let thermostat = Some(Langevin::new(1.0, 0.3));
+        MdStage::new(
+            self.lattice.system.clone(),
+            force,
+            cfg.dt_fs,
+            thermostat,
+            Xoshiro256::new(cfg.seed ^ 0x5eed),
+        )
     }
 
     /// Stage 3: XS-NNQMD response of the full supercell. With
@@ -333,7 +412,7 @@ impl Pipeline {
         let mut observer = ResponseTraceObserver::new(
             cfg.cells,
             cfg.dt_fs,
-            SampleStride(cfg.response_sample_stride),
+            SampleStride::new(cfg.response_sample_stride),
         );
         self.run_md_stage(force, cfg.response_steps, thermostat, rng, &mut observer);
         observer.trace

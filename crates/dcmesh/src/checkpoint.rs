@@ -42,7 +42,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// First 8 bytes of every checkpoint: `b"MLMDGSCP"` as a little-endian
 /// u64 ("MLMD ground-state checkpoint").
@@ -130,8 +130,70 @@ pub fn scf_domain_key(grid: &Grid3, norb: usize, electrons: f64, seed: u64) -> u
     h.finish()
 }
 
+/// One key's slot: either a finished ground state, or a marker that some
+/// thread is currently computing it (with the rendezvous the waiters
+/// block on).
+enum Slot {
+    Ready(GroundState),
+    InFlight(Arc<InFlight>),
+}
+
+/// Rendezvous for concurrent `get_or_compute` callers on the same key:
+/// the first caller computes, the rest wait here.
+struct InFlight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+enum FlightState {
+    Pending,
+    Done(GroundState),
+    /// The computing closure panicked; waiters re-enter the loop and one
+    /// of them becomes the new computer.
+    Failed,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, state: FlightState) {
+        *self.state.lock().expect("in-flight slot poisoned") = state;
+        self.done.notify_all();
+    }
+}
+
+/// Panic guard armed while `compute` runs: if the closure unwinds, the
+/// in-flight slot is removed from the map and its waiters released with
+/// `Failed` (so they retry instead of hanging forever on a descent that
+/// will never finish).
+struct FlightGuard<'a> {
+    cache: &'a GroundStateCache,
+    key: u64,
+    flight: Arc<InFlight>,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut map = self.cache.inner.map.lock().expect("cache poisoned");
+        if matches!(map.get(&self.key), Some(Slot::InFlight(f)) if Arc::ptr_eq(f, &self.flight)) {
+            map.remove(&self.key);
+        }
+        drop(map);
+        self.flight.resolve(FlightState::Failed);
+    }
+}
+
 struct CacheInner {
-    map: Mutex<HashMap<u64, GroundState>>,
+    map: Mutex<HashMap<u64, Slot>>,
     computes: AtomicU64,
 }
 
@@ -163,14 +225,13 @@ impl GroundStateCache {
         GLOBAL.get_or_init(GroundStateCache::new).clone()
     }
 
-    /// Look up a ground state by config key.
+    /// Look up a *finished* ground state by config key (an in-flight
+    /// computation is not visible here).
     pub fn get(&self, key: u64) -> Option<GroundState> {
-        self.inner
-            .map
-            .lock()
-            .expect("cache poisoned")
-            .get(&key)
-            .cloned()
+        match self.inner.map.lock().expect("cache poisoned").get(&key) {
+            Some(Slot::Ready(gs)) => Some(gs.clone()),
+            _ => None,
+        }
     }
 
     /// Insert a ground state under its own key.
@@ -179,18 +240,50 @@ impl GroundStateCache {
             .map
             .lock()
             .expect("cache poisoned")
-            .insert(gs.key, gs);
+            .insert(gs.key, Slot::Ready(gs));
     }
 
     /// Return the cached ground state for `key`, computing and caching
-    /// it on a miss. `compute` runs outside the lock; if two threads
-    /// race on the same key both compute, the first insert wins, and the
-    /// tie is harmless because ground states are pure functions of the
-    /// key's inputs (bit-identical between the racers).
+    /// it on a miss. `compute` runs outside the lock, and concurrent
+    /// callers on the same key are serialized through an in-flight
+    /// guard: exactly one caller runs the descent, the rest block until
+    /// it publishes (no thundering herd — `computes()` counts one per
+    /// key no matter how many threads race). If the computing closure
+    /// panics, the waiters are released and one of them retries.
     pub fn get_or_compute(&self, key: u64, compute: impl FnOnce() -> GroundState) -> GroundState {
-        if let Some(gs) = self.get(key) {
-            return gs;
-        }
+        let flight = loop {
+            // One lock round decides this caller's role: hit, waiter, or
+            // computer (installing the in-flight marker atomically).
+            let waited = {
+                let mut map = self.inner.map.lock().expect("cache poisoned");
+                match map.get(&key) {
+                    Some(Slot::Ready(gs)) => return gs.clone(),
+                    Some(Slot::InFlight(f)) => Arc::clone(f),
+                    None => {
+                        let f = Arc::new(InFlight::new());
+                        map.insert(key, Slot::InFlight(Arc::clone(&f)));
+                        break f;
+                    }
+                }
+            };
+            let mut state = waited.state.lock().expect("in-flight slot poisoned");
+            while matches!(*state, FlightState::Pending) {
+                state = waited.done.wait(state).expect("in-flight slot poisoned");
+            }
+            match &*state {
+                FlightState::Done(gs) => return gs.clone(),
+                // Computer panicked: retry (this caller may become the
+                // new computer on the next loop round).
+                FlightState::Failed => continue,
+                FlightState::Pending => unreachable!("loop exits only on Done/Failed"),
+            }
+        };
+        let mut guard = FlightGuard {
+            cache: self,
+            key,
+            flight: Arc::clone(&flight),
+            armed: true,
+        };
         let gs = compute();
         assert_eq!(
             gs.key, key,
@@ -198,13 +291,24 @@ impl GroundStateCache {
             gs.key
         );
         self.inner.computes.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.inner.map.lock().expect("cache poisoned");
-        map.entry(key).or_insert(gs).clone()
+        {
+            let mut map = self.inner.map.lock().expect("cache poisoned");
+            map.insert(key, Slot::Ready(gs.clone()));
+        }
+        guard.armed = false;
+        flight.resolve(FlightState::Done(gs.clone()));
+        gs
     }
 
-    /// Number of cached ground states.
+    /// Number of cached (finished) ground states.
     pub fn len(&self) -> usize {
-        self.inner.map.lock().expect("cache poisoned").len()
+        self.inner
+            .map
+            .lock()
+            .expect("cache poisoned")
+            .values()
+            .filter(|slot| matches!(slot, Slot::Ready(_)))
+            .count()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -609,6 +713,60 @@ mod tests {
         assert_eq!(cache.computes(), 1);
         assert_eq!(cache.len(), 1);
         assert_eq!(first.panel.panel_digest(), second.panel.panel_digest());
+    }
+
+    #[test]
+    fn concurrent_callers_compute_exactly_once() {
+        // Thundering-herd regression: N threads race get_or_compute on
+        // one key with a slow compute. The in-flight guard must let
+        // exactly one descent run; before the fix every racer that
+        // missed ran its own.
+        let cache = GroundStateCache::new();
+        let gs = sample_gs(8);
+        let key = gs.key;
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = cache.clone();
+                let gs = gs.clone();
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.get_or_compute(key, move || {
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        gs
+                    })
+                })
+            })
+            .collect();
+        let digests: Vec<u64> = handles
+            .into_iter()
+            .map(|h| h.join().expect("racer panicked").panel.panel_digest())
+            .collect();
+        assert_eq!(cache.computes(), 1, "exactly one descent per key");
+        assert_eq!(cache.len(), 1);
+        assert!(digests.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn failed_compute_releases_waiters_and_allows_retry() {
+        let cache = GroundStateCache::new();
+        let gs = sample_gs(9);
+        let key = gs.key;
+        // First computer panics; the slot must be cleaned up…
+        let panicker = {
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                cache.get_or_compute(key, || panic!("descent diverged"));
+            })
+        };
+        assert!(panicker.join().is_err());
+        assert_eq!(cache.computes(), 0);
+        assert_eq!(cache.len(), 0);
+        // …so a later caller computes fresh instead of hanging.
+        let back = cache.get_or_compute(key, || gs.clone());
+        assert_eq!(back.panel.panel_digest(), gs.panel.panel_digest());
+        assert_eq!(cache.computes(), 1);
     }
 
     #[test]

@@ -1,0 +1,510 @@
+//! The service's workload vocabulary: every `Pipeline`/engine workload
+//! re-expressed as a [`JobSpec`] value, so the scheduler and the existing
+//! synchronous API share one code path.
+//!
+//! A sweep job executes through `Pipeline::mesh_batch_observed` +
+//! `Pipeline::sweep_runs` — exactly the functions
+//! `Pipeline::pump_probe_sweep` is built from; a MESH job engine-drives
+//! `Pipeline::mesh_stage`, an MD job `Pipeline::supercell_md_stage`, an
+//! FDTD job the `PulsedYee` wrapper. The service adds only the envelope:
+//! cancellation tokens, progress observers, and a canonical
+//! [`JobSpec::dedup_key`].
+//!
+//! ## Dedup-key discipline
+//!
+//! The key hashes *exactly the inputs that determine the job's result*,
+//! and nothing else:
+//!
+//! * mesh-family jobs fold in the ground-state config hash
+//!   (`MeshDriverBuilder::config_key`, i.e.
+//!   `mlmd_dcmesh::checkpoint::ground_state_key`) — "same material" —
+//!   plus the measurement knobs (amplitudes, step counts, Ehrenfest
+//!   settings, carrier frequency, time step);
+//! * execution-form knobs that are pinned bit-identical
+//!   (`mesh_ranks_per_domain`, `mesh_warm_start`, pool width) are
+//!   deliberately excluded: two clients asking for the same physics
+//!   coalesce even if they would have executed it differently;
+//! * every variant starts from its own salt, so an MD job can never
+//!   collide with a MESH job.
+
+use crate::progress::{EventSink, JobId, ProgressObserver};
+use mlmd_core::config::PipelineConfig;
+use mlmd_core::engine::{CancelToken, Engine, SampleStride, SupercellForce, TraceObserver};
+use mlmd_core::pipeline::{Pipeline, PumpProbeRun};
+use mlmd_dcmesh::mesh::MeshStepRecord;
+use mlmd_maxwell::driver::{FieldRecord, PulsedYee};
+use mlmd_maxwell::source::GaussianPulse;
+use mlmd_maxwell::yee1d::Yee1d;
+use mlmd_numerics::codec::Fnv64;
+use mlmd_qxmd::md_stage::MdRecord;
+
+/// Scheduling priority band; within a band tenants are served round-robin.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Interactive / latency-sensitive requests.
+    High,
+    /// The default band.
+    #[default]
+    Normal,
+    /// Batch backfill.
+    Low,
+}
+
+impl Priority {
+    /// All bands, highest first — the queue's service order.
+    pub const BANDS: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+}
+
+/// Per-variant key salts (distinct leading bytes per workload class).
+const SWEEP_SALT: u64 = u64::from_le_bytes(*b"job-swp\0");
+const MESH_SALT: u64 = u64::from_le_bytes(*b"job-mesh");
+const MD_SALT: u64 = u64::from_le_bytes(*b"job-md\0\0");
+const FDTD_SALT: u64 = u64::from_le_bytes(*b"job-fdtd");
+
+/// One simulation request, as data.
+#[derive(Clone, Debug)]
+pub enum JobSpec {
+    /// N-amplitude pump–probe sweep sharing one dark reference — the
+    /// workload of `Pipeline::pump_probe_sweep` (and, with a single
+    /// amplitude, the lit/dark pair of `Pipeline::run`'s pulse stage).
+    PumpProbeSweep {
+        config: PipelineConfig,
+        amplitudes: Vec<f64>,
+    },
+    /// A single MESH driver run at one pulse amplitude.
+    MeshRun {
+        config: PipelineConfig,
+        e0: f64,
+        n_steps: usize,
+    },
+    /// A supercell MD run with the respond stage's force/dissipation
+    /// wiring at the given uniform excitation fraction.
+    MdRun {
+        config: PipelineConfig,
+        excitation_fraction: f64,
+        n_steps: usize,
+    },
+    /// A 1-D FDTD vacuum pulse propagation.
+    FdtdPulse {
+        n_cells: usize,
+        dz: f64,
+        dt: f64,
+        e0: f64,
+        omega: f64,
+        t0: f64,
+        sigma: f64,
+        source_node: usize,
+        n_steps: usize,
+    },
+}
+
+/// What a finished job hands back.
+#[derive(Clone, Debug)]
+pub enum JobResult {
+    /// Cancelled before execution started — nothing ran, no trace.
+    Unstarted,
+    PumpProbe(Vec<PumpProbeRun>),
+    Mesh(Vec<MeshStepRecord>),
+    Md(Vec<MdRecord>),
+    Fdtd(Vec<FieldRecord>),
+}
+
+/// A job's result plus how the execution ended. A cancelled job reports
+/// the partial trace of the steps that completed before the token fired
+/// (a valid prefix — cancellation lands on step boundaries).
+#[derive(Clone, Debug)]
+pub struct JobOutput {
+    pub result: JobResult,
+    /// Whether a cancel token stopped the execution early.
+    pub cancelled: bool,
+    /// Steps actually taken, summed over the job's runs.
+    pub steps_done: usize,
+}
+
+fn hash_ehrenfest(h: &mut Fnv64, cfg: &PipelineConfig) {
+    h.write_f64(cfg.ehrenfest.dt_qd);
+    h.write_u64(cfg.ehrenfest.n_qd as u64);
+    h.write_u64(cfg.ehrenfest.self_consistent as u64);
+}
+
+/// The supercell-texture inputs (what `Pipeline::new` builds from).
+fn hash_supercell(h: &mut Fnv64, cfg: &PipelineConfig) {
+    h.write_u64(cfg.cells.0 as u64);
+    h.write_u64(cfg.cells.1 as u64);
+    h.write_u64(cfg.cells.2 as u64);
+    h.write_u64(cfg.skyrmions.0 as u64);
+    h.write_u64(cfg.skyrmions.1 as u64);
+    h.write_f64(cfg.skyrmion_radius);
+    h.write_f64(cfg.u0);
+}
+
+impl JobSpec {
+    /// The sweep workload of [`Pipeline::pump_probe_sweep`].
+    pub fn pump_probe_sweep(config: PipelineConfig, amplitudes: Vec<f64>) -> Self {
+        assert!(!amplitudes.is_empty(), "sweep needs at least one amplitude");
+        JobSpec::PumpProbeSweep { config, amplitudes }
+    }
+
+    /// The lit/dark pulse pair of `Pipeline::run`'s stage 2, as a
+    /// single-amplitude sweep.
+    pub fn pulse_pair(config: PipelineConfig) -> Self {
+        Self::pump_probe_sweep(config, vec![config.pulse_e0])
+    }
+
+    /// One MESH driver run at amplitude `e0` for `n_steps`.
+    pub fn mesh_run(config: PipelineConfig, e0: f64, n_steps: usize) -> Self {
+        JobSpec::MeshRun {
+            config,
+            e0,
+            n_steps,
+        }
+    }
+
+    /// A supercell MD response run at the given excitation fraction.
+    pub fn md_run(config: PipelineConfig, excitation_fraction: f64, n_steps: usize) -> Self {
+        JobSpec::MdRun {
+            config,
+            excitation_fraction,
+            n_steps,
+        }
+    }
+
+    /// A 1-D FDTD pulse on an `n_cells` vacuum grid (Courant-stable
+    /// defaults: dz 1.0, dt 0.5, source at `n_cells / 4`, pulse center
+    /// t₀ = 20 with width 8 — the engine-suite geometry).
+    pub fn fdtd_pulse(n_cells: usize, e0: f64, omega: f64, n_steps: usize) -> Self {
+        JobSpec::FdtdPulse {
+            n_cells,
+            dz: 1.0,
+            dt: 0.5,
+            e0,
+            omega,
+            t0: 20.0,
+            sigma: 8.0,
+            source_node: n_cells / 4,
+            n_steps,
+        }
+    }
+
+    /// A short human label for logs and progress displays.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobSpec::PumpProbeSweep { .. } => "pump-probe-sweep",
+            JobSpec::MeshRun { .. } => "mesh-run",
+            JobSpec::MdRun { .. } => "md-run",
+            JobSpec::FdtdPulse { .. } => "fdtd-pulse",
+        }
+    }
+
+    /// Total engine steps this job will take (the denominator of its
+    /// progress events).
+    pub fn total_steps(&self) -> usize {
+        match self {
+            JobSpec::PumpProbeSweep { config, amplitudes } => {
+                (amplitudes.len() + 1) * config.mesh_steps
+            }
+            JobSpec::MeshRun { n_steps, .. }
+            | JobSpec::MdRun { n_steps, .. }
+            | JobSpec::FdtdPulse { n_steps, .. } => *n_steps,
+        }
+    }
+
+    /// The canonical cross-request deduplication key (see the module
+    /// docs for the discipline). Two specs with equal keys produce
+    /// bit-identical results, so the scheduler may run one and share.
+    pub fn dedup_key(&self) -> u64 {
+        let mut h = Fnv64::new();
+        match self {
+            JobSpec::PumpProbeSweep { config, amplitudes } => {
+                h.write_u64(SWEEP_SALT);
+                h.write_u64(Self::material_key(config));
+                h.write_f64(config.dt_fs);
+                h.write_f64(config.pulse_omega);
+                hash_ehrenfest(&mut h, config);
+                h.write_u64(config.mesh_steps as u64);
+                h.write_u64(amplitudes.len() as u64);
+                for &e0 in amplitudes {
+                    h.write_f64(e0);
+                }
+            }
+            JobSpec::MeshRun {
+                config,
+                e0,
+                n_steps,
+            } => {
+                h.write_u64(MESH_SALT);
+                h.write_u64(Self::material_key(config));
+                h.write_f64(config.dt_fs);
+                h.write_f64(config.pulse_omega);
+                hash_ehrenfest(&mut h, config);
+                h.write_f64(*e0);
+                h.write_u64(*n_steps as u64);
+            }
+            JobSpec::MdRun {
+                config,
+                excitation_fraction,
+                n_steps,
+            } => {
+                h.write_u64(MD_SALT);
+                hash_supercell(&mut h, config);
+                h.write_f64(config.dt_fs);
+                h.write_u64(config.seed);
+                h.write_f64(*excitation_fraction);
+                h.write_u64(*n_steps as u64);
+            }
+            JobSpec::FdtdPulse {
+                n_cells,
+                dz,
+                dt,
+                e0,
+                omega,
+                t0,
+                sigma,
+                source_node,
+                n_steps,
+            } => {
+                h.write_u64(FDTD_SALT);
+                h.write_u64(*n_cells as u64);
+                h.write_f64(*dz);
+                h.write_f64(*dt);
+                h.write_f64(*e0);
+                h.write_f64(*omega);
+                h.write_f64(*t0);
+                h.write_f64(*sigma);
+                h.write_u64(*source_node as u64);
+                h.write_u64(*n_steps as u64);
+            }
+        }
+        h.finish()
+    }
+
+    /// The ground-state config hash of this configuration's MESH stage —
+    /// `ground_state_key` through the builder seam, amplitude-independent
+    /// by construction (the pulse does not enter the descent).
+    pub fn material_key(config: &PipelineConfig) -> u64 {
+        Pipeline::new(*config).mesh_stage_builder(0.0).config_key()
+    }
+
+    /// Execute the job: drive the underlying engine workload with
+    /// cooperative cancellation and progress streaming. Runs on the
+    /// calling thread; inner batches use the work-stealing pool exactly
+    /// as the synchronous API does.
+    pub fn run(
+        &self,
+        cancel: &CancelToken,
+        sink: &EventSink,
+        id: JobId,
+        progress_stride: SampleStride,
+    ) -> JobOutput {
+        let total = self.total_steps();
+        match self {
+            JobSpec::PumpProbeSweep { config, amplitudes } => {
+                let pipeline = Pipeline::new(*config);
+                let mut all = amplitudes.clone();
+                all.push(0.0); // the shared dark reference
+                let pairs =
+                    pipeline.mesh_batch_observed(&all, config.mesh_steps, cancel, |run, _e0| {
+                        ProgressObserver::new(
+                            TraceObserver::every(),
+                            progress_stride,
+                            sink.clone(),
+                            id,
+                            run,
+                            config.mesh_steps,
+                        )
+                    });
+                let cancelled = pairs.iter().any(|(_, outcome)| outcome.cancelled);
+                let steps_done = pairs.iter().map(|(_, outcome)| outcome.steps_done).sum();
+                let traces: Vec<Vec<MeshStepRecord>> = pairs
+                    .into_iter()
+                    .map(|(obs, _)| obs.into_inner().trace)
+                    .collect();
+                JobOutput {
+                    result: JobResult::PumpProbe(Pipeline::sweep_runs(amplitudes, traces)),
+                    cancelled,
+                    steps_done,
+                }
+            }
+            JobSpec::MeshRun {
+                config,
+                e0,
+                n_steps,
+            } => {
+                let pipeline = Pipeline::new(*config);
+                let mut driver = pipeline.mesh_stage(*e0);
+                let mut obs = ProgressObserver::new(
+                    TraceObserver::every(),
+                    progress_stride,
+                    sink.clone(),
+                    id,
+                    0,
+                    total,
+                );
+                let outcome = Engine::run_cancellable(&mut driver, *n_steps, &mut obs, cancel);
+                JobOutput {
+                    result: JobResult::Mesh(obs.into_inner().trace),
+                    cancelled: outcome.cancelled,
+                    steps_done: outcome.steps_done,
+                }
+            }
+            JobSpec::MdRun {
+                config,
+                excitation_fraction,
+                n_steps,
+            } => {
+                let pipeline = Pipeline::new(*config);
+                let mut stage: mlmd_qxmd::md_stage::MdStage<SupercellForce> =
+                    pipeline.supercell_md_stage(*excitation_fraction);
+                let mut obs = ProgressObserver::new(
+                    TraceObserver::every(),
+                    progress_stride,
+                    sink.clone(),
+                    id,
+                    0,
+                    total,
+                );
+                let outcome = Engine::run_cancellable(&mut stage, *n_steps, &mut obs, cancel);
+                JobOutput {
+                    result: JobResult::Md(obs.into_inner().trace),
+                    cancelled: outcome.cancelled,
+                    steps_done: outcome.steps_done,
+                }
+            }
+            JobSpec::FdtdPulse {
+                n_cells,
+                dz,
+                dt,
+                e0,
+                omega,
+                t0,
+                sigma,
+                source_node,
+                n_steps,
+            } => {
+                let mut driver = PulsedYee::new(
+                    Yee1d::new(*n_cells, *dz, *dt),
+                    GaussianPulse::new(*e0, *omega, *t0, *sigma),
+                    *source_node,
+                );
+                let mut obs = ProgressObserver::new(
+                    TraceObserver::every(),
+                    progress_stride,
+                    sink.clone(),
+                    id,
+                    0,
+                    total,
+                );
+                let outcome = Engine::run_cancellable(&mut driver, *n_steps, &mut obs, cancel);
+                JobOutput {
+                    result: JobResult::Fdtd(obs.into_inner().trace),
+                    cancelled: outcome.cancelled,
+                    steps_done: outcome.steps_done,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> PipelineConfig {
+        let mut cfg = PipelineConfig::small_demo();
+        cfg.cells = (4, 4, 1);
+        cfg.prepare_steps = 2;
+        cfg.mesh_steps = 2;
+        cfg.response_steps = 10;
+        cfg
+    }
+
+    #[test]
+    fn dedup_keys_are_canonical_and_discriminating() {
+        let cfg = tiny_config();
+        let a = JobSpec::pump_probe_sweep(cfg, vec![0.05, 0.1]);
+        let b = JobSpec::pump_probe_sweep(cfg, vec![0.05, 0.1]);
+        assert_eq!(a.dedup_key(), b.dedup_key(), "identical specs, one key");
+        // Different amplitudes, steps, or workload class: different keys.
+        assert_ne!(
+            a.dedup_key(),
+            JobSpec::pump_probe_sweep(cfg, vec![0.05, 0.2]).dedup_key()
+        );
+        assert_ne!(
+            JobSpec::mesh_run(cfg, 0.05, 2).dedup_key(),
+            JobSpec::mesh_run(cfg, 0.05, 3).dedup_key()
+        );
+        assert_ne!(
+            JobSpec::mesh_run(cfg, 0.05, 2).dedup_key(),
+            JobSpec::pump_probe_sweep(cfg, vec![0.05]).dedup_key()
+        );
+    }
+
+    #[test]
+    fn execution_form_does_not_enter_the_key() {
+        // Bit-identical execution forms (distributed batch, warm-start
+        // policy) must coalesce with their in-process twins.
+        let cfg = tiny_config();
+        let mut dist = cfg;
+        dist.mesh_ranks_per_domain = Some(2);
+        let mut fresh = cfg;
+        fresh.mesh_warm_start = mlmd_dcmesh::WarmStartPolicy::Fresh;
+        let base = JobSpec::pump_probe_sweep(cfg, vec![0.1]).dedup_key();
+        assert_eq!(base, JobSpec::pump_probe_sweep(dist, vec![0.1]).dedup_key());
+        assert_eq!(
+            base,
+            JobSpec::pump_probe_sweep(fresh, vec![0.1]).dedup_key()
+        );
+    }
+
+    #[test]
+    fn sweep_job_matches_synchronous_sweep_bit_for_bit() {
+        // One code path: the job-service execution of a sweep must equal
+        // Pipeline::pump_probe_sweep exactly.
+        let cfg = tiny_config();
+        let amplitudes = [0.05, 0.1];
+        let sync = Pipeline::new(cfg).pump_probe_sweep(&amplitudes);
+        let spec = JobSpec::pump_probe_sweep(cfg, amplitudes.to_vec());
+        let out = spec.run(
+            &CancelToken::new(),
+            &EventSink::new(),
+            JobId(1),
+            SampleStride::EVERY,
+        );
+        assert!(!out.cancelled);
+        assert_eq!(out.steps_done, spec.total_steps());
+        let JobResult::PumpProbe(runs) = out.result else {
+            panic!("sweep job must produce a sweep result");
+        };
+        assert_eq!(runs.len(), sync.len());
+        for (a, b) in sync.iter().zip(&runs) {
+            assert_eq!(a.e0, b.e0);
+            assert_eq!(a.n_exc_peak.to_bits(), b.n_exc_peak.to_bits());
+            assert_eq!(a.records.len(), b.records.len());
+            for (ra, rb) in a.records.iter().zip(&b.records) {
+                assert_eq!(ra.n_exc.to_bits(), rb.n_exc.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fdtd_job_runs_and_cancels() {
+        let spec = JobSpec::fdtd_pulse(64, 0.2, 0.3, 40);
+        let out = spec.run(
+            &CancelToken::new(),
+            &EventSink::new(),
+            JobId(2),
+            SampleStride::new(10),
+        );
+        assert!(!out.cancelled);
+        let JobResult::Fdtd(trace) = out.result else {
+            panic!("fdtd result expected");
+        };
+        assert_eq!(trace.len(), 40);
+        // Pre-cancelled: no steps, empty trace, cancelled flag set.
+        let token = CancelToken::new();
+        token.cancel();
+        let out = spec.run(&token, &EventSink::new(), JobId(3), SampleStride::EVERY);
+        assert!(out.cancelled);
+        assert_eq!(out.steps_done, 0);
+    }
+}

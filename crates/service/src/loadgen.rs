@@ -1,0 +1,320 @@
+//! Synthetic heavy-traffic load generator — the throughput story.
+//!
+//! Drives a [`Scheduler`] with the acceptance workload: a burst of unique
+//! FDTD jobs (≥ the queue capacity, so admission control and
+//! backpressure are actually exercised) followed by a batch of
+//! *identical-material* pump–probe sweeps that must coalesce onto one
+//! execution, with a fraction of jobs cancelled in flight. The
+//! [`LoadReport`] records what a service operator would watch: sustained
+//! jobs/sec, p50/p99 submission-to-resolution latency, dedup hit-rate,
+//! backpressure pushbacks, and the queue high-water mark (bounded by
+//! construction — the admission gate is the memory ceiling).
+
+use crate::job::JobSpec;
+use crate::scheduler::{JobHandle, Scheduler, SubmitError};
+use mlmd_core::config::PipelineConfig;
+use std::time::{Duration, Instant};
+
+/// Shape of the synthetic load.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadProfile {
+    /// Unique (non-coalescing) jobs, each a distinct FDTD pulse.
+    pub unique_jobs: usize,
+    /// Identical-material pump–probe sweep submissions; all but the
+    /// first should coalesce onto the primary's execution.
+    pub identical_sweeps: usize,
+    /// Cancel every Nth unique job right after submission (0 = never) —
+    /// queued-job cancellation under load.
+    pub cancel_every: usize,
+    /// FDTD grid cells per unique job.
+    pub fdtd_cells: usize,
+    /// FDTD steps per unique job.
+    pub fdtd_steps: usize,
+    /// Submissions round-robin across this many synthetic tenants.
+    pub tenants: usize,
+}
+
+impl LoadProfile {
+    /// The PR's acceptance workload: 64 unique jobs (at queue capacity,
+    /// so submission must ride the backpressure) + 8 identical-material
+    /// sweeps, every 9th job cancelled.
+    pub fn acceptance() -> Self {
+        Self {
+            unique_jobs: 64,
+            identical_sweeps: 8,
+            cancel_every: 9,
+            fdtd_cells: 96,
+            fdtd_steps: 400,
+            tenants: 4,
+        }
+    }
+
+    /// A seconds-scale smoke profile for CI.
+    pub fn smoke() -> Self {
+        Self {
+            unique_jobs: 16,
+            identical_sweeps: 8,
+            cancel_every: 5,
+            fdtd_cells: 48,
+            fdtd_steps: 60,
+            tenants: 2,
+        }
+    }
+
+    fn total_jobs(&self) -> usize {
+        self.unique_jobs + self.identical_sweeps
+    }
+}
+
+/// What the load run measured.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadReport {
+    /// Jobs submitted (unique + sweep submissions).
+    pub submitted: usize,
+    /// Jobs resolved successfully.
+    pub completed: u64,
+    /// Jobs resolved by cancellation.
+    pub cancelled: u64,
+    /// Submissions coalesced onto an identical in-flight execution.
+    pub dedup_hits: u64,
+    /// `dedup_hits` over the best possible (`identical_sweeps - 1`).
+    pub dedup_hit_rate: f64,
+    /// `QueueFull` pushbacks absorbed by the submission loop.
+    pub backpressure_rejections: u64,
+    /// Queue high-water mark (bounded by the admission gate).
+    pub peak_queued: u64,
+    /// Resolved jobs per wall-clock second.
+    pub jobs_per_sec: f64,
+    /// Median submission-to-resolution latency.
+    pub p50_ms: f64,
+    /// Tail submission-to-resolution latency.
+    pub p99_ms: f64,
+    /// Whole-run wall time.
+    pub wall_ms: f64,
+}
+
+impl LoadReport {
+    /// Render as the `BENCH_pr7.json` payload (no serde in the tree —
+    /// the schema is documented in docs/BENCHMARKS.md).
+    pub fn to_json(&self, workers: usize, queue_capacity: usize) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"service_load\",\n",
+                "  \"workers\": {},\n",
+                "  \"queue_capacity\": {},\n",
+                "  \"submitted\": {},\n",
+                "  \"completed\": {},\n",
+                "  \"cancelled\": {},\n",
+                "  \"dedup_hits\": {},\n",
+                "  \"dedup_hit_rate\": {:.4},\n",
+                "  \"backpressure_rejections\": {},\n",
+                "  \"peak_queued\": {},\n",
+                "  \"jobs_per_sec\": {:.2},\n",
+                "  \"p50_ms\": {:.3},\n",
+                "  \"p99_ms\": {:.3},\n",
+                "  \"wall_ms\": {:.1}\n",
+                "}}"
+            ),
+            workers,
+            queue_capacity,
+            self.submitted,
+            self.completed,
+            self.cancelled,
+            self.dedup_hits,
+            self.dedup_hit_rate,
+            self.backpressure_rejections,
+            self.peak_queued,
+            self.jobs_per_sec,
+            self.p50_ms,
+            self.p99_ms,
+            self.wall_ms,
+        )
+    }
+}
+
+/// The identical-material sweep every load run submits `identical_sweeps`
+/// times — a small but real MESH workload (ground-state descent included
+/// on the primary; followers share the result without running at all).
+pub fn sweep_spec() -> JobSpec {
+    let mut cfg = PipelineConfig::small_demo();
+    cfg.cells = (4, 4, 1);
+    cfg.prepare_steps = 2;
+    cfg.mesh_steps = 2;
+    cfg.response_steps = 10;
+    JobSpec::pump_probe_sweep(cfg, vec![0.05, 0.1])
+}
+
+/// A unique FDTD job: `tag` varies the carrier frequency so every key
+/// differs and nothing coalesces.
+fn unique_spec(profile: &LoadProfile, tag: usize) -> JobSpec {
+    JobSpec::fdtd_pulse(
+        profile.fdtd_cells,
+        0.2,
+        0.25 + tag as f64 * 1e-3,
+        profile.fdtd_steps,
+    )
+}
+
+/// Submit, riding backpressure: on [`SubmitError::QueueFull`] back off
+/// briefly and retry (workers drain concurrently, so progress is
+/// guaranteed); counts the pushbacks absorbed.
+fn submit_sustained(
+    scheduler: &Scheduler,
+    tenant: &str,
+    spec: &JobSpec,
+    rejections: &mut u64,
+) -> Option<JobHandle> {
+    loop {
+        match scheduler.submit_for(tenant, Default::default(), spec.clone()) {
+            Ok(handle) => return Some(handle),
+            Err(SubmitError::QueueFull { .. }) => {
+                *rejections += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(SubmitError::ShuttingDown) => return None,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted slice.
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Drive `profile` through `scheduler` and measure. The scheduler may be
+/// shared / reused: counters are reported as deltas across this run.
+pub fn drive(scheduler: &Scheduler, profile: &LoadProfile) -> LoadReport {
+    let before = scheduler.metrics();
+    let mut rejections = 0u64;
+    let mut handles: Vec<JobHandle> = Vec::with_capacity(profile.total_jobs());
+    let started = Instant::now();
+
+    // Phase 1: the unique burst — exceeds the queue, so the loop has to
+    // ride QueueFull pushbacks; every Nth job is cancelled while queued.
+    for i in 0..profile.unique_jobs {
+        let tenant = format!("tenant-{}", i % profile.tenants.max(1));
+        let spec = unique_spec(profile, i);
+        let Some(handle) = submit_sustained(scheduler, &tenant, &spec, &mut rejections) else {
+            break;
+        };
+        if profile.cancel_every > 0 && (i + 1) % profile.cancel_every == 0 {
+            handle.cancel();
+        }
+        handles.push(handle);
+    }
+
+    // Phase 2: the identical-material sweeps, back to back. The first
+    // becomes the primary; the rest must coalesce (dedup hits).
+    let sweep = sweep_spec();
+    for i in 0..profile.identical_sweeps {
+        let tenant = format!("tenant-{}", i % profile.tenants.max(1));
+        let Some(handle) = submit_sustained(scheduler, &tenant, &sweep, &mut rejections) else {
+            break;
+        };
+        handles.push(handle);
+    }
+
+    // Drain: every handle resolves (completed or cancelled).
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(handles.len());
+    let mut completed = 0u64;
+    let mut cancelled = 0u64;
+    for handle in &handles {
+        let output = handle.wait();
+        if output.cancelled {
+            cancelled += 1;
+        } else {
+            completed += 1;
+        }
+        let latency = handle.latency().unwrap_or_default();
+        latencies_ms.push(latency.as_secs_f64() * 1e3);
+    }
+    let wall = started.elapsed().as_secs_f64();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+
+    let after = scheduler.metrics();
+    let dedup_hits = after.dedup_hits - before.dedup_hits;
+    let best = (profile.identical_sweeps.saturating_sub(1)).max(1) as u64;
+    LoadReport {
+        submitted: handles.len(),
+        completed,
+        cancelled,
+        dedup_hits,
+        dedup_hit_rate: dedup_hits as f64 / best as f64,
+        backpressure_rejections: rejections,
+        peak_queued: after.peak_queued,
+        jobs_per_sec: handles.len() as f64 / wall.max(1e-9),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        wall_ms: wall * 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ServiceConfig;
+    use mlmd_core::engine::SampleStride;
+
+    #[test]
+    fn smoke_load_resolves_every_job_and_coalesces_sweeps() {
+        let scheduler = Scheduler::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 8, // smaller than the burst: forces pushback
+            progress_stride: SampleStride::new(20),
+            dedup: true,
+        });
+        let profile = LoadProfile::smoke();
+        let report = drive(&scheduler, &profile);
+        assert_eq!(report.submitted, profile.total_jobs());
+        assert_eq!(
+            report.completed + report.cancelled,
+            report.submitted as u64,
+            "every job resolves"
+        );
+        assert!(report.cancelled >= 1, "cancellation observed under load");
+        assert!(
+            report.dedup_hits >= 7,
+            "identical sweeps coalesce (got {} hits)",
+            report.dedup_hits
+        );
+        assert!(
+            report.peak_queued <= 8,
+            "queue stays bounded (peak {})",
+            report.peak_queued
+        );
+        assert!(report.backpressure_rejections > 0, "pushback exercised");
+        assert!(report.p50_ms <= report.p99_ms);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn report_renders_the_bench_json_schema() {
+        let report = LoadReport {
+            submitted: 72,
+            completed: 60,
+            cancelled: 12,
+            dedup_hits: 7,
+            dedup_hit_rate: 1.0,
+            backpressure_rejections: 5,
+            peak_queued: 64,
+            jobs_per_sec: 10.0,
+            p50_ms: 1.0,
+            p99_ms: 2.0,
+            wall_ms: 100.0,
+        };
+        let json = report.to_json(2, 64);
+        for key in [
+            "\"bench\": \"service_load\"",
+            "\"dedup_hit_rate\": 1.0000",
+            "\"p99_ms\": 2.000",
+            "\"queue_capacity\": 64",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

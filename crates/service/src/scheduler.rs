@@ -1,0 +1,927 @@
+//! The multi-tenant job scheduler.
+//!
+//! ```text
+//! clients ── submit(spec) ──▶ admission control (bounded queue)
+//!                │                    │
+//!                │  identical key     ▼
+//!                ├─▶ dedup group   priority bands (High ▸ Normal ▸ Low)
+//!                │   (followers)   round-robin across tenants per band
+//!                │                    │
+//!                ▼                    ▼
+//!            JobHandle ◀── events ── worker threads ──▶ engine runs on
+//!            (stream, wait,          (CancelToken,      the shared
+//!             cancel)                 ProgressObserver)  work-stealing pool
+//! ```
+//!
+//! Semantics, precisely:
+//!
+//! * **Admission**: `submit` fails with [`SubmitError::QueueFull`] once
+//!   `queue_capacity` jobs are queued — backpressure, never unbounded
+//!   memory. Dedup followers coalesce onto an existing execution and so
+//!   do not consume queue slots.
+//! * **Fairness**: within a priority band the queue serves tenants
+//!   round-robin (one job per turn), so a tenant submitting 100 jobs
+//!   cannot starve a tenant submitting 1. Bands are strict: High drains
+//!   before Normal before Low.
+//! * **Dedup**: a submission whose [`JobSpec::dedup_key`] matches a
+//!   queued or running job attaches to that job's group; exactly one
+//!   execution runs and every member receives the shared result. Members
+//!   see a [`JobEvent::Deduped`] naming the primary whose stream carries
+//!   the progress events.
+//! * **Cancellation** is cooperative and lands on step boundaries.
+//!   Cancelling a *queued* job resolves it immediately (`Unstarted`, no
+//!   execution); cancelling a *running* job fires its [`CancelToken`]
+//!   and the result carries the partial trace. Cancelling a dedup
+//!   primary cancels the group's single execution — followers share its
+//!   fate; cancelling a follower detaches only that follower.
+//! * **Shutdown**: [`Scheduler::shutdown`] stops admission, drains the
+//!   queue, and joins the workers. Dropping the scheduler instead
+//!   cancels all outstanding work first, so a drop never hangs on a
+//!   long-running job and no `wait()` caller is left dangling.
+
+use crate::job::{JobOutput, JobResult, JobSpec, Priority};
+use crate::progress::{EventSink, JobEvent, JobId};
+use crossbeam::channel::{Receiver, Sender};
+use mlmd_core::engine::{CancelToken, SampleStride};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service sizing and behavior knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads executing jobs (each run still fans out onto the
+    /// shared work-stealing pool for its inner parallelism).
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before `submit` pushes back
+    /// with [`SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Stride of streamed [`JobEvent::Progress`] events within each run.
+    pub progress_stride: SampleStride,
+    /// Coalesce submissions with identical dedup keys onto one
+    /// execution. On by default.
+    pub dedup: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 256,
+            progress_stride: SampleStride::default(),
+            dedup: true,
+        }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — back off and retry (backpressure).
+    QueueFull { capacity: usize },
+    /// The scheduler is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "job queue full ({capacity} jobs queued)")
+            }
+            SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Lifecycle of one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a worker (or for its dedup primary).
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; result available and not cancelled.
+    Completed,
+    /// Resolved by cancellation (possibly with a partial trace).
+    Cancelled,
+}
+
+struct CoreState {
+    status: JobStatus,
+    output: Option<Arc<JobOutput>>,
+    resolved_at: Option<Instant>,
+}
+
+/// Shared per-job record: handles, queue entries, and dedup groups all
+/// point at the same core.
+struct JobCore {
+    id: JobId,
+    cancel: CancelToken,
+    sink: EventSink,
+    state: Mutex<CoreState>,
+    resolved: Condvar,
+    submitted_at: Instant,
+}
+
+impl JobCore {
+    fn new(id: JobId, sink: EventSink) -> Self {
+        Self {
+            id,
+            cancel: CancelToken::new(),
+            sink,
+            state: Mutex::new(CoreState {
+                status: JobStatus::Queued,
+                output: None,
+                resolved_at: None,
+            }),
+            resolved: Condvar::new(),
+            submitted_at: Instant::now(),
+        }
+    }
+
+    fn status(&self) -> JobStatus {
+        self.state.lock().expect("job state poisoned").status
+    }
+
+    fn is_resolved(&self) -> bool {
+        self.state
+            .lock()
+            .expect("job state poisoned")
+            .output
+            .is_some()
+    }
+
+    /// Publish the result exactly once; later calls are no-ops (a
+    /// follower individually cancelled before its primary finished keeps
+    /// its own resolution).
+    fn resolve(&self, output: Arc<JobOutput>) {
+        let cancelled = output.cancelled;
+        {
+            let mut state = self.state.lock().expect("job state poisoned");
+            if state.output.is_some() {
+                return;
+            }
+            state.output = Some(output);
+            state.resolved_at = Some(Instant::now());
+            state.status = if cancelled {
+                JobStatus::Cancelled
+            } else {
+                JobStatus::Completed
+            };
+        }
+        // Emit before waking waiters so a `wait()`er that immediately
+        // drains the event stream sees the terminal events.
+        if cancelled {
+            self.sink.emit(JobEvent::Cancelled { id: self.id });
+        }
+        self.sink.emit(JobEvent::Completed {
+            id: self.id,
+            cancelled,
+        });
+        self.resolved.notify_all();
+    }
+
+    fn wait(&self) -> Arc<JobOutput> {
+        let mut state = self.state.lock().expect("job state poisoned");
+        loop {
+            if let Some(output) = &state.output {
+                return Arc::clone(output);
+            }
+            state = self.resolved.wait(state).expect("job state poisoned");
+        }
+    }
+}
+
+fn unstarted_cancelled() -> Arc<JobOutput> {
+    Arc::new(JobOutput {
+        result: JobResult::Unstarted,
+        cancelled: true,
+        steps_done: 0,
+    })
+}
+
+/// One queued execution (a dedup group's primary).
+struct QueueEntry {
+    core: Arc<JobCore>,
+    spec: JobSpec,
+    key: u64,
+}
+
+struct TenantQueue {
+    tenant: String,
+    jobs: VecDeque<QueueEntry>,
+}
+
+/// One priority band: per-tenant FIFOs served round-robin.
+#[derive(Default)]
+struct Band {
+    tenants: Vec<TenantQueue>,
+    cursor: usize,
+}
+
+impl Band {
+    fn push(&mut self, tenant: &str, entry: QueueEntry) {
+        match self.tenants.iter_mut().find(|t| t.tenant == tenant) {
+            Some(t) => t.jobs.push_back(entry),
+            None => self.tenants.push(TenantQueue {
+                tenant: tenant.to_string(),
+                jobs: VecDeque::from([entry]),
+            }),
+        }
+    }
+
+    fn pop(&mut self) -> Option<QueueEntry> {
+        let n = self.tenants.len();
+        for k in 0..n {
+            let i = (self.cursor + k) % n;
+            if let Some(entry) = self.tenants[i].jobs.pop_front() {
+                self.cursor = (i + 1) % n;
+                return Some(entry);
+            }
+        }
+        None
+    }
+}
+
+/// An in-flight dedup group: the primary's execution plus the followers
+/// waiting to share its result.
+struct DedupGroup {
+    primary: Arc<JobCore>,
+    followers: Vec<Arc<JobCore>>,
+}
+
+struct QueueState {
+    bands: [Band; 3],
+    /// Queued (not yet popped) executions, dead entries included.
+    queued: usize,
+    accepting: bool,
+    /// dedup key → in-flight group (queued or running primary).
+    groups: HashMap<u64, DedupGroup>,
+    /// Every unresolved job, for drop-time cancellation.
+    active: HashMap<JobId, Arc<JobCore>>,
+    /// Scheduler-wide event subscribers, attached to every later job.
+    subscribers: Vec<Sender<JobEvent>>,
+    next_id: u64,
+}
+
+#[derive(Default)]
+struct Metrics {
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    dedup_hits: AtomicU64,
+    executed: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    peak_queued: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Submission attempts (admitted + deduped + rejected).
+    pub submitted: u64,
+    /// Executions admitted into the queue.
+    pub admitted: u64,
+    /// Submissions pushed back with `QueueFull`.
+    pub rejected: u64,
+    /// Submissions coalesced onto an identical in-flight job.
+    pub dedup_hits: u64,
+    /// Executions a worker actually ran.
+    pub executed: u64,
+    /// Jobs resolved successfully.
+    pub completed: u64,
+    /// Jobs resolved by cancellation.
+    pub cancelled: u64,
+    /// High-water mark of the queue.
+    pub peak_queued: u64,
+}
+
+struct SchedInner {
+    config: ServiceConfig,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    metrics: Metrics,
+}
+
+/// Client-side handle to a submitted job: status, cancellation, the
+/// event stream, and the (shared) result.
+pub struct JobHandle {
+    core: Arc<JobCore>,
+    inner: Arc<SchedInner>,
+    events: Receiver<JobEvent>,
+    key: u64,
+    deduped: bool,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.core.id)
+            .field("status", &self.core.status())
+            .field("deduped", &self.deduped)
+            .finish()
+    }
+}
+
+impl JobHandle {
+    pub fn id(&self) -> JobId {
+        self.core.id
+    }
+
+    pub fn status(&self) -> JobStatus {
+        self.core.status()
+    }
+
+    /// Was this submission coalesced onto an identical in-flight job?
+    pub fn is_deduped(&self) -> bool {
+        self.deduped
+    }
+
+    /// This job's event stream (lifecycle + streamed progress).
+    pub fn events(&self) -> &Receiver<JobEvent> {
+        &self.events
+    }
+
+    /// Block until the job resolves; the result is shared (`Arc`) with
+    /// any dedup followers.
+    pub fn wait(&self) -> Arc<JobOutput> {
+        self.core.wait()
+    }
+
+    /// The result if already resolved, without blocking.
+    pub fn try_output(&self) -> Option<Arc<JobOutput>> {
+        self.core
+            .state
+            .lock()
+            .expect("job state poisoned")
+            .output
+            .clone()
+    }
+
+    /// Submission-to-resolution time, once resolved.
+    pub fn latency(&self) -> Option<Duration> {
+        self.core
+            .state
+            .lock()
+            .expect("job state poisoned")
+            .resolved_at
+            .map(|t| t - self.core.submitted_at)
+    }
+
+    /// Request cancellation (see the module docs for the exact queued /
+    /// running / dedup semantics). Idempotent.
+    pub fn cancel(&self) {
+        self.inner.cancel_job(&self.core, self.key);
+    }
+}
+
+impl SchedInner {
+    fn cancel_job(self: &Arc<Self>, core: &Arc<JobCore>, key: u64) {
+        // Fire the token first: a running execution stops at its next
+        // step boundary whatever else happens.
+        core.cancel.cancel();
+        let mut q = self.queue.lock().expect("scheduler queue poisoned");
+        if core.is_resolved() || core.status() == JobStatus::Running {
+            // Running executions resolve through their worker (with the
+            // partial trace); resolved jobs keep their resolution.
+            return;
+        }
+        // Queued: resolve immediately, never execute.
+        match q.groups.get_mut(&key) {
+            Some(group) if Arc::ptr_eq(&group.primary, core) => {
+                // Cancelling the group's one execution: followers share
+                // its fate. The dead queue entry is skipped on pop.
+                let group = q.groups.remove(&key).expect("group just found");
+                q.active.remove(&core.id);
+                for f in &group.followers {
+                    q.active.remove(&f.id);
+                }
+                drop(q);
+                core.resolve(unstarted_cancelled());
+                self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                for f in group.followers {
+                    f.resolve(unstarted_cancelled());
+                    self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Some(group) => {
+                // A follower detaches alone; the execution lives on.
+                group.followers.retain(|f| !Arc::ptr_eq(f, core));
+                q.active.remove(&core.id);
+                drop(q);
+                core.resolve(unstarted_cancelled());
+                self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                // Dedup off (or group already gone): solo queued job.
+                q.active.remove(&core.id);
+                drop(q);
+                core.resolve(unstarted_cancelled());
+                self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        loop {
+            let entry = {
+                let mut q = self.queue.lock().expect("scheduler queue poisoned");
+                loop {
+                    if let Some(entry) = Self::pop(&mut q) {
+                        if entry.core.is_resolved() {
+                            // Dead entry (cancelled while queued).
+                            continue;
+                        }
+                        // Mark running under the queue lock so a
+                        // concurrent cancel sees a consistent status.
+                        entry.core.state.lock().expect("job state poisoned").status =
+                            JobStatus::Running;
+                        break Some(entry);
+                    }
+                    if !q.accepting {
+                        break None;
+                    }
+                    q = self.available.wait(q).expect("scheduler queue poisoned");
+                }
+            };
+            let Some(entry) = entry else { return };
+            entry
+                .core
+                .sink
+                .emit(JobEvent::Started { id: entry.core.id });
+            self.metrics.executed.fetch_add(1, Ordering::Relaxed);
+            let output = Arc::new(entry.spec.run(
+                &entry.core.cancel,
+                &entry.core.sink,
+                entry.core.id,
+                self.config.progress_stride,
+            ));
+            // Detach the group, then resolve primary + followers.
+            let followers = {
+                let mut q = self.queue.lock().expect("scheduler queue poisoned");
+                q.active.remove(&entry.core.id);
+                let followers = match q.groups.remove(&entry.key) {
+                    Some(group) => group.followers,
+                    None => Vec::new(),
+                };
+                for f in &followers {
+                    q.active.remove(&f.id);
+                }
+                followers
+            };
+            let count = |out: &JobOutput| {
+                if out.cancelled {
+                    self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                }
+            };
+            count(&output);
+            entry.core.resolve(Arc::clone(&output));
+            for f in followers {
+                count(&output);
+                f.resolve(Arc::clone(&output));
+            }
+        }
+    }
+
+    fn pop(q: &mut QueueState) -> Option<QueueEntry> {
+        for band in &mut q.bands {
+            if let Some(entry) = band.pop() {
+                q.queued -= 1;
+                return Some(entry);
+            }
+        }
+        None
+    }
+}
+
+/// The persistent simulation service (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use mlmd_service::{JobSpec, Scheduler, ServiceConfig};
+///
+/// let scheduler = Scheduler::new(ServiceConfig {
+///     workers: 1,
+///     ..ServiceConfig::default()
+/// });
+/// let job = scheduler
+///     .submit(JobSpec::fdtd_pulse(64, 0.2, 0.3, 25))
+///     .expect("admitted");
+/// let output = job.wait();
+/// assert!(!output.cancelled);
+/// assert_eq!(output.steps_done, 25);
+/// scheduler.shutdown();
+/// ```
+pub struct Scheduler {
+    inner: Arc<SchedInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Spawn the worker threads and open the queue.
+    pub fn new(config: ServiceConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.queue_capacity > 0, "need a non-empty queue");
+        let inner = Arc::new(SchedInner {
+            config,
+            queue: Mutex::new(QueueState {
+                bands: [Band::default(), Band::default(), Band::default()],
+                queued: 0,
+                accepting: true,
+                groups: HashMap::new(),
+                active: HashMap::new(),
+                subscribers: Vec::new(),
+                next_id: 0,
+            }),
+            available: Condvar::new(),
+            metrics: Metrics::default(),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("mlmd-service-worker-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("failed to spawn service worker")
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// Submit under the default tenant at normal priority.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        self.submit_for("default", Priority::Normal, spec)
+    }
+
+    /// Submit a job for `tenant` at `priority`.
+    pub fn submit_for(
+        &self,
+        tenant: &str,
+        priority: Priority,
+        spec: JobSpec,
+    ) -> Result<JobHandle, SubmitError> {
+        let inner = &self.inner;
+        inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let key = spec.dedup_key();
+        let mut q = inner.queue.lock().expect("scheduler queue poisoned");
+        if !q.accepting {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let id = JobId(q.next_id);
+        q.next_id += 1;
+        let mut sink = EventSink::new();
+        let events = sink.attach();
+        for tx in &q.subscribers {
+            sink.attach_sender(tx.clone());
+        }
+        // Dedup: coalesce onto an identical in-flight execution.
+        if inner.config.dedup {
+            if let Some(group) = q.groups.get_mut(&key) {
+                let primary = group.primary.id;
+                let core = Arc::new(JobCore::new(id, sink));
+                group.followers.push(Arc::clone(&core));
+                q.active.insert(id, Arc::clone(&core));
+                drop(q);
+                inner.metrics.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                core.sink.emit(JobEvent::Queued { id });
+                core.sink.emit(JobEvent::Deduped { id, primary });
+                return Ok(JobHandle {
+                    core,
+                    inner: Arc::clone(inner),
+                    events,
+                    key,
+                    deduped: true,
+                });
+            }
+        }
+        // Admission control: bounded queue, push back when full.
+        if q.queued >= inner.config.queue_capacity {
+            inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull {
+                capacity: inner.config.queue_capacity,
+            });
+        }
+        let core = Arc::new(JobCore::new(id, sink));
+        if inner.config.dedup {
+            q.groups.insert(
+                key,
+                DedupGroup {
+                    primary: Arc::clone(&core),
+                    followers: Vec::new(),
+                },
+            );
+        }
+        q.active.insert(id, Arc::clone(&core));
+        q.bands[priority as usize].push(
+            tenant,
+            QueueEntry {
+                core: Arc::clone(&core),
+                spec,
+                key,
+            },
+        );
+        q.queued += 1;
+        let queued = q.queued as u64;
+        drop(q);
+        inner.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+        inner
+            .metrics
+            .peak_queued
+            .fetch_max(queued, Ordering::Relaxed);
+        core.sink.emit(JobEvent::Queued { id });
+        inner.available.notify_one();
+        Ok(JobHandle {
+            core,
+            inner: Arc::clone(inner),
+            events,
+            key,
+            deduped: false,
+        })
+    }
+
+    /// A scheduler-wide event stream carrying every event of every job
+    /// submitted *after* this call — the live dashboard feed.
+    pub fn subscribe(&self) -> Receiver<JobEvent> {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        self.inner
+            .queue
+            .lock()
+            .expect("scheduler queue poisoned")
+            .subscribers
+            .push(tx);
+        rx
+    }
+
+    /// Current service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let m = &self.inner.metrics;
+        MetricsSnapshot {
+            submitted: m.submitted.load(Ordering::Relaxed),
+            admitted: m.admitted.load(Ordering::Relaxed),
+            rejected: m.rejected.load(Ordering::Relaxed),
+            dedup_hits: m.dedup_hits.load(Ordering::Relaxed),
+            executed: m.executed.load(Ordering::Relaxed),
+            completed: m.completed.load(Ordering::Relaxed),
+            cancelled: m.cancelled.load(Ordering::Relaxed),
+            peak_queued: m.peak_queued.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Jobs currently queued (dead entries included until popped).
+    pub fn queued_len(&self) -> usize {
+        self.inner
+            .queue
+            .lock()
+            .expect("scheduler queue poisoned")
+            .queued
+    }
+
+    /// Stop admission, drain the queue, and join the workers. Queued
+    /// jobs still execute; call this for a graceful end of service.
+    pub fn shutdown(mut self) {
+        self.close_and_join(false);
+    }
+
+    fn close_and_join(&mut self, cancel_outstanding: bool) {
+        {
+            let mut q = self.inner.queue.lock().expect("scheduler queue poisoned");
+            q.accepting = false;
+            if cancel_outstanding {
+                for core in q.active.values() {
+                    core.cancel.cancel();
+                }
+            }
+        }
+        self.inner.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    /// Dropping the service cancels outstanding work (cooperatively, at
+    /// step boundaries) and joins the workers — every `wait()` caller
+    /// still gets a resolution, with `cancelled: true` and whatever
+    /// partial trace existed.
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.close_and_join(true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fdtd(n_steps: usize, omega_tag: f64) -> JobSpec {
+        // omega_tag varies the dedup key so tests control coalescing.
+        JobSpec::fdtd_pulse(48, 0.2, omega_tag, n_steps)
+    }
+
+    /// A job slow enough to still be running when a test cancels it:
+    /// per-step cost scales with the grid, so a wide grid makes each
+    /// step milliseconds while the trace stays small (16 B/record).
+    fn slow_blocker(omega_tag: f64) -> JobSpec {
+        JobSpec::fdtd_pulse(100_000, 0.2, omega_tag, 20_000)
+    }
+
+    fn one_worker() -> Scheduler {
+        Scheduler::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 64,
+            progress_stride: SampleStride::EVERY,
+            dedup: true,
+        })
+    }
+
+    #[test]
+    fn jobs_complete_and_report_events() {
+        let s = one_worker();
+        let h = s.submit(fdtd(12, 0.31)).unwrap();
+        let out = h.wait();
+        assert!(!out.cancelled);
+        assert_eq!(out.steps_done, 12);
+        assert_eq!(h.status(), JobStatus::Completed);
+        assert!(h.latency().is_some());
+        let events: Vec<JobEvent> = h.events().try_iter().collect();
+        assert!(matches!(events.first(), Some(JobEvent::Queued { .. })));
+        assert!(events.iter().any(|e| matches!(e, JobEvent::Started { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, JobEvent::Progress { step: 12, .. })));
+        assert!(matches!(
+            events.last(),
+            Some(JobEvent::Completed {
+                cancelled: false,
+                ..
+            })
+        ));
+        s.shutdown();
+    }
+
+    #[test]
+    fn identical_jobs_coalesce_to_one_execution() {
+        let s = one_worker();
+        // Stall the single worker so the identical batch stays queued
+        // long enough to coalesce deterministically.
+        let blocker = s.submit(slow_blocker(0.99)).unwrap();
+        let handles: Vec<JobHandle> = (0..8).map(|_| s.submit(fdtd(30, 0.41)).unwrap()).collect();
+        assert!(!handles[0].is_deduped(), "first submission is the primary");
+        assert!(handles[1..].iter().all(JobHandle::is_deduped));
+        // Free the worker, then drain the batch.
+        blocker.cancel();
+        let outputs: Vec<_> = handles.iter().map(|h| h.wait()).collect();
+        // One execution, one shared result.
+        let m = s.metrics();
+        assert_eq!(m.dedup_hits, 7);
+        for out in &outputs[1..] {
+            assert!(Arc::ptr_eq(&outputs[0], out), "result is shared, not rerun");
+        }
+        s.shutdown();
+    }
+
+    #[test]
+    fn queue_full_pushes_back() {
+        let s = Scheduler::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 2,
+            progress_stride: SampleStride::EVERY,
+            dedup: false,
+        });
+        // Occupy the worker, then fill the two queue slots.
+        let blocker = s.submit(slow_blocker(0.98)).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let a = s.submit(fdtd(5, 0.11)).unwrap();
+        let b = s.submit(fdtd(5, 0.12)).unwrap();
+        let err = s.submit(fdtd(5, 0.13)).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull { capacity: 2 });
+        assert_eq!(s.metrics().rejected, 1);
+        blocker.cancel();
+        assert!(blocker.wait().cancelled);
+        assert!(!a.wait().cancelled);
+        assert!(!b.wait().cancelled);
+        s.shutdown();
+    }
+
+    #[test]
+    fn priority_bands_and_tenant_fairness_order_execution() {
+        let s = one_worker();
+        // Stall the worker so the whole batch queues before any runs.
+        let blocker = s.submit(slow_blocker(0.97)).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let rx = s.subscribe();
+        // tenant A floods normal priority; tenant B submits one normal
+        // job and one high-priority job.
+        let a: Vec<JobHandle> = (0..3)
+            .map(|i| {
+                s.submit_for("alice", Priority::Normal, fdtd(3, 0.2 + i as f64 * 0.01))
+                    .unwrap()
+            })
+            .collect();
+        let b_normal = s
+            .submit_for("bob", Priority::Normal, fdtd(3, 0.51))
+            .unwrap();
+        let b_high = s.submit_for("bob", Priority::High, fdtd(3, 0.52)).unwrap();
+        blocker.cancel();
+        for h in a.iter().chain([&b_normal, &b_high]) {
+            h.wait();
+        }
+        let started: Vec<JobId> = rx
+            .try_iter()
+            .filter_map(|e| match e {
+                JobEvent::Started { id } => Some(id),
+                _ => None,
+            })
+            .collect();
+        // High band first; then the normal band alternates tenants
+        // (alice, bob, alice, alice) instead of draining alice's flood.
+        assert_eq!(
+            started,
+            vec![b_high.id(), a[0].id(), b_normal.id(), a[1].id(), a[2].id()]
+        );
+        s.shutdown();
+    }
+
+    #[test]
+    fn cancelling_queued_job_never_executes() {
+        let s = one_worker();
+        let blocker = s.submit(slow_blocker(0.96)).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let victim = s.submit(fdtd(50, 0.61)).unwrap();
+        victim.cancel();
+        let out = victim.wait();
+        assert!(out.cancelled);
+        assert!(matches!(out.result, JobResult::Unstarted));
+        assert_eq!(victim.status(), JobStatus::Cancelled);
+        let events: Vec<JobEvent> = victim.events().try_iter().collect();
+        assert!(
+            !events.iter().any(|e| matches!(e, JobEvent::Started { .. })),
+            "a queued-cancelled job must never start"
+        );
+        blocker.cancel();
+        blocker.wait();
+        // The worker never ran the victim.
+        assert_eq!(s.metrics().executed, 1);
+        s.shutdown();
+    }
+
+    #[test]
+    fn cancelling_running_job_yields_partial_trace() {
+        let s = one_worker();
+        let h = s.submit(slow_blocker(0.71)).unwrap();
+        // Wait until it is actually running.
+        loop {
+            if matches!(
+                h.events().try_iter().last(),
+                Some(JobEvent::Started { .. }) | Some(JobEvent::Progress { .. })
+            ) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        h.cancel();
+        let out = h.wait();
+        assert!(out.cancelled);
+        assert!(out.steps_done < 20_000, "stopped early");
+        let JobResult::Fdtd(trace) = &out.result else {
+            panic!("partial trace expected");
+        };
+        assert_eq!(trace.len(), out.steps_done, "trace is a valid prefix");
+        // The pool is not poisoned: the next job completes normally.
+        let next = s.submit(fdtd(10, 0.72)).unwrap();
+        assert!(!next.wait().cancelled);
+        s.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let s = one_worker();
+        let handles: Vec<JobHandle> = (0..5)
+            .map(|i| s.submit(fdtd(20, 0.8 + i as f64 * 0.01)).unwrap())
+            .collect();
+        s.shutdown();
+        for h in handles {
+            assert!(!h.wait().cancelled, "graceful shutdown runs queued work");
+        }
+    }
+
+    #[test]
+    fn drop_cancels_outstanding_work_without_hanging() {
+        let s = one_worker();
+        let long = s.submit(slow_blocker(0.91)).unwrap();
+        let queued = s.submit(slow_blocker(0.92)).unwrap();
+        drop(s);
+        assert!(long.wait().cancelled);
+        assert!(queued.wait().cancelled);
+    }
+}

@@ -1,0 +1,158 @@
+//! Simulation as a service: a mixed multi-tenant workload through the
+//! job scheduler, with live streamed progress.
+//!
+//! Three tenants share one service: `spectro` submits four pump–probe
+//! sweeps of the *same* material (three coalesce onto one execution via
+//! the dedup key), `dynamics` runs a MESH trace and an MD relaxation,
+//! and `optics` runs an FDTD pulse at high priority plus one long pulse
+//! that gets cancelled mid-run. The example tails the scheduler-wide
+//! event stream — queued / deduped / started / progress / cancelled /
+//! completed — and closes with the service metrics.
+//!
+//! ```sh
+//! cargo run --release --example serve_jobs
+//! ```
+
+use mlmd::core::config::PipelineConfig;
+use mlmd::core::engine::SampleStride;
+use mlmd::service::{JobEvent, JobResult, JobSpec, Priority, Scheduler, ServiceConfig};
+
+fn main() {
+    let scheduler = Scheduler::new(ServiceConfig {
+        workers: 2,
+        queue_capacity: 16,
+        progress_stride: SampleStride::new(2),
+        dedup: true,
+    });
+    let feed = scheduler.subscribe();
+
+    let mut material = PipelineConfig::small_demo();
+    material.cells = (4, 4, 1);
+    material.prepare_steps = 2;
+    material.mesh_steps = 4;
+    material.response_steps = 10;
+
+    println!("submitting the mixed workload:\n");
+    // Tenant "spectro": four identical sweeps — one runs, three coalesce.
+    let sweeps: Vec<_> = (0..4)
+        .map(|_| {
+            scheduler
+                .submit_for(
+                    "spectro",
+                    Priority::Normal,
+                    JobSpec::pump_probe_sweep(material, vec![0.05, 0.1]),
+                )
+                .expect("admitted")
+        })
+        .collect();
+    // Tenant "dynamics": a MESH trace and an MD relaxation.
+    let mesh = scheduler
+        .submit_for(
+            "dynamics",
+            Priority::Normal,
+            JobSpec::mesh_run(material, 0.08, 4),
+        )
+        .expect("admitted");
+    let md = scheduler
+        .submit_for(
+            "dynamics",
+            Priority::Low,
+            JobSpec::md_run(material, 0.2, 20),
+        )
+        .expect("admitted");
+    // Tenant "optics": a latency-sensitive FDTD pulse, plus a long pulse
+    // that will be cancelled mid-run.
+    let pulse = scheduler
+        .submit_for(
+            "optics",
+            Priority::High,
+            JobSpec::fdtd_pulse(128, 0.2, 0.3, 40),
+        )
+        .expect("admitted");
+    let doomed = scheduler
+        .submit_for(
+            "optics",
+            Priority::Low,
+            JobSpec::fdtd_pulse(100_000, 0.2, 0.3, 50_000),
+        )
+        .expect("admitted");
+
+    // Let the service work; cancel the long pulse once it reports
+    // progress (a cooperative stop on a step boundary).
+    let mut cancelled_doomed = false;
+    loop {
+        let event = feed.recv().expect("scheduler alive");
+        match event {
+            JobEvent::Queued { id } => println!("  {id}: queued"),
+            JobEvent::Deduped { id, primary } => {
+                println!("  {id}: deduped onto {primary} (identical material + measurement)")
+            }
+            JobEvent::Started { id } => println!("  {id}: started"),
+            JobEvent::Progress {
+                id,
+                run,
+                step,
+                of,
+                time_fs,
+            } => {
+                println!("  {id}: run {run} step {step}/{of} (t = {time_fs:.2} fs)");
+                if id == doomed.id() && !cancelled_doomed {
+                    println!("  {id}: -> cancelling mid-run");
+                    doomed.cancel();
+                    cancelled_doomed = true;
+                }
+            }
+            JobEvent::Cancelled { id } => println!("  {id}: cancelled"),
+            JobEvent::Completed { id, cancelled } => {
+                println!("  {id}: completed (cancelled: {cancelled})");
+                if id == doomed.id() {
+                    break; // the long pulse is the last to resolve
+                }
+            }
+        }
+    }
+
+    println!("\nresults:");
+    for (i, handle) in sweeps.iter().enumerate() {
+        let out = handle.wait();
+        let JobResult::PumpProbe(runs) = &out.result else {
+            unreachable!()
+        };
+        println!(
+            "  sweep {i} ({}): {} amplitudes, peak n_exc {:.4}{}",
+            handle.id(),
+            runs.len(),
+            runs.last().map(|r| r.n_exc_peak).unwrap_or(0.0),
+            if handle.is_deduped() {
+                "  [shared execution]"
+            } else {
+                ""
+            },
+        );
+    }
+    let out = mesh.wait();
+    if let JobResult::Mesh(trace) = &out.result {
+        println!("  mesh ({}): {} records", mesh.id(), trace.len());
+    }
+    let out = md.wait();
+    if let JobResult::Md(trace) = &out.result {
+        println!("  md   ({}): {} records", md.id(), trace.len());
+    }
+    let out = pulse.wait();
+    if let JobResult::Fdtd(trace) = &out.result {
+        println!("  fdtd ({}): {} records", pulse.id(), trace.len());
+    }
+    let out = doomed.wait();
+    println!(
+        "  long pulse ({}): cancelled after {} of 50000 steps (partial trace kept)",
+        doomed.id(),
+        out.steps_done
+    );
+
+    let m = scheduler.metrics();
+    println!(
+        "\nservice metrics: submitted {}, executed {}, dedup hits {}, cancelled {}, peak queue {}",
+        m.submitted, m.executed, m.dedup_hits, m.cancelled, m.peak_queued
+    );
+    scheduler.shutdown();
+}

@@ -37,6 +37,12 @@ cargo bench -p mlmd-bench --bench mesh_scaling -- --test
 echo "==> cargo bench -p mlmd-bench --bench warm_start -- --test  (smoke)"
 cargo bench -p mlmd-bench --bench warm_start -- --test
 
+echo "==> cargo test -q --test service_scheduler  (job service: ordering, dedup, cancellation, backpressure)"
+cargo test -q --test service_scheduler
+
+echo "==> cargo bench -p mlmd-bench --bench service_load -- --test  (smoke)"
+cargo bench -p mlmd-bench --bench service_load -- --test
+
 echo "==> cargo doc --no-deps  (warnings as errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

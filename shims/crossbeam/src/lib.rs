@@ -148,6 +148,13 @@ pub mod channel {
             q.items.pop_front().ok_or(RecvError)
         }
 
+        /// Non-blocking iterator over the messages currently available —
+        /// mirrors crossbeam's `try_iter`: yields until the queue is
+        /// empty, never waits for senders.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+
         /// Blocks until a message is available, every sender is gone, or
         /// `timeout` elapses.
         pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
@@ -170,9 +177,34 @@ pub mod channel {
         }
     }
 
+    /// Iterator returned by [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.try_recv().ok()
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
+
+        #[test]
+        fn try_iter_drains_without_blocking() {
+            let (s, r) = unbounded();
+            for i in 0..5 {
+                s.send(i).unwrap();
+            }
+            let drained: Vec<i32> = r.try_iter().collect();
+            assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+            // Empty queue with a live sender: yields nothing, returns.
+            assert_eq!(r.try_iter().next(), None);
+        }
 
         #[test]
         fn fifo_order() {

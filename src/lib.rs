@@ -13,8 +13,10 @@
 //!   with Allegro-lite equivariant potentials.
 //!
 //! plus [`topo`] (topological superlattice analysis), [`exasim`] (the
-//! simulated-Aurora performance model behind the scaling figures), and
-//! [`core`] (the DCR/MSA orchestration pipeline of Fig. 3).
+//! simulated-Aurora performance model behind the scaling figures),
+//! [`core`] (the DCR/MSA orchestration pipeline of Fig. 3), and
+//! [`service`] (the multi-tenant job service: bounded priority queue,
+//! cross-request dedup, cooperative cancellation, streamed progress).
 //!
 //! ## Quickstart
 //!
@@ -39,4 +41,5 @@ pub use mlmd_nnqmd as nnqmd;
 pub use mlmd_numerics as numerics;
 pub use mlmd_parallel as parallel;
 pub use mlmd_qxmd as qxmd;
+pub use mlmd_service as service;
 pub use mlmd_topo as topo;
