@@ -1,0 +1,125 @@
+//! Criterion bench: calibration and ahead-of-time planning.
+//!
+//! Two timed groups — `calibrate_quick` (the probe-workload fit end to
+//! end) and `plan` (the pure-arithmetic inversion the scheduler runs on
+//! every submission, which must stay microseconds-scale) — followed by
+//! the acceptance measurement behind `BENCH_pr8.json`: fit this host,
+//! admit a small-fixture MESH job through a planner-gated scheduler,
+//! and report predicted vs measured wall-clock plus the admission gate
+//! exercising both verdicts. Acceptance: the measured/predicted ratio
+//! stays within the 2× band and the oversized job is refused.
+
+use criterion::{criterion_group, Criterion};
+use mlmd_core::config::PipelineConfig;
+use mlmd_core::engine::SampleStride;
+use mlmd_exasim::calibrate::{calibrate, CalibrationConfig, FIXTURE_E0};
+use mlmd_exasim::planner::{PlanLimits, Planner};
+use mlmd_exasim::Machine;
+use mlmd_service::{JobSpec, Scheduler, ServiceConfig, SubmitError};
+
+fn fixture_material() -> PipelineConfig {
+    let mut cfg = PipelineConfig::small_demo();
+    cfg.cells = (4, 4, 1);
+    cfg.prepare_steps = 0;
+    cfg
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner");
+    group.sample_size(10);
+
+    group.bench_function("calibrate_quick", |b| {
+        b.iter(|| calibrate(&CalibrationConfig::quick()));
+    });
+
+    let cal = calibrate(&CalibrationConfig::quick());
+    let planner = Planner::new(Machine::from_calibration(&cal), cal);
+    let job = JobSpec::mesh_run(fixture_material(), FIXTURE_E0, 6).plan_job();
+    group.bench_function("plan", |b| {
+        b.iter(|| planner.plan(&job));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner);
+
+fn main() {
+    benches();
+
+    // The acceptance measurement behind BENCH_pr8.json. `--test` (the CI
+    // bench smoke) shortens the measured job to stay seconds-scale.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let steps = if test_mode { 8 } else { 24 };
+
+    let cal = calibrate(&CalibrationConfig::quick());
+    let planner = Planner::new(Machine::from_calibration(&cal), cal).with_limits(PlanLimits {
+        max_wall_secs: 600.0,
+        max_cost_rank_secs: 2400.0,
+        ..PlanLimits::default()
+    });
+    let scheduler = Scheduler::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 16,
+        progress_stride: SampleStride::new(100),
+        dedup: true,
+        planner: Some(planner),
+    });
+
+    // The gate must refuse oversized work with the typed verdict…
+    let refused = scheduler.submit(JobSpec::mesh_run(
+        fixture_material(),
+        FIXTURE_E0,
+        10_000_000,
+    ));
+    assert!(
+        matches!(refused, Err(SubmitError::PlanRejected(_))),
+        "oversized job must be plan-rejected, got {refused:?}"
+    );
+    // …and admit + predict the right-sized fixture run.
+    let job = scheduler
+        .submit(JobSpec::mesh_run(fixture_material(), FIXTURE_E0, steps))
+        .expect("fixture job admitted");
+    let plan = job.plan().expect("admitted job carries its plan");
+    let out = job.wait();
+    assert!(!out.cancelled);
+    let m = scheduler.metrics();
+    scheduler.shutdown();
+    let ratio = m.actual_secs / m.predicted_secs;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "measured {} s vs predicted {} s: ratio {ratio} outside the 2x band",
+        m.actual_secs,
+        m.predicted_secs
+    );
+
+    println!("planner acceptance report (BENCH_pr8.json schema):");
+    println!("{{");
+    println!("  \"bench\": \"planner\",");
+    println!("  \"mesh_steps\": {steps},");
+    println!("  \"calibration\": {{");
+    println!("    \"alpha_s\": {:.3e},", cal.alpha);
+    println!("    \"beta_s_per_byte\": {:.3e},", cal.beta);
+    println!("    \"mesh_step_s\": {:.6},", cal.mesh_step);
+    println!("    \"construct_cold_s\": {:.6},", cal.construct_cold);
+    println!("    \"construct_warm_s\": {:.6},", cal.construct_warm);
+    println!(
+        "    \"dist_step_s\": [{:.6}, {:.6}, {:.6}],",
+        cal.dist_step[0], cal.dist_step[1], cal.dist_step[2]
+    );
+    println!("    \"md_atom_step_s\": {:.3e},", cal.md_atom_step);
+    println!("    \"fdtd_cell_step_s\": {:.3e}", cal.fdtd_cell_step);
+    println!("  }},");
+    println!(
+        "  \"plan\": {{ \"ranks_per_domain\": {}, \"batch_width\": {}, \"sample_stride\": {} }},",
+        plan.ranks_per_domain
+            .map_or("null".to_string(), |r| r.to_string()),
+        plan.batch_width,
+        plan.sample_stride
+    );
+    println!("  \"predicted_secs\": {:.6},", m.predicted_secs);
+    println!("  \"actual_secs\": {:.6},", m.actual_secs);
+    println!("  \"actual_over_predicted\": {ratio:.4},");
+    println!("  \"plan_rejected\": {}", m.plan_rejected);
+    println!("}}");
+}

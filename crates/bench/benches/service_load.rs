@@ -31,6 +31,7 @@ fn service_config() -> ServiceConfig {
         queue_capacity: 32,
         progress_stride: SampleStride::new(100),
         dedup: true,
+        planner: None,
     }
 }
 

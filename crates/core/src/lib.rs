@@ -15,13 +15,18 @@
 //!   superlattice → DC-MESH femtosecond pulse → XS-NNQMD large-scale
 //!   dynamics → topological-switching verdict, rebuilt as engine runs
 //!   (the pump–probe pair executes as one [`engine::RunPlan`] batch).
+//! * [`probe`] — [`probe::CostProbe`], a wall-clock probe on the
+//!   `Observer` seam whose per-step report feeds `mlmd-exasim`'s
+//!   calibration harness.
 //! * [`config`] — run configuration.
 
 pub mod config;
 pub mod engine;
 pub mod msa;
 pub mod pipeline;
+pub mod probe;
 
 pub use config::PipelineConfig;
 pub use engine::{Engine, Observer, RunPlan, SampleStride, Stepper};
 pub use pipeline::{Pipeline, PipelineOutcome};
+pub use probe::{CostProbe, CostProbeReport};

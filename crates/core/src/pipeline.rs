@@ -56,6 +56,14 @@ use mlmd_topo::polarization::PolarizationField;
 use mlmd_topo::superlattice::Texture;
 use mlmd_topo::switching::{compare, SwitchingVerdict, TextureReport};
 
+/// Edge length of the MESH stage's cubic FD grid — every pipeline MESH
+/// run (and the calibration fixture) uses this one domain shape.
+pub const MESH_STAGE_EDGE: usize = 8;
+/// FD grid points of the MESH stage ([`MESH_STAGE_EDGE`]³).
+pub const MESH_STAGE_NGRID: usize = MESH_STAGE_EDGE * MESH_STAGE_EDGE * MESH_STAGE_EDGE;
+/// KS states in the MESH stage's panel (2 occupied + 6 virtual).
+pub const MESH_STAGE_NORB: usize = 8;
+
 /// One point of the response-stage trajectory.
 #[derive(Clone, Copy, Debug)]
 pub struct ResponsePoint {
@@ -185,10 +193,10 @@ impl Pipeline {
     /// amplitude does not enter the ground-state config hash.
     pub fn mesh_stage_builder(&self, e0: f64) -> MeshDriverBuilder {
         let cfg = self.config;
-        let grid = Grid3::new(8, 8, 8, 0.5);
+        let grid = Grid3::new(MESH_STAGE_EDGE, MESH_STAGE_EDGE, MESH_STAGE_EDGE, 0.5);
         // 8-state panel, 2 occupied + 6 virtual (see MeshDriver docs).
-        let wf = WaveFunctions::plane_waves(grid, 8);
-        let occ = Occupations::aufbau(8, 4.0);
+        let wf = WaveFunctions::plane_waves(grid, MESH_STAGE_NORB);
+        let occ = Occupations::aufbau(MESH_STAGE_NORB, 4.0);
         let params = FerroParams::pbtio3();
         let u_star = ((3.0 * params.j_nn - params.a2) / (2.0 * params.a4)).sqrt();
         let qm_lat = PerovskiteLattice::uniform(3, 3, 3, Vec3::new(0.0, 0.0, u_star));

@@ -1,0 +1,453 @@
+//! Measured calibration of the cost model: the loop-closing half of the
+//! ROADMAP item "calibrate exasim from measured numbers".
+//!
+//! [`Machine`](crate::Machine) stays the *analytic shape* of a machine (rooflines, α–β
+//! network, congestion exponent); [`Calibration`] is the *fitted* side —
+//! numbers measured on the host this process runs on, by driving the
+//! same fixture workloads the oracle suites pin:
+//!
+//! * α/β from [`mlmd_parallel::comm::World::run_probed`] counters over
+//!   `allreduce_sum_vec` probes at two payload sizes;
+//! * the serial MESH per-MD-step kernel time from a
+//!   [`mlmd_core::probe::CostProbe`] over the canonical
+//!   [`mlmd_dcmesh::fixture::small_mesh_builder`] driver (the same
+//!   8³-grid / 8-state problem `Pipeline::mesh_stage_builder` builds, so
+//!   the fit transfers to service mesh jobs);
+//! * cold vs warm-start construction from timing the ground-state
+//!   descent against a [`GroundStateCache`] hit;
+//! * the distributed per-step and fixed-envelope terms per
+//!   ranks-per-domain rung from two `run_distributed_mesh` runs of
+//!   different lengths (the difference quotient cancels construction);
+//! * per-atom MD and per-cell FDTD step costs from short engine runs.
+//!
+//! A `Calibration` is plain `Copy` data with a deterministic, versioned
+//! byte codec ([`Calibration::encode`]/[`Calibration::decode`]) so a fit
+//! can be persisted and round-trips bit-for-bit.
+
+use mlmd_core::config::PipelineConfig;
+use mlmd_core::engine::{Engine, NullObserver};
+use mlmd_core::pipeline::Pipeline;
+use mlmd_core::probe::{time_secs, CostProbe};
+use mlmd_dcmesh::checkpoint::{GroundStateCache, WarmStart};
+use mlmd_dcmesh::dist_mesh::run_distributed_mesh;
+use mlmd_dcmesh::fixture::small_mesh_builder;
+use mlmd_maxwell::driver::PulsedYee;
+use mlmd_maxwell::source::GaussianPulse;
+use mlmd_maxwell::yee1d::Yee1d;
+use mlmd_numerics::codec::{ByteReader, ByteWriter, CodecError, Fnv64};
+use mlmd_parallel::comm::{CollectiveOp, World};
+
+/// Grid points of the canonical MESH fixture (8³).
+pub const FIXTURE_NGRID: usize = 512;
+/// Orbital states of the canonical MESH fixture.
+pub const FIXTURE_NORB: usize = 8;
+/// QD steps per MD step in the canonical MESH fixture.
+pub const FIXTURE_N_QD: usize = 30;
+/// Pulse amplitude the probe workloads run at.
+pub const FIXTURE_E0: f64 = 0.05;
+
+/// The ranks-per-domain rungs the distributed fit measures — the same
+/// 1/2/4 ladder every oracle suite pins bit-identity on.
+pub const RPD_LADDER: [usize; 3] = [1, 2, 4];
+
+/// Relative QD-step work of an (ngrid, norb) MESH domain, in the same
+/// kernel decomposition `DcMeshModel::qd_step_flops` uses (kin + five
+/// GEMM pairs + streaming local passes). Only ratios of this quantity
+/// are meaningful — it scales a measured fixture step time to another
+/// problem shape.
+pub fn qd_work(ngrid: usize, norb: usize) -> f64 {
+    let (g, o) = (ngrid as f64, norb as f64);
+    6.0 * g * o * 28.0 + 80.0 * g * o * o + 40.0 * g * o
+}
+
+/// Fitted cost terms, measured on the machine this process runs on.
+/// All fields are seconds (or s/B for `beta`); see [`calibrate`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Calibration {
+    /// Per-collective latency: mean wall of a 1-element
+    /// `allreduce_sum_vec` on the probe world (s/op).
+    pub alpha: f64,
+    /// Marginal per-byte collective cost (s/B), clamped at 0.
+    pub beta: f64,
+    /// Serial MESH per-MD-step time on the canonical fixture (s).
+    pub mesh_step: f64,
+    /// QD steps per MD step the fixture ran with (`mesh_step`'s divisor).
+    pub n_qd: f64,
+    /// Cold driver construction: ground-state descent + assembly (s).
+    pub construct_cold: f64,
+    /// Warm-start construction: cache hit + assembly (s).
+    pub construct_warm: f64,
+    /// Distributed per-MD-step time at 1/2/4 ranks per domain
+    /// ([`RPD_LADDER`] order), fitted by a two-run difference quotient.
+    pub dist_step: [f64; 3],
+    /// Fixed per-run envelope (world spawn + in-world construction) at
+    /// 1/2/4 ranks per domain, from the same fit.
+    pub dist_fixed: [f64; 3],
+    /// Supercell MD cost per atom per step (s).
+    pub md_atom_step: f64,
+    /// FDTD cost per Yee cell per step (s).
+    pub fdtd_cell_step: f64,
+}
+
+impl Calibration {
+    /// Serial per-QD-step time on the fixture.
+    pub fn qd_step(&self) -> f64 {
+        self.mesh_step / self.n_qd
+    }
+
+    /// Fitted per-MD-step time for ranks-per-domain `rpd`, if `rpd` is
+    /// on the measured [`RPD_LADDER`].
+    pub fn dist_step_for(&self, rpd: usize) -> Option<f64> {
+        RPD_LADDER
+            .iter()
+            .position(|&r| r == rpd)
+            .map(|i| self.dist_step[i])
+    }
+
+    /// Fixed per-run envelope for ranks-per-domain `rpd`, if measured.
+    pub fn dist_fixed_for(&self, rpd: usize) -> Option<f64> {
+        RPD_LADDER
+            .iter()
+            .position(|&r| r == rpd)
+            .map(|i| self.dist_fixed[i])
+    }
+
+    /// Scale the measured fixture MD-step time to another MESH problem
+    /// shape: kernel work scales by the [`qd_work`] ratio, the inner
+    /// loop by the QD-step count ratio.
+    pub fn mesh_step_scaled(&self, ngrid: usize, norb: usize, n_qd: usize) -> f64 {
+        let work_ratio = qd_work(ngrid, norb) / qd_work(FIXTURE_NGRID, FIXTURE_NORB);
+        self.mesh_step * work_ratio * (n_qd as f64 / self.n_qd)
+    }
+
+    fn fields(&self) -> [f64; 14] {
+        [
+            self.alpha,
+            self.beta,
+            self.mesh_step,
+            self.n_qd,
+            self.construct_cold,
+            self.construct_warm,
+            self.dist_step[0],
+            self.dist_step[1],
+            self.dist_step[2],
+            self.dist_fixed[0],
+            self.dist_fixed[1],
+            self.dist_fixed[2],
+            self.md_atom_step,
+            self.fdtd_cell_step,
+        ]
+    }
+
+    /// Versioned, digest-checked byte encoding. Deterministic: the same
+    /// calibration always produces the same bytes, and
+    /// [`Self::decode`] restores every field bit-for-bit.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(CAL_MAGIC);
+        let fields = self.fields();
+        w.put_u32(fields.len() as u32);
+        let mut digest = Fnv64::new();
+        for v in fields {
+            w.put_f64(v);
+            digest.write_f64(v);
+        }
+        w.put_u64(digest.finish());
+        w.into_bytes()
+    }
+
+    /// Decode [`Self::encode`] bytes; rejects a wrong magic, field
+    /// count, or digest rather than silently mis-reading.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.take_u64()?;
+        if magic != CAL_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let n = r.take_u32()? as usize;
+        if n != 14 {
+            return Err(CodecError::BadMagic);
+        }
+        let mut fields = [0.0f64; 14];
+        let mut digest = Fnv64::new();
+        for f in fields.iter_mut() {
+            *f = r.take_f64()?;
+            digest.write_f64(*f);
+        }
+        let want = r.take_u64()?;
+        if want != digest.finish() {
+            return Err(CodecError::BadDigest);
+        }
+        Ok(Self {
+            alpha: fields[0],
+            beta: fields[1],
+            mesh_step: fields[2],
+            n_qd: fields[3],
+            construct_cold: fields[4],
+            construct_warm: fields[5],
+            dist_step: [fields[6], fields[7], fields[8]],
+            dist_fixed: [fields[9], fields[10], fields[11]],
+            md_atom_step: fields[12],
+            fdtd_cell_step: fields[13],
+        })
+    }
+}
+
+/// `b"MLMDCAL1"` as a big-endian u64: format magic + version.
+const CAL_MAGIC: u64 = u64::from_be_bytes(*b"MLMDCAL1");
+
+/// Probe workload sizes for [`calibrate`]. The defaults fit a full
+/// profile in a couple of seconds on the 1-CPU CI container;
+/// [`CalibrationConfig::quick`] trades fidelity for speed in tests.
+#[derive(Clone, Copy, Debug)]
+pub struct CalibrationConfig {
+    /// Ranks of the collective probe world.
+    pub probe_ranks: usize,
+    /// `allreduce_sum_vec` repetitions per payload size.
+    pub collective_rounds: usize,
+    /// Elements (f64) of the large collective payload.
+    pub payload_len: usize,
+    /// Serial MESH MD steps to average the per-step time over.
+    pub mesh_steps: usize,
+    /// Base MD-step count of the distributed fit (runs `s` and `2s`).
+    pub dist_steps: usize,
+    /// Supercell MD probe steps.
+    pub md_steps: usize,
+    /// FDTD probe cells and steps.
+    pub fdtd_cells: usize,
+    pub fdtd_steps: usize,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        Self {
+            probe_ranks: 2,
+            collective_rounds: 64,
+            payload_len: 4096,
+            mesh_steps: 4,
+            dist_steps: 2,
+            md_steps: 50,
+            fdtd_cells: 256,
+            fdtd_steps: 200,
+        }
+    }
+}
+
+impl CalibrationConfig {
+    /// A cheaper profile for tests and bench smokes: fewer rounds and
+    /// steps, same structure.
+    pub fn quick() -> Self {
+        Self {
+            collective_rounds: 16,
+            payload_len: 1024,
+            mesh_steps: 2,
+            dist_steps: 1,
+            md_steps: 20,
+            fdtd_steps: 100,
+            ..Self::default()
+        }
+    }
+}
+
+/// Mean per-op wall of the `AllreduceSumVec` row on world comm 0.
+fn probed_allreduce_mean(ranks: usize, rounds: usize, len: usize) -> f64 {
+    let (_, rows) = World::run_probed(ranks, |c| {
+        for _ in 0..rounds {
+            c.allreduce_sum_vec(vec![1.0; len]);
+        }
+    });
+    rows.iter()
+        .find(|r| r.comm == 0 && r.op == CollectiveOp::AllreduceSumVec)
+        .map(|r| r.stats.mean_wall_secs())
+        .unwrap_or(0.0)
+}
+
+/// Run the probe workloads and fit a [`Calibration`].
+///
+/// Everything measured here drives the *same* fixture problem the
+/// bit-for-bit oracle suites pin, so the planner's predictions are about
+/// execution forms that are already known to agree on results.
+pub fn calibrate(cfg: &CalibrationConfig) -> Calibration {
+    // --- α/β: collective latency and marginal bandwidth ----------------
+    let small = probed_allreduce_mean(cfg.probe_ranks, cfg.collective_rounds, 1);
+    let large = probed_allreduce_mean(cfg.probe_ranks, cfg.collective_rounds, cfg.payload_len);
+    let alpha = small.max(0.0);
+    let payload_bytes = (cfg.payload_len.saturating_sub(1) * 8) as f64;
+    let beta = ((large - small) / payload_bytes).max(0.0);
+
+    // --- serial MESH: construction (cold/warm) + per-step kernel -------
+    let cache = GroundStateCache::new();
+    let warmed = |e0: f64| small_mesh_builder(e0).warm_start(WarmStart::InMemory(cache.clone()));
+    let (driver, construct_cold) = time_secs(|| warmed(FIXTURE_E0).build());
+    drop(driver);
+    let (mut driver, construct_warm) = time_secs(|| warmed(FIXTURE_E0).build());
+    let mut probe = CostProbe::new(NullObserver);
+    Engine::run(&mut driver, cfg.mesh_steps, &mut probe);
+    let mesh_step = probe.report("serial_mesh").step_secs_mean;
+
+    // --- distributed MESH: per-step + fixed envelope per rpd rung ------
+    // Two runs of s and 2s steps: the difference quotient cancels the
+    // world-spawn + construction envelope, which the short run then
+    // isolates. Warm starts keep the envelope about assembly, not descent.
+    let s = cfg.dist_steps.max(1);
+    let mut dist_step = [0.0; 3];
+    let mut dist_fixed = [0.0; 3];
+    for (i, &rpd) in RPD_LADDER.iter().enumerate() {
+        let (_, t1) = time_secs(|| run_distributed_mesh(1, rpd, s, |_| warmed(FIXTURE_E0)));
+        let (_, t2) = time_secs(|| run_distributed_mesh(1, rpd, 2 * s, |_| warmed(FIXTURE_E0)));
+        let step = ((t2 - t1) / s as f64).max(0.0);
+        dist_step[i] = step;
+        dist_fixed[i] = (t1 - s as f64 * step).max(0.0);
+    }
+
+    // --- supercell MD: per-atom per-step cost --------------------------
+    let mut md_config = PipelineConfig::small_demo();
+    md_config.cells = (4, 4, 1);
+    md_config.prepare_steps = 0;
+    let atoms = md_config.n_atoms() as f64;
+    let pipeline = Pipeline::new(md_config);
+    let mut stage = pipeline.supercell_md_stage(0.0);
+    let mut probe = CostProbe::new(NullObserver);
+    Engine::run(&mut stage, cfg.md_steps, &mut probe);
+    let md_atom_step = probe.report("supercell_md").step_secs_mean / atoms;
+
+    // --- FDTD: per-cell per-step cost ----------------------------------
+    let field = Yee1d::new(cfg.fdtd_cells, 0.02, 0.009);
+    let mut yee = PulsedYee::new(
+        field,
+        GaussianPulse::new(0.1, 0.8, 4.0, 2.0),
+        cfg.fdtd_cells / 2,
+    );
+    let mut probe = CostProbe::new(NullObserver);
+    Engine::run(&mut yee, cfg.fdtd_steps, &mut probe);
+    let fdtd_cell_step = probe.report("fdtd").step_secs_mean / cfg.fdtd_cells as f64;
+
+    Calibration {
+        alpha,
+        beta,
+        mesh_step,
+        n_qd: FIXTURE_N_QD as f64,
+        construct_cold,
+        construct_warm,
+        dist_step,
+        dist_fixed,
+        md_atom_step,
+        fdtd_cell_step,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_calibration_is_sane() {
+        let cal = calibrate(&CalibrationConfig::quick());
+        assert!(cal.alpha >= 0.0 && cal.alpha.is_finite());
+        assert!(cal.beta >= 0.0 && cal.beta.is_finite());
+        assert!(cal.mesh_step > 0.0, "fixture steps take real time");
+        assert!(cal.construct_cold > 0.0);
+        assert!(
+            cal.construct_warm <= cal.construct_cold * 2.0,
+            "warm start ({}) must not dwarf the cold descent ({})",
+            cal.construct_warm,
+            cal.construct_cold
+        );
+        for (step, fixed) in cal.dist_step.iter().zip(&cal.dist_fixed) {
+            assert!(step.is_finite() && *step >= 0.0);
+            assert!(fixed.is_finite() && *fixed >= 0.0);
+        }
+        assert!(cal.md_atom_step > 0.0);
+        assert!(cal.fdtd_cell_step > 0.0);
+    }
+
+    #[test]
+    fn codec_roundtrip_is_bit_exact() {
+        let cal = Calibration {
+            alpha: 3.5e-6,
+            beta: 4.1e-11,
+            mesh_step: 0.0123,
+            n_qd: 30.0,
+            construct_cold: 0.004,
+            construct_warm: 0.0007,
+            dist_step: [0.013, 0.021, 0.038],
+            dist_fixed: [0.002, 0.003, 0.006],
+            md_atom_step: 2.0e-7,
+            fdtd_cell_step: 3.0e-9,
+        };
+        let bytes = cal.encode();
+        let back = Calibration::decode(&bytes).unwrap();
+        for (a, b) in cal.fields().iter().zip(back.fields()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(bytes, back.encode(), "encoding is deterministic");
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let cal = Calibration {
+            alpha: 1e-6,
+            beta: 1e-11,
+            mesh_step: 0.01,
+            n_qd: 30.0,
+            construct_cold: 0.004,
+            construct_warm: 0.001,
+            dist_step: [0.01, 0.02, 0.04],
+            dist_fixed: [0.0; 3],
+            md_atom_step: 1e-7,
+            fdtd_cell_step: 1e-9,
+        };
+        let mut bytes = cal.encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(Calibration::decode(&bytes).is_err());
+        assert!(Calibration::decode(&bytes[..10]).is_err());
+        assert!(Calibration::decode(b"junk").is_err());
+    }
+
+    #[test]
+    fn mesh_step_scaling_is_work_proportional() {
+        let cal = Calibration {
+            alpha: 0.0,
+            beta: 0.0,
+            mesh_step: 1.0,
+            n_qd: FIXTURE_N_QD as f64,
+            construct_cold: 0.0,
+            construct_warm: 0.0,
+            dist_step: [0.0; 3],
+            dist_fixed: [0.0; 3],
+            md_atom_step: 0.0,
+            fdtd_cell_step: 0.0,
+        };
+        // Same shape, same n_qd → identity.
+        let same = cal.mesh_step_scaled(FIXTURE_NGRID, FIXTURE_NORB, FIXTURE_N_QD);
+        assert!((same - 1.0).abs() < 1e-12);
+        // Double the QD loop → double the step.
+        let deeper = cal.mesh_step_scaled(FIXTURE_NGRID, FIXTURE_NORB, 2 * FIXTURE_N_QD);
+        assert!((deeper - 2.0).abs() < 1e-12);
+        // More grid points → more work, superlinear in orbitals.
+        assert!(cal.mesh_step_scaled(2 * FIXTURE_NGRID, FIXTURE_NORB, FIXTURE_N_QD) > 1.9);
+        assert!(cal.mesh_step_scaled(FIXTURE_NGRID, 2 * FIXTURE_NORB, FIXTURE_N_QD) > 2.0);
+    }
+
+    #[test]
+    fn ladder_lookups() {
+        let mut cal = Calibration {
+            alpha: 0.0,
+            beta: 0.0,
+            mesh_step: 0.3,
+            n_qd: 30.0,
+            construct_cold: 0.0,
+            construct_warm: 0.0,
+            dist_step: [1.0, 2.0, 3.0],
+            dist_fixed: [0.1, 0.2, 0.3],
+            md_atom_step: 0.0,
+            fdtd_cell_step: 0.0,
+        };
+        assert_eq!(cal.dist_step_for(2), Some(2.0));
+        assert_eq!(cal.dist_fixed_for(4), Some(0.3));
+        assert_eq!(cal.dist_step_for(3), None);
+        cal.n_qd = 30.0;
+        assert!((cal.qd_step() - 0.01).abs() < 1e-12);
+    }
+}

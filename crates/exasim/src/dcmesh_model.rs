@@ -55,6 +55,22 @@ impl DcMeshModel {
         }
     }
 
+    /// The laptop fixture's domain shape on `machine` — what a
+    /// [`crate::calibrate::Calibration`]-profiled container actually
+    /// runs, so model predictions and measured fixture times are about
+    /// the same problem.
+    pub fn fixture_config(machine: Machine) -> Self {
+        Self {
+            machine,
+            norb: crate::calibrate::FIXTURE_NORB,
+            ngrid: crate::calibrate::FIXTURE_NGRID,
+            n_qd: crate::calibrate::FIXTURE_N_QD,
+            precision: GemmPrecision::Fp64,
+            overlap: 1.0,
+            md_fixed_per_rank: 0.0,
+        }
+    }
+
     /// Unique electrons represented per rank.
     pub fn electrons_per_rank(&self) -> f64 {
         self.norb as f64 / self.overlap

@@ -18,29 +18,41 @@
 //!   of Figs. 4 and 5, and the time-to-solution comparisons of
 //!   Tables I and II ([`sota`]).
 //!
-//! Everything is pure arithmetic: no randomness, no wall clock — the same
-//! inputs always print the same tables.
+//! The analytic side ([`machine`], [`dcmesh_model`], [`nnqmd_model`],
+//! [`scaling`], [`sota`]) is pure arithmetic: no randomness, no wall
+//! clock — the same inputs always print the same tables.
 //!
-//! # Where the model's inputs come from
+//! # The measured side: calibration and planning
 //!
 //! The FLOP counts mirror the instrumented kernels (`mlmd-numerics`
 //! `FlopCounter` totals through the LFD propagators), and the
 //! communication terms are shaped after the *measured* collective
-//! patterns of the distributed drivers: the `dc_scaling` and
-//! `mesh_scaling` bench groups time the real per-iteration allgathers,
-//! allreduces, and split/retire cycles of `DistributedDcScf` and
-//! `DistributedMeshDriver` on simulated-MPI worlds (see
-//! `docs/BENCHMARKS.md` — on the 1-CPU CI container those numbers are
-//! pure communication overhead, exactly the quantity an α–β network
-//! term needs). Feeding those measured costs into this model, in place
-//! of its analytic estimates, is the standing ROADMAP item for closing
-//! the loop between the simulated and extrapolated machines.
+//! patterns of the distributed drivers. Since PR 8 the loop is closed in
+//! code, not only in shape:
+//!
+//! * [`calibrate()`](calibrate::calibrate) runs short probe workloads on the canonical fixture
+//!   (via `mlmd_parallel::comm::World::run_probed` collective counters
+//!   and `mlmd_core::probe::CostProbe` step timings) and fits a
+//!   [`calibrate::Calibration`]: α/β, serial and distributed per-step
+//!   times, cold/warm construction, per-atom MD and per-cell FDTD costs.
+//!   [`Machine::from_calibration`] turns a fit into a container machine
+//!   profile alongside the analytic [`Machine::aurora`].
+//! * [`planner`] inverts the calibrated model: given a job's workload
+//!   shape, [`planner::Planner::plan`] enumerates feasible
+//!   (ranks-per-domain, batch width, sampling stride) choices, predicts
+//!   wall-clock and queue cost, and returns a [`planner::RunPlan`] plus
+//!   a [`planner::PlanVerdict`] — what `mlmd-service` consults at
+//!   admission.
 
+pub mod calibrate;
 pub mod dcmesh_model;
 pub mod machine;
 pub mod network;
 pub mod nnqmd_model;
+pub mod planner;
 pub mod scaling;
 pub mod sota;
 
+pub use calibrate::{calibrate, Calibration, CalibrationConfig};
 pub use machine::Machine;
+pub use planner::{PlanJob, PlanLimits, PlanVerdict, Planner, RejectReason, RunPlan};

@@ -50,6 +50,37 @@ impl Machine {
         }
     }
 
+    /// The machine this process is running on, profiled from a measured
+    /// [`crate::calibrate::Calibration`]: a single-node, single-tile
+    /// description whose effective tile rate comes from the fixture's
+    /// measured QD-step time and whose α/β come from the probed
+    /// collective counters. The analytic *shape* (tree collectives,
+    /// halo model) is unchanged — only the constants are fitted, which
+    /// is exactly the `Machine`-vs-`Calibration` split.
+    pub fn from_calibration(cal: &crate::calibrate::Calibration) -> Self {
+        use crate::calibrate::{qd_work, FIXTURE_NGRID, FIXTURE_NORB};
+        let qd_secs = cal.qd_step().max(1e-12);
+        let tile = qd_work(FIXTURE_NGRID, FIXTURE_NORB) / qd_secs;
+        Machine {
+            name: "container",
+            nodes: 1,
+            tiles_per_node: 1,
+            tile_fp64: tile,
+            tile_fp32: tile,
+            tile_bf16: tile,
+            power_derate: 1.0,
+            // Commodity-DRAM order of magnitude; the fitted per-step
+            // kernel time already contains the real memory behavior, so
+            // these only matter for the analytic roofline views.
+            hbm_bw: 2.0e10,
+            pcie_bw: 1.0e10,
+            net_alpha: cal.alpha,
+            net_beta: cal.beta,
+            // Threads through one shared memory: no dragonfly growth.
+            congestion: 1.0,
+        }
+    }
+
     /// Total ranks when using `nodes` nodes.
     pub fn ranks(&self, nodes: usize) -> usize {
         nodes * self.tiles_per_node

@@ -12,14 +12,39 @@ pub struct ScalePoint {
     pub ranks: usize,
     /// Wall-clock per MD step (s).
     pub time: f64,
-    /// Parallel efficiency relative to the first point.
+    /// Parallel efficiency relative to the first point, clamped to
+    /// [0, 1]: an isogranular (weak) run can at best match the first
+    /// point's speed, and a strong-scaling run can at best speed up
+    /// linearly — any excess is measurement noise, not super-linear
+    /// scaling, and must not be reported as efficiency > 1.
     pub efficiency: f64,
     /// Problem size at this point (electrons or atoms).
     pub size: f64,
 }
 
+/// Clamp a raw efficiency ratio into the reportable [0, 1] band.
+fn clamp_efficiency(raw: f64) -> f64 {
+    raw.clamp(0.0, 1.0)
+}
+
+/// Strong-scaling sweeps divide by the first entry (`p0`): a zero would
+/// silently turn every efficiency into NaN/∞, so fail loudly instead.
+fn check_strong_sweep(rank_sweep: &[usize]) {
+    assert!(!rank_sweep.is_empty());
+    assert!(
+        rank_sweep[0] > 0,
+        "strong-scaling rank sweep must start at a non-zero rank count \
+         (p0 is the efficiency baseline divisor), got {rank_sweep:?}"
+    );
+}
+
 /// Weak scaling of DC-MESH (Fig. 4a): fixed electrons/rank, P sweeps.
 /// `granularity` = unique electrons per rank (paper: 32 and 128).
+///
+/// Isogranular efficiency: with per-rank work held constant, the speed
+/// per unit size is ∝ 1/time, so efficiency at P ranks is t(P₀)/t(P) —
+/// 1.0 means the step time did not grow at all. Values above 1.0 can
+/// only come from noise in a measured t₀ and are clamped.
 pub fn dcmesh_weak(model: &DcMeshModel, granularity: f64, rank_sweep: &[usize]) -> Vec<ScalePoint> {
     assert!(!rank_sweep.is_empty());
     // Granularity below the full domain size means fewer orbitals per
@@ -37,7 +62,7 @@ pub fn dcmesh_weak(model: &DcMeshModel, granularity: f64, rank_sweep: &[usize]) 
         out.push(ScalePoint {
             ranks: p,
             time: t,
-            efficiency: t0 / t,
+            efficiency: clamp_efficiency(t0 / t),
             size: granularity * p as f64,
         });
     }
@@ -50,7 +75,7 @@ pub fn dcmesh_strong(
     total_electrons: f64,
     rank_sweep: &[usize],
 ) -> Vec<ScalePoint> {
-    assert!(!rank_sweep.is_empty());
+    check_strong_sweep(rank_sweep);
     let mut out = Vec::with_capacity(rank_sweep.len());
     let (mut t0, mut p0) = (0.0, 0usize);
     for (i, &p) in rank_sweep.iter().enumerate() {
@@ -65,7 +90,7 @@ pub fn dcmesh_strong(
         out.push(ScalePoint {
             ranks: p,
             time: t,
-            efficiency: speedup / (p as f64 / p0 as f64),
+            efficiency: clamp_efficiency(speedup / (p as f64 / p0 as f64)),
             size: total_electrons,
         });
     }
@@ -73,6 +98,8 @@ pub fn dcmesh_strong(
 }
 
 /// Weak scaling of XS-NNQMD (Fig. 5a): fixed atoms/rank.
+/// Isogranular efficiency, clamped to [0, 1] exactly as
+/// [`dcmesh_weak`]'s — noise cannot report super-unit efficiency.
 pub fn nnqmd_weak(
     model: &NnqmdModel,
     atoms_per_rank: f64,
@@ -89,7 +116,7 @@ pub fn nnqmd_weak(
         out.push(ScalePoint {
             ranks: p,
             time: t,
-            efficiency: t0 / t,
+            efficiency: clamp_efficiency(t0 / t),
             size: atoms_per_rank * p as f64,
         });
     }
@@ -98,7 +125,7 @@ pub fn nnqmd_weak(
 
 /// Strong scaling of XS-NNQMD (Fig. 5b): fixed total atoms.
 pub fn nnqmd_strong(model: &NnqmdModel, total_atoms: f64, rank_sweep: &[usize]) -> Vec<ScalePoint> {
-    assert!(!rank_sweep.is_empty());
+    check_strong_sweep(rank_sweep);
     let mut out = Vec::with_capacity(rank_sweep.len());
     let (mut t0, mut p0) = (0.0, 0usize);
     for (i, &p) in rank_sweep.iter().enumerate() {
@@ -110,7 +137,7 @@ pub fn nnqmd_strong(model: &NnqmdModel, total_atoms: f64, rank_sweep: &[usize]) 
         out.push(ScalePoint {
             ranks: p,
             time: t,
-            efficiency: (t0 / t) / (p as f64 / p0 as f64),
+            efficiency: clamp_efficiency((t0 / t) / (p as f64 / p0 as f64)),
             size: total_atoms,
         });
     }
@@ -132,6 +159,45 @@ pub mod sweeps {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn weak_efficiency_never_exceeds_one() {
+        // Regression: a sweep whose *first* point is the slowest (here:
+        // forced by reversing the rank order, so t₀ carries the largest
+        // collective overhead) used to report efficiency > 1 at every
+        // later point. Clamped, it saturates at exactly 1.0.
+        let m = DcMeshModel::paper_config();
+        let mut reversed: Vec<usize> = sweeps::DCMESH_WEAK.to_vec();
+        reversed.reverse();
+        for pt in dcmesh_weak(&m, 128.0, &reversed) {
+            assert!(
+                pt.efficiency <= 1.0,
+                "weak efficiency must be clamped, got {} at P={}",
+                pt.efficiency,
+                pt.ranks
+            );
+        }
+        let n = NnqmdModel::paper_config();
+        let mut nn_rev: Vec<usize> = sweeps::NNQMD_WEAK.to_vec();
+        nn_rev.reverse();
+        for pt in nnqmd_weak(&n, 160_000.0, &nn_rev) {
+            assert!(pt.efficiency <= 1.0, "got {}", pt.efficiency);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero rank count")]
+    fn dcmesh_strong_rejects_zero_p0() {
+        let m = DcMeshModel::paper_config();
+        dcmesh_strong(&m, 1.0e6, &[0, 100, 200]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero rank count")]
+    fn nnqmd_strong_rejects_zero_p0() {
+        let m = NnqmdModel::paper_config();
+        nnqmd_strong(&m, 1.0e6, &[0, 100]);
+    }
 
     #[test]
     fn dcmesh_weak_efficiency_near_one() {

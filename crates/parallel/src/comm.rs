@@ -36,6 +36,60 @@ struct Envelope {
     payload: Payload,
 }
 
+/// Which collective an instrumented counter row belongs to. Composite
+/// collectives (`allgather` = gather + bcast, `allreduce` = reduce +
+/// bcast) count once under the operation the caller invoked, never
+/// under their building blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CollectiveOp {
+    Barrier,
+    Bcast,
+    Gather,
+    Allgather,
+    AllgatherVec,
+    Scatter,
+    Reduce,
+    Allreduce,
+    AllreduceSumVec,
+}
+
+/// Accumulated counters for one (communicator, collective) pair.
+///
+/// Every member rank records once per collective call, so a `p`-rank
+/// collective adds `p` to `ops`; divide by the communicator size for
+/// per-call figures. `bytes` is the logical per-rank payload (element
+/// size × element count) — an estimate that does not chase heap data
+/// behind the element type. `wall_secs` sums each rank's time inside
+/// the call, including any wait for peers to arrive.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OpStats {
+    pub ops: u64,
+    pub bytes: u64,
+    pub wall_secs: f64,
+}
+
+impl OpStats {
+    /// Mean wall time per recorded entry (one entry = one rank × one
+    /// call), or 0 when nothing was recorded.
+    pub fn mean_wall_secs(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.wall_secs / self.ops as f64
+        }
+    }
+}
+
+/// One snapshot row: the counters of a single collective on a single
+/// communicator (`comm` is the fabric-wide communicator id; the world
+/// communicator is id 0).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CollectiveRecord {
+    pub comm: u64,
+    pub op: CollectiveOp,
+    pub stats: OpStats,
+}
+
 type Channel = (Sender<Envelope>, Receiver<Envelope>);
 
 /// Environment variable overriding the default recv-stall timeout, in
@@ -75,6 +129,9 @@ struct Fabric {
     /// How long a `recv` with no matching envelope waits before it is
     /// declared a protocol error.
     stall: std::time::Duration,
+    /// Per-(communicator, collective) counters, fed by the public
+    /// collective entry points on every member rank.
+    stats: Mutex<HashMap<(u64, CollectiveOp), OpStats>>,
 }
 
 impl Fabric {
@@ -84,7 +141,26 @@ impl Fabric {
             comm_ids: AtomicU64::new(1),
             live: Mutex::new(HashMap::new()),
             stall,
+            stats: Mutex::new(HashMap::new()),
         }
+    }
+
+    fn record(&self, comm: u64, op: CollectiveOp, bytes: u64, wall_secs: f64) {
+        let mut stats = self.stats.lock();
+        let entry = stats.entry((comm, op)).or_default();
+        entry.ops += 1;
+        entry.bytes += bytes;
+        entry.wall_secs += wall_secs;
+    }
+
+    fn stats_snapshot(&self) -> Vec<CollectiveRecord> {
+        let stats = self.stats.lock();
+        let mut rows: Vec<CollectiveRecord> = stats
+            .iter()
+            .map(|(&(comm, op), &stats)| CollectiveRecord { comm, op, stats })
+            .collect();
+        rows.sort_by_key(|r| (r.comm, r.op));
+        rows
     }
 
     fn endpoint(&self, comm: u64, src: usize, dst: usize) -> Channel {
@@ -299,8 +375,32 @@ impl Comm {
             .expect("message type mismatch in simulated MPI")
     }
 
+    /// Time a collective body and charge it to this communicator's
+    /// counters. Exactly one record per public entry point per rank —
+    /// the `*_impl` bodies composite collectives delegate to are never
+    /// themselves recorded.
+    fn timed<T>(&self, op: CollectiveOp, bytes: u64, body: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let out = body();
+        self.fabric
+            .record(self.id, op, bytes, start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Snapshot of the per-collective counters accumulated so far on the
+    /// *whole fabric* this communicator belongs to (all communicators,
+    /// all ranks), sorted by (communicator id, op) for determinism. The
+    /// world communicator is id 0; `split` children get fresh ids.
+    pub fn collective_stats(&self) -> Vec<CollectiveRecord> {
+        self.fabric.stats_snapshot()
+    }
+
     /// Synchronize all ranks (gather-to-0 + broadcast of unit).
     pub fn barrier(&self) {
+        self.timed(CollectiveOp::Barrier, 0, || self.barrier_impl());
+    }
+
+    fn barrier_impl(&self) {
         if self.me == 0 {
             for src in 1..self.size() {
                 let () = self.recv_internal(src, TAG_BARRIER);
@@ -317,6 +417,12 @@ impl Comm {
     /// Broadcast `value` from `root` to every rank; returns the value on
     /// all ranks.
     pub fn bcast<T: Send + Clone + 'static>(&self, root: usize, value: Option<T>) -> T {
+        self.timed(CollectiveOp::Bcast, std::mem::size_of::<T>() as u64, || {
+            self.bcast_impl(root, value)
+        })
+    }
+
+    fn bcast_impl<T: Send + Clone + 'static>(&self, root: usize, value: Option<T>) -> T {
         if self.me == root {
             let v = value.expect("root must supply the broadcast value");
             for dst in 0..self.size() {
@@ -332,6 +438,14 @@ impl Comm {
 
     /// Gather one value per rank to `root` (None on non-roots).
     pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        self.timed(
+            CollectiveOp::Gather,
+            std::mem::size_of::<T>() as u64,
+            || self.gather_impl(root, value),
+        )
+    }
+
+    fn gather_impl<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
         if self.me == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
             out[root] = Some(value);
@@ -349,22 +463,41 @@ impl Comm {
 
     /// Gather one value per rank to every rank.
     pub fn allgather<T: Send + Clone + 'static>(&self, value: T) -> Vec<T> {
-        let gathered = self.gather(0, value);
-        self.bcast(0, gathered)
+        self.timed(
+            CollectiveOp::Allgather,
+            std::mem::size_of::<T>() as u64,
+            || self.allgather_impl(value),
+        )
+    }
+
+    fn allgather_impl<T: Send + Clone + 'static>(&self, value: T) -> Vec<T> {
+        let gathered = self.gather_impl(0, value);
+        self.bcast_impl(0, gathered)
     }
 
     /// Variable-length all-gather (`MPI_Allgatherv`): each rank contributes
     /// a vector (lengths may differ per rank, including empty); every rank
     /// receives the concatenation in rank order.
     pub fn allgather_vec<T: Send + Clone + 'static>(&self, value: Vec<T>) -> Vec<T> {
-        let parts = self.allgather(value);
-        parts.into_iter().flatten().collect()
+        let bytes = (value.len() * std::mem::size_of::<T>()) as u64;
+        self.timed(CollectiveOp::AllgatherVec, bytes, || {
+            let parts = self.allgather_impl(value);
+            parts.into_iter().flatten().collect()
+        })
     }
 
     /// Scatter one value per rank from `root` (which supplies `size()`
     /// values in rank order; non-roots pass `None`). Returns this rank's
     /// value on every rank.
     pub fn scatter<T: Send + 'static>(&self, root: usize, values: Option<Vec<T>>) -> T {
+        self.timed(
+            CollectiveOp::Scatter,
+            std::mem::size_of::<T>() as u64,
+            || self.scatter_impl(root, values),
+        )
+    }
+
+    fn scatter_impl<T: Send + 'static>(&self, root: usize, values: Option<Vec<T>>) -> T {
         if self.me == root {
             let values = values.expect("root must supply the scatter values");
             assert_eq!(
@@ -392,7 +525,19 @@ impl Comm {
         T: Send + 'static,
         F: Fn(T, T) -> T,
     {
-        self.gather(root, value)
+        self.timed(
+            CollectiveOp::Reduce,
+            std::mem::size_of::<T>() as u64,
+            || self.reduce_impl(root, value, op),
+        )
+    }
+
+    fn reduce_impl<T, F>(&self, root: usize, value: T, op: F) -> Option<T>
+    where
+        T: Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        self.gather_impl(root, value)
             .map(|vs| vs.into_iter().reduce(&op).expect("non-empty communicator"))
     }
 
@@ -402,23 +547,42 @@ impl Comm {
         T: Send + Clone + 'static,
         F: Fn(T, T) -> T,
     {
-        let reduced = self.reduce(0, value, op);
-        self.bcast(0, reduced)
+        self.timed(
+            CollectiveOp::Allreduce,
+            std::mem::size_of::<T>() as u64,
+            || self.allreduce_impl(value, op),
+        )
+    }
+
+    fn allreduce_impl<T, F>(&self, value: T, op: F) -> T
+    where
+        T: Send + Clone + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let reduced = self.reduce_impl(0, value, op);
+        self.bcast_impl(0, reduced)
     }
 
     /// Sum-allreduce for f64 (the most common physics reduction).
+    /// Recorded under [`CollectiveOp::Allreduce`].
     pub fn allreduce_sum(&self, value: f64) -> f64 {
         self.allreduce(value, |a, b| a + b)
     }
 
-    /// Element-wise sum-allreduce for vectors.
+    /// Element-wise sum-allreduce for vectors. This is the hot collective
+    /// of the sharded MESH/SCF drivers, so it gets its own counter row
+    /// ([`CollectiveOp::AllreduceSumVec`]) with real payload bytes —
+    /// the α/β calibration fit reads exactly this row.
     pub fn allreduce_sum_vec(&self, value: Vec<f64>) -> Vec<f64> {
-        self.allreduce(value, |mut a, b| {
-            assert_eq!(a.len(), b.len(), "allreduce_sum_vec length mismatch");
-            for (x, y) in a.iter_mut().zip(b) {
-                *x += y;
-            }
-            a
+        let bytes = (value.len() * std::mem::size_of::<f64>()) as u64;
+        self.timed(CollectiveOp::AllreduceSumVec, bytes, || {
+            self.allreduce_impl(value, |mut a, b| {
+                assert_eq!(a.len(), b.len(), "allreduce_sum_vec length mismatch");
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            })
         })
     }
 
@@ -426,8 +590,10 @@ impl Comm {
     /// ordered by `(key, parent rank)`. Collective over the parent.
     pub fn split(&self, color: u64, key: u64) -> Comm {
         // Gather (color, key, parent-rank, global-id) at parent root.
+        // Uses the raw impl: split's internal plumbing must not show up
+        // in the per-collective counters as a user gather.
         let triple = (color, key, self.me, self.members[self.me]);
-        let gathered = self.gather(0, triple);
+        let gathered = self.gather_impl(0, triple);
         let plan: Vec<(u64, Vec<usize>)> = if self.me == 0 {
             let mut all = gathered.unwrap();
             all.sort_by_key(|&(c, k, r, _)| (c, k, r));
@@ -502,8 +668,31 @@ impl World {
         R: Send,
         F: Fn(Comm) -> R + Sync,
     {
-        assert!(n > 0, "world must have at least one rank");
         let fabric = Arc::new(Fabric::with_stall(stall));
+        Self::run_on_fabric(&fabric, n, f)
+    }
+
+    /// [`Self::run`] that additionally returns the fabric's per-collective
+    /// counters accumulated over the whole world — the measurement side of
+    /// the exasim calibration loop. Rows are sorted by (communicator id,
+    /// op); the world communicator is id 0.
+    pub fn run_probed<R, F>(n: usize, f: F) -> (Vec<R>, Vec<CollectiveRecord>)
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
+        let fabric = Arc::new(Fabric::with_stall(default_recv_stall()));
+        let results = Self::run_on_fabric(&fabric, n, f);
+        let stats = fabric.stats_snapshot();
+        (results, stats)
+    }
+
+    fn run_on_fabric<R, F>(fabric: &Arc<Fabric>, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
+        assert!(n > 0, "world must have at least one rank");
         let members: Arc<Vec<usize>> = Arc::new((0..n).collect());
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -515,7 +704,7 @@ impl World {
             }
             let mut handles = Vec::with_capacity(n);
             for rank in 0..n {
-                let comm = Comm::adopt(Arc::clone(&fabric), 0, Arc::clone(&members), rank);
+                let comm = Comm::adopt(Arc::clone(fabric), 0, Arc::clone(&members), rank);
                 let f = &f;
                 handles.push(scope.spawn(move || f(comm)));
             }
@@ -856,6 +1045,89 @@ mod tests {
         for v in out {
             assert_eq!(v, vec![10, 20, 21, 30, 31, 32]);
         }
+    }
+
+    fn stats_for(rows: &[CollectiveRecord], comm: u64, op: CollectiveOp) -> OpStats {
+        rows.iter()
+            .find(|r| r.comm == comm && r.op == op)
+            .map(|r| r.stats)
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn probed_world_counts_each_collective_once_per_rank() {
+        let n = 4;
+        let (_, rows) = World::run_probed(n, |c| {
+            c.barrier();
+            c.allreduce_sum_vec(vec![0.0; 8]);
+            c.allreduce_sum_vec(vec![0.0; 8]);
+            let _ = c.allgather_vec(vec![c.rank() as u32; 2]);
+            let _ = c.bcast(0, (c.rank() == 0).then_some(7u64));
+            let _ = c.scatter(0, (c.rank() == 0).then(|| vec![1u8; 4]));
+        });
+        let arv = stats_for(&rows, 0, CollectiveOp::AllreduceSumVec);
+        assert_eq!(arv.ops, 2 * n as u64, "2 calls × {n} ranks");
+        assert_eq!(arv.bytes, 2 * n as u64 * 8 * 8);
+        assert!(arv.wall_secs > 0.0);
+        assert_eq!(stats_for(&rows, 0, CollectiveOp::Barrier).ops, n as u64);
+        assert_eq!(stats_for(&rows, 0, CollectiveOp::Bcast).ops, n as u64);
+        assert_eq!(stats_for(&rows, 0, CollectiveOp::Scatter).ops, n as u64);
+        let agv = stats_for(&rows, 0, CollectiveOp::AllgatherVec);
+        assert_eq!(agv.ops, n as u64);
+        assert_eq!(agv.bytes, n as u64 * 2 * 4);
+        // No double counting: composite collectives must not leak records
+        // for the primitives they are built from.
+        assert_eq!(stats_for(&rows, 0, CollectiveOp::Gather).ops, 0);
+        assert_eq!(stats_for(&rows, 0, CollectiveOp::Reduce).ops, 0);
+        assert_eq!(stats_for(&rows, 0, CollectiveOp::Allreduce).ops, 0);
+    }
+
+    #[test]
+    fn split_plumbing_is_not_counted_and_children_get_own_rows() {
+        let (_, rows) = World::run_probed(4, |c| {
+            let sub = c.split((c.rank() / 2) as u64, c.rank() as u64);
+            sub.allreduce_sum(1.0);
+        });
+        // split's internal gather/bcast plumbing is invisible ...
+        assert_eq!(stats_for(&rows, 0, CollectiveOp::Gather).ops, 0);
+        assert_eq!(stats_for(&rows, 0, CollectiveOp::Bcast).ops, 0);
+        // ... while the child communicators' own collectives are charged
+        // to their fresh (non-zero) communicator ids.
+        let child_allreduce: u64 = rows
+            .iter()
+            .filter(|r| r.comm != 0 && r.op == CollectiveOp::Allreduce)
+            .map(|r| r.stats.ops)
+            .sum();
+        assert_eq!(child_allreduce, 4, "2 children × 2 ranks each");
+    }
+
+    #[test]
+    fn collective_stats_visible_from_inside_the_world() {
+        let out = World::run(2, |c| {
+            c.barrier();
+            // A rank records *after* leaving the collective body, so the
+            // first barrier's peer record only becomes guaranteed once a
+            // second barrier has synchronized past it.
+            c.barrier();
+            let rows = c.collective_stats();
+            stats_for(&rows, 0, CollectiveOp::Barrier).ops
+        });
+        for ops in out {
+            // Both ranks' first-barrier records, own second-barrier record,
+            // peer's second-barrier record only if it won the race.
+            assert!((3..=4).contains(&ops), "got {ops}");
+        }
+    }
+
+    #[test]
+    fn mean_wall_is_total_over_ops() {
+        let s = OpStats {
+            ops: 4,
+            bytes: 0,
+            wall_secs: 2.0,
+        };
+        assert_eq!(s.mean_wall_secs(), 0.5);
+        assert_eq!(OpStats::default().mean_wall_secs(), 0.0);
     }
 
     #[test]

@@ -18,7 +18,12 @@
 //!   `scatter`, and MPI_Comm_split-style [`comm::Comm::split`].
 //!   Collective traffic lives in a reserved tag namespace
 //!   ([`comm::COLLECTIVE_TAG_BIT`]), and a communicator's channels are
-//!   reclaimed when its last handle drops.
+//!   reclaimed when its last handle drops. Every public collective is
+//!   instrumented: the fabric keeps per-(communicator, op) counters
+//!   ([`comm::OpStats`]: op count, payload bytes, wall time) that
+//!   [`comm::Comm::collective_stats`] snapshots and
+//!   [`comm::World::run_probed`] returns alongside the rank results —
+//!   the measurement side of `mlmd-exasim`'s α/β calibration.
 //! * [`hier`] — the domain / band-space hierarchy of DC-MESH.
 //! * [`device`] — CPU and GPU execution resources (rayon pools of different
 //!   widths) plus the [`device::TransferLedger`].
@@ -49,5 +54,5 @@ pub mod device;
 pub mod hier;
 
 pub use buffer::DeviceBuffer;
-pub use comm::{Comm, World};
+pub use comm::{CollectiveOp, CollectiveRecord, Comm, OpStats, World};
 pub use device::{Device, DeviceKind, TransferLedger};

@@ -30,8 +30,10 @@
 use crate::progress::{EventSink, JobId, ProgressObserver};
 use mlmd_core::config::PipelineConfig;
 use mlmd_core::engine::{CancelToken, Engine, SampleStride, SupercellForce, TraceObserver};
-use mlmd_core::pipeline::{Pipeline, PumpProbeRun};
+use mlmd_core::pipeline::{Pipeline, PumpProbeRun, MESH_STAGE_NGRID, MESH_STAGE_NORB};
 use mlmd_dcmesh::mesh::MeshStepRecord;
+use mlmd_dcmesh::WarmStartPolicy;
+use mlmd_exasim::planner::PlanJob;
 use mlmd_maxwell::driver::{FieldRecord, PulsedYee};
 use mlmd_maxwell::source::GaussianPulse;
 use mlmd_maxwell::yee1d::Yee1d;
@@ -53,6 +55,19 @@ pub enum Priority {
 impl Priority {
     /// All bands, highest first — the queue's service order.
     pub const BANDS: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// One band down — what the scheduler applies to jobs the planner
+    /// predicts longer than [`PlanLimits::batch_threshold_secs`], so
+    /// batch-scale work cannot crowd the interactive band. `Low` is the
+    /// floor.
+    ///
+    /// [`PlanLimits::batch_threshold_secs`]: mlmd_exasim::planner::PlanLimits::batch_threshold_secs
+    pub fn demote(self) -> Priority {
+        match self {
+            Priority::High => Priority::Normal,
+            Priority::Normal | Priority::Low => Priority::Low,
+        }
+    }
 }
 
 /// Per-variant key salts (distinct leading bytes per workload class).
@@ -276,6 +291,50 @@ impl JobSpec {
             }
         }
         h.finish()
+    }
+
+    /// This job's workload shape for the ahead-of-time planner — the
+    /// quantities the calibrated cost model needs, nothing more. Mesh
+    /// jobs report the pipeline's one domain shape
+    /// ([`MESH_STAGE_NGRID`] × [`MESH_STAGE_NORB`], the calibration
+    /// fixture's shape), so fitted fixture times transfer directly.
+    pub fn plan_job(&self) -> PlanJob {
+        match self {
+            JobSpec::PumpProbeSweep { config, amplitudes } => PlanJob::MeshBatch {
+                // The sweep runs every amplitude plus the shared dark
+                // reference (see `run`).
+                runs: amplitudes.len() + 1,
+                steps: config.mesh_steps,
+                ngrid: MESH_STAGE_NGRID,
+                norb: MESH_STAGE_NORB,
+                n_qd: config.ehrenfest.n_qd,
+                stride: 1,
+                warm_shared: matches!(config.mesh_warm_start, WarmStartPolicy::ProcessCache),
+            },
+            JobSpec::MeshRun {
+                config, n_steps, ..
+            } => PlanJob::MeshBatch {
+                runs: 1,
+                steps: *n_steps,
+                ngrid: MESH_STAGE_NGRID,
+                norb: MESH_STAGE_NORB,
+                n_qd: config.ehrenfest.n_qd,
+                stride: 1,
+                warm_shared: matches!(config.mesh_warm_start, WarmStartPolicy::ProcessCache),
+            },
+            JobSpec::MdRun {
+                config, n_steps, ..
+            } => PlanJob::Md {
+                steps: *n_steps,
+                atoms: config.n_atoms(),
+            },
+            JobSpec::FdtdPulse {
+                n_cells, n_steps, ..
+            } => PlanJob::Fdtd {
+                steps: *n_steps,
+                cells: *n_cells,
+            },
+        }
     }
 
     /// The ground-state config hash of this configuration's MESH stage —

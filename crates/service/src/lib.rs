@@ -25,7 +25,13 @@
 //!   worker threads that execute jobs on the shared work-stealing pool,
 //!   cross-request deduplication (identical in-flight jobs coalesce into
 //!   one execution), and cooperative cancellation of both queued and
-//!   running jobs through `mlmd_core::engine::CancelToken`.
+//!   running jobs through `mlmd_core::engine::CancelToken`. With a
+//!   calibrated `mlmd_exasim::planner::Planner` configured
+//!   ([`scheduler::ServiceConfig::planner`]), admission additionally
+//!   costs every job ahead of time: oversized jobs are refused with
+//!   [`scheduler::SubmitError::PlanRejected`], long jobs are demoted to
+//!   the batch band, and the metrics report predicted-vs-actual
+//!   wall-clock.
 //! * [`loadgen`] — the synthetic heavy-traffic load generator behind the
 //!   `service_load` bench group and `BENCH_pr7.json`: sustained
 //!   submission with backpressure, p50/p99 latency, jobs/sec, and

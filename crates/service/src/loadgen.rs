@@ -172,7 +172,9 @@ fn submit_sustained(
                 *rejections += 1;
                 std::thread::sleep(Duration::from_millis(1));
             }
-            Err(SubmitError::ShuttingDown) => return None,
+            // A planner rejection is deterministic — retrying the same
+            // spec can never succeed, so the generator drops the job.
+            Err(SubmitError::ShuttingDown) | Err(SubmitError::PlanRejected(_)) => return None,
         }
     }
 }
@@ -267,6 +269,7 @@ mod tests {
             queue_capacity: 8, // smaller than the burst: forces pushback
             progress_stride: SampleStride::new(20),
             dedup: true,
+            planner: None,
         });
         let profile = LoadProfile::smoke();
         let report = drive(&scheduler, &profile);

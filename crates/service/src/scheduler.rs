@@ -19,6 +19,17 @@
 //!   `queue_capacity` jobs are queued — backpressure, never unbounded
 //!   memory. Dedup followers coalesce onto an existing execution and so
 //!   do not consume queue slots.
+//! * **Planning** (when [`ServiceConfig::planner`] is set): every
+//!   submission is costed ahead of time by the calibrated
+//!   [`Planner`] — a job whose best execution choice still exceeds the
+//!   planner's limits is refused with [`SubmitError::PlanRejected`]
+//!   before it can occupy a queue slot; an admitted job carries its
+//!   [`RunPlan`] (see [`JobHandle::plan`]) and, when predicted longer
+//!   than `batch_threshold_secs`, is demoted one priority band so batch
+//!   work cannot crowd interactive requests. Workers measure actual
+//!   wall-clock, and [`MetricsSnapshot`] reports the running
+//!   predicted-vs-actual totals — the feedback that keeps the
+//!   calibration honest.
 //! * **Fairness**: within a priority band the queue serves tenants
 //!   round-robin (one job per turn), so a tenant submitting 100 jobs
 //!   cannot starve a tenant submitting 1. Bands are strict: High drains
@@ -43,6 +54,7 @@ use crate::job::{JobOutput, JobResult, JobSpec, Priority};
 use crate::progress::{EventSink, JobEvent, JobId};
 use crossbeam::channel::{Receiver, Sender};
 use mlmd_core::engine::{CancelToken, SampleStride};
+use mlmd_exasim::planner::{PlanVerdict, Planner, RunPlan};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -62,6 +74,11 @@ pub struct ServiceConfig {
     /// Coalesce submissions with identical dedup keys onto one
     /// execution. On by default.
     pub dedup: bool,
+    /// Ahead-of-time admission planning: when set, every submission is
+    /// costed against the planner's calibrated model and limits before
+    /// it reaches the queue (see the module docs). `None` (the default)
+    /// admits on queue capacity alone.
+    pub planner: Option<Planner>,
 }
 
 impl Default for ServiceConfig {
@@ -71,15 +88,21 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             progress_stride: SampleStride::default(),
             dedup: true,
+            planner: None,
         }
     }
 }
 
 /// Why a submission was not admitted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SubmitError {
     /// The bounded queue is full — back off and retry (backpressure).
     QueueFull { capacity: usize },
+    /// The planner predicts that even the cheapest execution choice
+    /// exceeds the admission limits — the verdict carries which limit
+    /// and by how much. Resize the job (fewer steps, coarser stride) and
+    /// resubmit; retrying unchanged can never succeed.
+    PlanRejected(PlanVerdict),
     /// The scheduler is shutting down and no longer accepts work.
     ShuttingDown,
 }
@@ -89,6 +112,9 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull { capacity } => {
                 write!(f, "job queue full ({capacity} jobs queued)")
+            }
+            SubmitError::PlanRejected(verdict) => {
+                write!(f, "planner refused the job: {verdict}")
             }
             SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
         }
@@ -125,10 +151,14 @@ struct JobCore {
     state: Mutex<CoreState>,
     resolved: Condvar,
     submitted_at: Instant,
+    /// The planner's chosen execution plan, when admission planning is
+    /// on. Dedup followers carry the same plan as their primary (same
+    /// spec, same plan).
+    plan: Option<RunPlan>,
 }
 
 impl JobCore {
-    fn new(id: JobId, sink: EventSink) -> Self {
+    fn new(id: JobId, sink: EventSink, plan: Option<RunPlan>) -> Self {
         Self {
             id,
             cancel: CancelToken::new(),
@@ -140,6 +170,7 @@ impl JobCore {
             }),
             resolved: Condvar::new(),
             submitted_at: Instant::now(),
+            plan,
         }
     }
 
@@ -278,6 +309,12 @@ struct Metrics {
     completed: AtomicU64,
     cancelled: AtomicU64,
     peak_queued: AtomicU64,
+    planned: AtomicU64,
+    plan_rejected: AtomicU64,
+    demoted: AtomicU64,
+    /// Wall-clock totals in microseconds (atomics carry no f64).
+    predicted_us: AtomicU64,
+    actual_us: AtomicU64,
 }
 
 /// A point-in-time copy of the service counters.
@@ -299,6 +336,18 @@ pub struct MetricsSnapshot {
     pub cancelled: u64,
     /// High-water mark of the queue.
     pub peak_queued: u64,
+    /// Submissions the planner costed and accepted.
+    pub planned: u64,
+    /// Submissions refused with [`SubmitError::PlanRejected`].
+    pub plan_rejected: u64,
+    /// Planned jobs demoted one priority band (predicted longer than
+    /// the planner's `batch_threshold_secs`).
+    pub demoted: u64,
+    /// Planner-predicted wall-clock, summed over executed planned jobs (s).
+    pub predicted_secs: f64,
+    /// Measured wall-clock, summed over every executed job (s) — compare
+    /// against `predicted_secs` to audit the calibration.
+    pub actual_secs: f64,
 }
 
 struct SchedInner {
@@ -340,6 +389,13 @@ impl JobHandle {
     /// Was this submission coalesced onto an identical in-flight job?
     pub fn is_deduped(&self) -> bool {
         self.deduped
+    }
+
+    /// The planner's chosen execution plan for this job, when the
+    /// scheduler was configured with one ([`ServiceConfig::planner`]).
+    /// Dedup followers report the same plan as their primary.
+    pub fn plan(&self) -> Option<RunPlan> {
+        self.core.plan
     }
 
     /// This job's event stream (lifecycle + streamed progress).
@@ -455,12 +511,23 @@ impl SchedInner {
                 .sink
                 .emit(JobEvent::Started { id: entry.core.id });
             self.metrics.executed.fetch_add(1, Ordering::Relaxed);
+            let run_started = Instant::now();
             let output = Arc::new(entry.spec.run(
                 &entry.core.cancel,
                 &entry.core.sink,
                 entry.core.id,
                 self.config.progress_stride,
             ));
+            // Predicted-vs-actual accounting: actual wall-clock for every
+            // execution, the plan's prediction when one was made.
+            self.metrics
+                .actual_us
+                .fetch_add(run_started.elapsed().as_micros() as u64, Ordering::Relaxed);
+            if let Some(plan) = &entry.core.plan {
+                self.metrics
+                    .predicted_us
+                    .fetch_add((plan.predicted_secs * 1e6) as u64, Ordering::Relaxed);
+            }
             // Detach the group, then resolve primary + followers.
             let followers = {
                 let mut q = self.queue.lock().expect("scheduler queue poisoned");
@@ -570,6 +637,26 @@ impl Scheduler {
     ) -> Result<JobHandle, SubmitError> {
         let inner = &self.inner;
         inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        // Ahead-of-time planning: cost the job before it can touch the
+        // queue. Pure arithmetic on the calibrated model — no lock held.
+        let mut priority = priority;
+        let mut plan = None;
+        if let Some(planner) = &inner.config.planner {
+            let (chosen, verdict) = planner.plan(&spec.plan_job());
+            if !verdict.is_accept() {
+                inner.metrics.plan_rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::PlanRejected(verdict));
+            }
+            inner.metrics.planned.fetch_add(1, Ordering::Relaxed);
+            if chosen.predicted_secs > planner.limits.batch_threshold_secs {
+                let demoted = priority.demote();
+                if demoted != priority {
+                    inner.metrics.demoted.fetch_add(1, Ordering::Relaxed);
+                    priority = demoted;
+                }
+            }
+            plan = Some(chosen);
+        }
         let key = spec.dedup_key();
         let mut q = inner.queue.lock().expect("scheduler queue poisoned");
         if !q.accepting {
@@ -586,7 +673,7 @@ impl Scheduler {
         if inner.config.dedup {
             if let Some(group) = q.groups.get_mut(&key) {
                 let primary = group.primary.id;
-                let core = Arc::new(JobCore::new(id, sink));
+                let core = Arc::new(JobCore::new(id, sink, plan));
                 group.followers.push(Arc::clone(&core));
                 q.active.insert(id, Arc::clone(&core));
                 drop(q);
@@ -609,7 +696,7 @@ impl Scheduler {
                 capacity: inner.config.queue_capacity,
             });
         }
-        let core = Arc::new(JobCore::new(id, sink));
+        let core = Arc::new(JobCore::new(id, sink, plan));
         if inner.config.dedup {
             q.groups.insert(
                 key,
@@ -672,6 +759,11 @@ impl Scheduler {
             completed: m.completed.load(Ordering::Relaxed),
             cancelled: m.cancelled.load(Ordering::Relaxed),
             peak_queued: m.peak_queued.load(Ordering::Relaxed),
+            planned: m.planned.load(Ordering::Relaxed),
+            plan_rejected: m.plan_rejected.load(Ordering::Relaxed),
+            demoted: m.demoted.load(Ordering::Relaxed),
+            predicted_secs: m.predicted_us.load(Ordering::Relaxed) as f64 * 1e-6,
+            actual_secs: m.actual_us.load(Ordering::Relaxed) as f64 * 1e-6,
         }
     }
 
@@ -741,7 +833,112 @@ mod tests {
             queue_capacity: 64,
             progress_stride: SampleStride::EVERY,
             dedup: true,
+            planner: None,
         })
+    }
+
+    /// A synthetic fit with deterministic constants — admission decisions
+    /// must not depend on this host's actual speed.
+    fn test_planner() -> Planner {
+        use mlmd_exasim::calibrate::Calibration;
+        use mlmd_exasim::Machine;
+        let cal = Calibration {
+            alpha: 2.0e-6,
+            beta: 5.0e-11,
+            mesh_step: 0.010,
+            n_qd: 30.0,
+            construct_cold: 0.008,
+            construct_warm: 0.0008,
+            dist_step: [0.0; 3],
+            dist_fixed: [0.0; 3],
+            md_atom_step: 2.0e-7,
+            fdtd_cell_step: 4.0e-9,
+        };
+        Planner::new(Machine::from_calibration(&cal), cal)
+    }
+
+    fn planned_scheduler(planner: Planner) -> Scheduler {
+        Scheduler::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 64,
+            progress_stride: SampleStride::EVERY,
+            dedup: true,
+            planner: Some(planner),
+        })
+    }
+
+    #[test]
+    fn planner_gate_admits_annotates_and_rejects() {
+        let s = planned_scheduler(test_planner());
+        // A small job passes and carries its plan.
+        let h = s.submit(fdtd(12, 0.33)).unwrap();
+        let plan = h.plan().expect("planned scheduler annotates the job");
+        assert!(plan.predicted_secs < 1.0);
+        assert!(!h.wait().cancelled);
+        // An oversized job (predicted ≫ max_wall_secs) is refused with
+        // the typed verdict before touching the queue.
+        let huge = JobSpec::fdtd_pulse(1_000_000, 0.2, 0.3, 100_000_000);
+        let err = s.submit(huge).unwrap_err();
+        let SubmitError::PlanRejected(verdict) = err else {
+            panic!("expected PlanRejected, got {err:?}");
+        };
+        assert!(!verdict.is_accept());
+        let m = s.metrics();
+        assert_eq!(m.planned, 1);
+        assert_eq!(m.plan_rejected, 1);
+        assert_eq!(m.admitted, 1);
+        assert!(m.actual_secs > 0.0, "worker measured the run");
+        assert!(m.predicted_secs > 0.0, "prediction accumulated");
+        s.shutdown();
+    }
+
+    #[test]
+    fn long_jobs_are_demoted_to_the_batch_band() {
+        let mut planner = test_planner();
+        planner.limits.batch_threshold_secs = 1e-9; // everything is "long"
+        planner.limits.max_wall_secs = f64::INFINITY;
+        planner.limits.max_cost_rank_secs = f64::INFINITY;
+        let s = planned_scheduler(planner);
+        // Stall the worker so ordering is decided by the queue alone.
+        let blocker = s.submit(slow_blocker(0.95)).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let rx = s.subscribe();
+        // Every submission is predicted over the threshold, so each lands
+        // one band down: High→Normal and Normal→Low.
+        let a = s.submit_for("t", Priority::High, fdtd(3, 0.61)).unwrap();
+        let b = s.submit_for("t", Priority::Normal, fdtd(3, 0.62)).unwrap();
+        blocker.cancel();
+        a.wait();
+        b.wait();
+        // High→Normal still outranks Normal→Low.
+        let started: Vec<JobId> = rx
+            .try_iter()
+            .filter_map(|e| match e {
+                JobEvent::Started { id } => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(started, vec![a.id(), b.id()]);
+        assert_eq!(s.metrics().demoted, 3, "blocker + both jobs demoted");
+        s.shutdown();
+    }
+
+    #[test]
+    fn dedup_followers_share_the_primary_plan() {
+        let s = planned_scheduler(test_planner());
+        let blocker = s.submit(slow_blocker(0.94)).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let first = s.submit(fdtd(30, 0.43)).unwrap();
+        let second = s.submit(fdtd(30, 0.43)).unwrap();
+        assert!(second.is_deduped());
+        assert_eq!(
+            first.plan().expect("primary planned"),
+            second.plan().expect("follower carries the same plan")
+        );
+        blocker.cancel();
+        first.wait();
+        second.wait();
+        s.shutdown();
     }
 
     #[test]
@@ -797,6 +994,7 @@ mod tests {
             queue_capacity: 2,
             progress_stride: SampleStride::EVERY,
             dedup: false,
+            planner: None,
         });
         // Occupy the worker, then fill the two queue slots.
         let blocker = s.submit(slow_blocker(0.98)).unwrap();

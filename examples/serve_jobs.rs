@@ -23,6 +23,7 @@ fn main() {
         queue_capacity: 16,
         progress_stride: SampleStride::new(2),
         dedup: true,
+        planner: None,
     });
     let feed = scheduler.subscribe();
 

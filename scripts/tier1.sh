@@ -43,6 +43,12 @@ cargo test -q --test service_scheduler
 echo "==> cargo bench -p mlmd-bench --bench service_load -- --test  (smoke)"
 cargo bench -p mlmd-bench --bench service_load -- --test
 
+echo "==> cargo test -q --test planner  (calibrated cost model: 2x prediction pin + admission gate)"
+cargo test -q --test planner
+
+echo "==> cargo bench -p mlmd-bench --bench planner -- --test  (smoke)"
+cargo bench -p mlmd-bench --bench planner -- --test
+
 echo "==> cargo doc --no-deps  (warnings as errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

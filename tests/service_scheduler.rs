@@ -103,6 +103,7 @@ fn sweep_service() -> Scheduler {
         queue_capacity: 16,
         progress_stride: SampleStride::EVERY,
         dedup: true,
+        planner: None,
     })
 }
 
@@ -161,6 +162,7 @@ fn queued_and_running_jobs_both_cancel_and_queue_stays_bounded() {
         queue_capacity: 2,
         progress_stride: SampleStride::new(50),
         dedup: false,
+        planner: None,
     });
     // Occupy the single worker with a slow grid.
     let running = scheduler
@@ -224,6 +226,7 @@ fn mixed_workload_jobs_run_through_one_service() {
         queue_capacity: 8,
         progress_stride: SampleStride::new(5),
         dedup: true,
+        planner: None,
     });
     let mut cfg = PipelineConfig::small_demo();
     cfg.cells = (4, 4, 1);
