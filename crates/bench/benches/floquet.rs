@@ -1,0 +1,155 @@
+//! Criterion bench: the Floquet workload class (PR 9).
+//!
+//! Two stories:
+//!
+//! - `observer_*`: the streaming spectral observer against the bare
+//!   trace observer on the same driven 320-cell Yee grid — the
+//!   acceptance criterion is that the windowed-DFT accumulation (one
+//!   complex rotation per harmonic per step) stays inside a 10% step
+//!   overhead, i.e. spectra are effectively free relative to storing
+//!   the trace for post-hoc analysis.
+//! - `sweep_width_*`: the canonical 4-geometry SSH-dimer sweep as a
+//!   `RunPlan` batch at pool widths 1/2/4 (the service's execution
+//!   shape).
+//!
+//! After the timed groups the bench measures the overhead ratio
+//! directly (min-of-5 full runs per observer), *asserts* the 10%
+//! criterion, and prints the `BENCH_pr9.json` payload (schema in
+//! docs/BENCHMARKS.md).
+
+use criterion::{criterion_group, Criterion};
+use mlmd_core::engine::{CancelToken, Engine, RunPlan, TraceObserver};
+use mlmd_floquet::sweep::{DimerConfig, SuperlatticeSweep};
+use std::time::Instant;
+
+fn fixture(n_steps: usize) -> SuperlatticeSweep {
+    let mut sweep = SuperlatticeSweep::canonical(
+        [0.4, 0.7, 1.5, 2.5]
+            .into_iter()
+            .map(|dimerization| DimerConfig {
+                dimerization,
+                patch_period: 20,
+            })
+            .collect(),
+    );
+    sweep.n_steps = n_steps;
+    sweep
+}
+
+fn run_with_floquet(sweep: &SuperlatticeSweep) -> f64 {
+    let mut driver = sweep.driver(&sweep.configs[2]);
+    let mut obs = sweep.observer();
+    Engine::run(&mut driver, sweep.n_steps, &mut obs);
+    obs.finish().total_power()
+}
+
+fn run_with_trace(sweep: &SuperlatticeSweep) -> usize {
+    let mut driver = sweep.driver(&sweep.configs[2]);
+    let mut obs = TraceObserver::every();
+    Engine::run(&mut driver, sweep.n_steps, &mut obs);
+    obs.trace.len()
+}
+
+fn run_sweep_at_width(sweep: &SuperlatticeSweep, width: usize) -> usize {
+    let mut plan = RunPlan::new();
+    for config in &sweep.configs {
+        plan.push_cancellable(
+            sweep.driver(config),
+            sweep.observer(),
+            sweep.n_steps,
+            CancelToken::new(),
+        );
+    }
+    plan.execute_with_width(width)
+        .iter()
+        .map(|run| run.outcome.steps_done)
+        .sum()
+}
+
+fn bench_floquet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("floquet");
+    group.sample_size(10);
+
+    let sweep = fixture(2_000);
+    group.bench_function("observer_floquet", |b| {
+        b.iter(|| run_with_floquet(&sweep));
+    });
+    group.bench_function("observer_trace", |b| {
+        b.iter(|| run_with_trace(&sweep));
+    });
+    for width in [1usize, 2, 4] {
+        group.bench_function(format!("sweep_width_{width}"), |b| {
+            b.iter(|| run_sweep_at_width(&sweep, width));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_floquet);
+
+/// Smallest of `reps` full-run wall-clocks — minimum rather than mean,
+/// so a shared-CPU scheduling hiccup cannot fake an overhead.
+fn min_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    benches();
+
+    // The acceptance measurement behind BENCH_pr9.json. `--test` (the CI
+    // bench smoke) downsizes the horizon to stay seconds-scale.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (n_steps, reps) = if test_mode { (2_000, 5) } else { (20_000, 5) };
+    let sweep = fixture(n_steps);
+
+    let floquet = min_secs(reps, || {
+        run_with_floquet(&sweep);
+    });
+    let trace = min_secs(reps, || {
+        run_with_trace(&sweep);
+    });
+    let overhead = floquet / trace - 1.0;
+    assert!(
+        overhead < 0.10,
+        "FloquetObserver must stay under 10% step overhead vs TraceObserver, \
+         measured {:.1}% ({floquet:.6} s vs {trace:.6} s)",
+        overhead * 100.0
+    );
+
+    let widths: Vec<(usize, f64)> = [1usize, 2, 4]
+        .into_iter()
+        .map(|w| {
+            (
+                w,
+                min_secs(3, || {
+                    run_sweep_at_width(&sweep, w);
+                }),
+            )
+        })
+        .collect();
+
+    println!("floquet acceptance report (BENCH_pr9.json schema):");
+    println!("{{");
+    println!("  \"observer_overhead\": {{");
+    println!("    \"floquet_secs\": {floquet:.6},");
+    println!("    \"trace_secs\": {trace:.6},");
+    println!("    \"overhead_fraction\": {:.4},", (floquet / trace - 1.0));
+    println!("    \"criterion\": \"< 0.10 (asserted)\"");
+    println!("  }},");
+    println!("  \"sweep_throughput\": [");
+    for (i, (w, secs)) in widths.iter().enumerate() {
+        let comma = if i + 1 < widths.len() { "," } else { "" };
+        println!(
+            "    {{ \"pool_width\": {w}, \"secs\": {secs:.6}, \"steps\": {} }}{comma}",
+            sweep.total_steps()
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}

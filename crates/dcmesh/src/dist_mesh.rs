@@ -238,9 +238,9 @@ impl DistributedMeshDriver {
         let cfg = self.inner.config;
         // --- 1. LFD inner loop under the laser, band-sharded ---
         let t0_au = units::fs_to_au(self.inner.time_fs());
-        let pulse = self.inner.pulse;
+        let drive = self.inner.drive;
         let pol = self.inner.polarization_axis;
-        let field = move |t: f64| pol * pulse.field(t);
+        let field = move |t: f64| pol * drive.field(t);
         let psi_before = self.inner.shadow.download_wavefunctions_unmetered();
         let norb = psi_before.norb;
         let inner_res = if cfg.ehrenfest.self_consistent || self.hier.domain.size() == 1 {

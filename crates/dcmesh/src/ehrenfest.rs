@@ -14,7 +14,7 @@ use mlmd_lfd::hartree::solve_fft;
 use mlmd_lfd::occupation::Occupations;
 use mlmd_lfd::propagator::QdStep;
 use mlmd_lfd::wavefunction::WaveFunctions;
-use mlmd_maxwell::source::GaussianPulse;
+use mlmd_maxwell::source::Drive;
 use mlmd_numerics::vec3::Vec3;
 
 /// Settings for the inner loop.
@@ -106,9 +106,11 @@ pub fn run_inner_loop(
     }
 }
 
-/// Convenience: a linearly-polarized Gaussian pulse as the field closure.
-pub fn pulse_field(pulse: GaussianPulse, polarization: Vec3) -> impl Fn(f64) -> Vec3 {
-    move |t| polarization * pulse.field(t)
+/// Convenience: a linearly-polarized drive (any [`Drive`] shape — a
+/// bare Gaussian converts in place) as the field closure.
+pub fn pulse_field(drive: impl Into<Drive>, polarization: Vec3) -> impl Fn(f64) -> Vec3 {
+    let drive = drive.into();
+    move |t| polarization * drive.field(t)
 }
 
 /// Band-sharded half of the inner loop: propagate only the orbital
@@ -213,6 +215,7 @@ pub fn fold_inner_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mlmd_maxwell::source::GaussianPulse;
     use mlmd_numerics::grid::Grid3;
 
     /// Seven plane-wave modes = Γ plus all six ±1 modes: a k-symmetric

@@ -22,7 +22,7 @@ use crate::shadow::ShadowDomain;
 use mlmd_lfd::occupation::Occupations;
 use mlmd_lfd::potential::{ionic_potential, AtomSite};
 use mlmd_lfd::wavefunction::WaveFunctions;
-use mlmd_maxwell::source::GaussianPulse;
+use mlmd_maxwell::source::{Drive, GaussianPulse};
 use mlmd_maxwell::units;
 use mlmd_numerics::grid::Grid3;
 use mlmd_numerics::vec3::Vec3;
@@ -131,7 +131,7 @@ pub struct MeshDriverBuilder {
     occupations: Occupations,
     atoms: AtomsSystem,
     ferro: FerroModel,
-    pulse: GaussianPulse,
+    drive: Drive,
     tracked_sites: Vec<(usize, AtomSite)>,
     ledger: Arc<TransferLedger>,
     polarization_axis: Vec3,
@@ -154,7 +154,7 @@ impl MeshDriverBuilder {
             occupations,
             atoms,
             ferro,
-            pulse: GaussianPulse::new(0.0, 1.0, 4.0, 2.0),
+            drive: Drive::Gaussian(GaussianPulse::new(0.0, 1.0, 4.0, 2.0)),
             tracked_sites: Vec::new(),
             ledger: Arc::new(TransferLedger::new()),
             polarization_axis: Vec3::EZ,
@@ -168,7 +168,17 @@ impl MeshDriverBuilder {
     }
 
     pub fn pulse(mut self, pulse: GaussianPulse) -> Self {
-        self.pulse = pulse;
+        self.drive = Drive::Gaussian(pulse);
+        self
+    }
+
+    /// Drive the domain with any [`Drive`] shape (CW, chirp, train, …);
+    /// [`Self::pulse`] is the Gaussian special case. The drive is an
+    /// execution input, not a ground-state input — it is deliberately
+    /// excluded from [`Self::config_key`], so switching drive shapes
+    /// reuses the same warm-start checkpoint.
+    pub fn drive(mut self, drive: impl Into<Drive>) -> Self {
+        self.drive = drive.into();
         self
     }
 
@@ -267,7 +277,7 @@ impl MeshDriverBuilder {
             self.occupations,
             self.atoms,
             self.ferro,
-            self.pulse,
+            self.drive,
             self.tracked_sites,
             self.ledger,
         );
@@ -292,7 +302,7 @@ pub struct MeshDriver {
     pub shadow: ShadowDomain,
     pub atoms: AtomsSystem,
     pub ferro: FerroModel,
-    pub pulse: GaussianPulse,
+    pub drive: Drive,
     pub polarization_axis: Vec3,
     /// Reference orbital panel (t = 0) for excitation projection.
     pub(crate) psi0: WaveFunctions,
@@ -323,7 +333,7 @@ impl MeshDriver {
         occupations: Occupations,
         atoms: AtomsSystem,
         ferro: FerroModel,
-        pulse: GaussianPulse,
+        drive: impl Into<Drive>,
         tracked_sites: Vec<(usize, AtomSite)>,
         ledger: Arc<TransferLedger>,
     ) -> Self {
@@ -334,7 +344,7 @@ impl MeshDriver {
             occupations,
             atoms,
             ferro,
-            pulse,
+            drive,
             tracked_sites,
             ledger,
         )
@@ -351,7 +361,7 @@ impl MeshDriver {
         occupations: Occupations,
         atoms: AtomsSystem,
         ferro: FerroModel,
-        pulse: GaussianPulse,
+        drive: impl Into<Drive>,
         tracked_sites: Vec<(usize, AtomSite)>,
         ledger: Arc<TransferLedger>,
     ) -> Self {
@@ -366,7 +376,7 @@ impl MeshDriver {
             shadow,
             atoms,
             ferro,
-            pulse,
+            drive: drive.into(),
             polarization_axis: Vec3::EZ,
             psi0,
             occupied0,
@@ -406,12 +416,12 @@ impl MeshDriver {
         let cfg = self.config;
         // --- 1. LFD inner loop under the laser (device side) ---
         let t0_au = units::fs_to_au(self.time_fs);
-        let pulse = self.pulse;
+        let drive = self.drive;
         let pol = self.polarization_axis;
         let psi_before = self.shadow.download_wavefunctions_unmetered();
         let (_, inner) =
             self.shadow
-                .run_md_step(move |t| pol * pulse.field(t), t0_au, cfg.ehrenfest);
+                .run_md_step(move |t| pol * drive.field(t), t0_au, cfg.ehrenfest);
         let psi_after = self.shadow.download_wavefunctions_unmetered();
         // --- 2. excitation measurement (fold of the per-state kernel) ---
         let exc_terms: Vec<f64> = (0..psi_after.norb)

@@ -40,6 +40,18 @@ pub enum PlanJob {
     Md { steps: usize, atoms: usize },
     /// 1-D FDTD: `steps` Yee updates over `cells` cells.
     Fdtd { steps: usize, cells: usize },
+    /// A Floquet superlattice sweep: `runs` independent driven FDTD
+    /// configurations of `steps` Yee updates over `cells` cells each,
+    /// batched on the work-stealing pool. Costed from the measured
+    /// `fdtd_cell_step` (the streaming spectral observer rides inside
+    /// the pinned <10% overhead margin); the per-configuration
+    /// invariant extraction is O(grid²) closed-form work, charged as
+    /// free against FDTD stepping.
+    FloquetSweep {
+        runs: usize,
+        steps: usize,
+        cells: usize,
+    },
 }
 
 /// One chosen execution configuration with its predictions.
@@ -254,6 +266,27 @@ impl Planner {
                     predicted_secs: secs,
                     predicted_cost: secs,
                 }]
+            }
+            PlanJob::FloquetSweep { runs, steps, cells } => {
+                let per_run = steps as f64 * cells as f64 * self.calibration.fdtd_cell_step;
+                let candidate = |width: usize| {
+                    let parallel = width as f64;
+                    let secs = runs as f64 * per_run / parallel;
+                    RunPlan {
+                        ranks_per_domain: None,
+                        batch_width: width,
+                        sample_stride: 1,
+                        predicted_secs: secs,
+                        predicted_cost: secs * parallel,
+                    }
+                };
+                // Pool-wide batch preferred on ties, serial baseline kept.
+                let wide = self.pool_width.min(runs.max(1)).max(1);
+                let mut out = vec![candidate(wide)];
+                if wide != 1 {
+                    out.push(candidate(1));
+                }
+                out
             }
         }
     }
@@ -494,6 +527,29 @@ mod tests {
             .0
             .predicted_secs;
         assert!((f2 - 2.0 * f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floquet_sweep_batches_across_the_pool() {
+        let mut p = planner();
+        let job = PlanJob::FloquetSweep {
+            runs: 4,
+            steps: 1200,
+            cells: 320,
+        };
+        // 1-wide pool: serial, cost = 4 × steps × cells × per-cell.
+        let (plan, verdict) = p.plan(&job);
+        assert!(verdict.is_accept(), "{verdict}");
+        assert_eq!(plan.batch_width, 1);
+        let want = 4.0 * 1200.0 * 320.0 * 4.0e-9;
+        assert!((plan.predicted_secs - want).abs() < 1e-12);
+        // A wide pool splits wall-clock across the batch but occupies
+        // the same rank-seconds.
+        p.pool_width = 4;
+        let (wide, _) = p.plan(&job);
+        assert_eq!(wide.batch_width, 4);
+        assert!((wide.predicted_secs - want / 4.0).abs() < 1e-12);
+        assert!((wide.predicted_cost - plan.predicted_cost).abs() < 1e-12);
     }
 
     #[test]

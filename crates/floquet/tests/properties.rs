@@ -1,0 +1,106 @@
+//! Property tests: the streaming Floquet projection is exactly the
+//! offline windowed DFT of the stored trace — the contract that lets
+//! the observer skip post-hoc trace storage.
+
+use mlmd_core::engine::{Observer, StepInfo, Stepper};
+use mlmd_floquet::spectral::{offline_bins, FloquetObserver, Window};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random multi-tone signal: a few harmonics of
+/// ω₀ plus an incommensurate tone so both coherent and leaking content
+/// are exercised.
+struct Tone {
+    i: usize,
+    dt: f64,
+    omega0: f64,
+    amps: [f64; 3],
+    phases: [f64; 3],
+    stray: f64,
+}
+
+impl Stepper for Tone {
+    type Record = f64;
+
+    fn step(&mut self) -> f64 {
+        self.i += 1;
+        let t = self.i as f64 * self.dt;
+        let mut x = 0.3 * (self.stray * t).sin();
+        for (k, (a, p)) in self.amps.iter().zip(&self.phases).enumerate() {
+            x += a * ((k + 1) as f64 * self.omega0 * t + p).cos();
+        }
+        x
+    }
+
+    fn time_fs(&self) -> f64 {
+        self.i as f64 * self.dt
+    }
+}
+
+fn drive_and_compare(
+    window: Window,
+    steps: usize,
+    dt: f64,
+    omega0: f64,
+    amps: [f64; 3],
+    phases: [f64; 3],
+    stray: f64,
+) -> f64 {
+    let mut s = Tone {
+        i: 0,
+        dt,
+        omega0,
+        amps,
+        phases,
+        stray,
+    };
+    let n_harmonics = 4;
+    let mut obs = FloquetObserver::new(|_: &Tone, r: &f64| *r, dt, omega0, n_harmonics, steps)
+        .with_window(window);
+    let mut trace = Vec::with_capacity(steps);
+    for i in 0..steps {
+        let r = s.step();
+        trace.push(r);
+        obs.observe(
+            StepInfo {
+                index: i,
+                is_last: i == steps - 1,
+            },
+            &s,
+            &r,
+        );
+    }
+    let offline = offline_bins(&trace, dt, omega0, n_harmonics, window);
+    obs.finish()
+        .bins
+        .iter()
+        .zip(offline)
+        .map(|(bin, off)| (bin.amplitude - off).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn streaming_bins_match_offline_dft(
+        steps in 1usize..600,
+        dt in 0.05f64..0.8,
+        omega0 in 0.1f64..1.2,
+        a1 in 0.0f64..1.5,
+        a2 in 0.0f64..0.8,
+        a3 in 0.0f64..0.5,
+        p1 in 0.0f64..std::f64::consts::TAU,
+        stray in 0.05f64..2.0,
+        hann in 0usize..2,
+    ) {
+        let window = if hann == 1 { Window::Hann } else { Window::Rectangular };
+        let worst = drive_and_compare(
+            window, steps, dt, omega0, [a1, a2, a3], [p1, 0.4, 1.9], stray,
+        );
+        prop_assert!(
+            worst < 1e-10,
+            "streaming vs offline DFT diverged: {:e} ({:?}, {} steps)",
+            worst, window, steps
+        );
+    }
+}

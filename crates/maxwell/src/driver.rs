@@ -6,12 +6,12 @@
 //! density and source as arguments — the right shape for a caller that
 //! computes the matter response itself, but not steppable by a generic
 //! driver loop. [`PulsedYee`] and [`PulsedMultiscale`] close over the
-//! source (a [`GaussianPulse`] injected at a fixed node) and an Ohmic
+//! source (any [`Drive`] injected at a fixed node) and an Ohmic
 //! conduction response `J = σE`, which is exactly how every field loop in
 //! the examples and tests drives these solvers. The `mlmd-core` engine
 //! layer implements its `Stepper` contract on these wrappers.
 
-use crate::source::GaussianPulse;
+use crate::source::Drive;
 use crate::yee1d::Yee1d;
 use crate::MultiscaleMaxwell;
 
@@ -24,12 +24,12 @@ pub struct FieldRecord {
     pub energy: f64,
 }
 
-/// A 1-D Yee grid driven by a Gaussian soft source, with an optional
+/// A 1-D Yee grid driven by a soft [`Drive`] source, with an optional
 /// conductivity profile `σ(z)` feeding back `J = σE`.
 #[derive(Clone, Debug)]
 pub struct PulsedYee {
     pub field: Yee1d,
-    pub pulse: GaussianPulse,
+    pub drive: Drive,
     /// E-node where the soft source is injected.
     pub source_node: usize,
     /// Per-node conductivity (zeros = vacuum).
@@ -37,13 +37,14 @@ pub struct PulsedYee {
 }
 
 impl PulsedYee {
-    /// Vacuum grid with the source at `source_node`.
-    pub fn new(field: Yee1d, pulse: GaussianPulse, source_node: usize) -> Self {
+    /// Vacuum grid with the source at `source_node`. Accepts any drive
+    /// shape (a bare [`crate::source::GaussianPulse`] converts in place).
+    pub fn new(field: Yee1d, drive: impl Into<Drive>, source_node: usize) -> Self {
         assert!(source_node < field.len(), "source node outside the grid");
         let sigma = vec![0.0; field.len()];
         Self {
             field,
-            pulse,
+            drive: drive.into(),
             source_node,
             sigma,
         }
@@ -68,7 +69,7 @@ impl PulsedYee {
             .zip(&self.sigma)
             .map(|(e, s)| s * e)
             .collect();
-        let src = self.pulse.field(t) * self.field.dt;
+        let src = self.drive.field(t) * self.field.dt;
         self.field.step(&j, Some((self.source_node, src)));
         FieldRecord {
             time: self.field.time(),
@@ -93,13 +94,13 @@ pub struct MultiscaleRecord {
     pub energy: f64,
 }
 
-/// The multiscale Maxwell system driven by a Gaussian source with a
-/// per-cell Ohmic response `J_c = σ_c ⟨E⟩_c` — the linear stand-in for
+/// The multiscale Maxwell system driven by a soft [`Drive`] source with
+/// a per-cell Ohmic response `J_c = σ_c ⟨E⟩_c` — the linear stand-in for
 /// the microscopic DC-domain current during field propagation.
 #[derive(Clone, Debug)]
 pub struct PulsedMultiscale {
     pub sim: MultiscaleMaxwell,
-    pub pulse: GaussianPulse,
+    pub drive: Drive,
     /// E-node where the soft source is injected.
     pub source_node: usize,
     /// Per-matter-cell conductivity.
@@ -108,12 +109,12 @@ pub struct PulsedMultiscale {
 
 impl PulsedMultiscale {
     /// Vacuum-response cells (`σ = 0`) with the source at `source_node`.
-    pub fn new(sim: MultiscaleMaxwell, pulse: GaussianPulse, source_node: usize) -> Self {
+    pub fn new(sim: MultiscaleMaxwell, drive: impl Into<Drive>, source_node: usize) -> Self {
         assert!(source_node < sim.field.len(), "source node outside grid");
         let sigma = vec![0.0; sim.cells.len()];
         Self {
             sim,
-            pulse,
+            drive: drive.into(),
             source_node,
             sigma,
         }
@@ -144,7 +145,7 @@ impl PulsedMultiscale {
                 s * e
             })
             .collect();
-        let src = self.pulse.field(t) * self.sim.field.dt;
+        let src = self.drive.field(t) * self.sim.field.dt;
         let vector_potentials = self.sim.step(&currents, Some((self.source_node, src)));
         MultiscaleRecord {
             time: self.sim.field.time(),
@@ -162,6 +163,20 @@ impl PulsedMultiscale {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::source::{CwDrive, GaussianPulse};
+
+    #[test]
+    fn cw_driven_yee_reaches_steady_oscillation() {
+        let drive = CwDrive::new(0.1, 0.3).with_ramp(60.0);
+        let mut sim = PulsedYee::new(Yee1d::new(300, 1.0, 0.5), drive, 50);
+        let mut probe = Vec::new();
+        for _ in 0..2000 {
+            sim.advance();
+            probe.push(sim.field.ex[120]);
+        }
+        let late_peak = probe[1200..].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!(late_peak > 0.01, "CW drive must sustain the field");
+    }
 
     #[test]
     fn pulsed_yee_matches_hand_rolled_loop() {

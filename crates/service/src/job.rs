@@ -34,8 +34,9 @@ use mlmd_core::pipeline::{Pipeline, PumpProbeRun, MESH_STAGE_NGRID, MESH_STAGE_N
 use mlmd_dcmesh::mesh::MeshStepRecord;
 use mlmd_dcmesh::WarmStartPolicy;
 use mlmd_exasim::planner::PlanJob;
+use mlmd_floquet::sweep::{SuperlatticeSweep, SweepPoint};
 use mlmd_maxwell::driver::{FieldRecord, PulsedYee};
-use mlmd_maxwell::source::GaussianPulse;
+use mlmd_maxwell::source::{Drive, GaussianPulse};
 use mlmd_maxwell::yee1d::Yee1d;
 use mlmd_numerics::codec::Fnv64;
 use mlmd_qxmd::md_stage::MdRecord;
@@ -75,6 +76,7 @@ const SWEEP_SALT: u64 = u64::from_le_bytes(*b"job-swp\0");
 const MESH_SALT: u64 = u64::from_le_bytes(*b"job-mesh");
 const MD_SALT: u64 = u64::from_le_bytes(*b"job-md\0\0");
 const FDTD_SALT: u64 = u64::from_le_bytes(*b"job-fdtd");
+const FLOQUET_SALT: u64 = u64::from_le_bytes(*b"job-flq\0");
 
 /// One simulation request, as data.
 #[derive(Clone, Debug)]
@@ -111,6 +113,11 @@ pub enum JobSpec {
         source_node: usize,
         n_steps: usize,
     },
+    /// An SSH-dimer superlattice geometry scan under a fixed periodic
+    /// drive, with streaming Floquet spectra and per-configuration band
+    /// invariants — the workload of
+    /// [`SuperlatticeSweep::execute`].
+    FloquetSweep { sweep: SuperlatticeSweep },
 }
 
 /// What a finished job hands back.
@@ -122,6 +129,7 @@ pub enum JobResult {
     Mesh(Vec<MeshStepRecord>),
     Md(Vec<MdRecord>),
     Fdtd(Vec<FieldRecord>),
+    Floquet(Vec<SweepPoint>),
 }
 
 /// A job's result plus how the execution ended. A cancelled job reports
@@ -151,6 +159,48 @@ fn hash_supercell(h: &mut Fnv64, cfg: &PipelineConfig) {
     h.write_u64(cfg.skyrmions.1 as u64);
     h.write_f64(cfg.skyrmion_radius);
     h.write_f64(cfg.u0);
+}
+
+/// Every parameter of a [`Drive`] that enters the field values, tagged
+/// per variant so a CW drive can never collide with a pulse train of
+/// the same amplitudes.
+fn hash_drive(h: &mut Fnv64, drive: &Drive) {
+    match drive {
+        Drive::Gaussian(p) => {
+            h.write_u64(1);
+            h.write_f64(p.e0);
+            h.write_f64(p.omega);
+            h.write_f64(p.t0);
+            h.write_f64(p.sigma);
+            h.write_f64(p.phase);
+        }
+        Drive::Cw(d) => {
+            h.write_u64(2);
+            h.write_f64(d.e0);
+            h.write_f64(d.omega);
+            h.write_f64(d.phase);
+            h.write_f64(d.ramp_time);
+        }
+        Drive::Chirped(p) => {
+            h.write_u64(3);
+            h.write_f64(p.e0);
+            h.write_f64(p.omega);
+            h.write_f64(p.t0);
+            h.write_f64(p.sigma);
+            h.write_f64(p.phase);
+            h.write_f64(p.chirp);
+        }
+        Drive::Train(p) => {
+            h.write_u64(4);
+            h.write_f64(p.base.e0);
+            h.write_f64(p.base.omega);
+            h.write_f64(p.base.t0);
+            h.write_f64(p.base.sigma);
+            h.write_f64(p.base.phase);
+            h.write_u64(p.count as u64);
+            h.write_f64(p.spacing);
+        }
+    }
 }
 
 impl JobSpec {
@@ -201,6 +251,15 @@ impl JobSpec {
         }
     }
 
+    /// A superlattice geometry scan under a fixed periodic drive.
+    pub fn floquet_sweep(sweep: SuperlatticeSweep) -> Self {
+        assert!(
+            !sweep.configs.is_empty(),
+            "sweep needs at least one geometry"
+        );
+        JobSpec::FloquetSweep { sweep }
+    }
+
     /// A short human label for logs and progress displays.
     pub fn label(&self) -> &'static str {
         match self {
@@ -208,6 +267,7 @@ impl JobSpec {
             JobSpec::MeshRun { .. } => "mesh-run",
             JobSpec::MdRun { .. } => "md-run",
             JobSpec::FdtdPulse { .. } => "fdtd-pulse",
+            JobSpec::FloquetSweep { .. } => "floquet-sweep",
         }
     }
 
@@ -221,6 +281,7 @@ impl JobSpec {
             JobSpec::MeshRun { n_steps, .. }
             | JobSpec::MdRun { n_steps, .. }
             | JobSpec::FdtdPulse { n_steps, .. } => *n_steps,
+            JobSpec::FloquetSweep { sweep } => sweep.total_steps(),
         }
     }
 
@@ -289,6 +350,23 @@ impl JobSpec {
                 h.write_u64(*source_node as u64);
                 h.write_u64(*n_steps as u64);
             }
+            JobSpec::FloquetSweep { sweep } => {
+                h.write_u64(FLOQUET_SALT);
+                hash_drive(&mut h, &sweep.drive);
+                h.write_u64(sweep.n_cells as u64);
+                h.write_f64(sweep.dz);
+                h.write_f64(sweep.dt);
+                h.write_u64(sweep.n_steps as u64);
+                h.write_f64(sweep.sigma_patch);
+                h.write_u64(sweep.n_harmonics as u64);
+                h.write_u64(sweep.invariant_grid as u64);
+                h.write_u64(sweep.chain_pairs as u64);
+                h.write_u64(sweep.configs.len() as u64);
+                for c in &sweep.configs {
+                    h.write_f64(c.dimerization);
+                    h.write_u64(c.patch_period as u64);
+                }
+            }
         }
         h.finish()
     }
@@ -333,6 +411,11 @@ impl JobSpec {
             } => PlanJob::Fdtd {
                 steps: *n_steps,
                 cells: *n_cells,
+            },
+            JobSpec::FloquetSweep { sweep } => PlanJob::FloquetSweep {
+                runs: sweep.configs.len(),
+                steps: sweep.n_steps,
+                cells: sweep.n_cells,
             },
         }
     }
@@ -460,6 +543,26 @@ impl JobSpec {
                     steps_done: outcome.steps_done,
                 }
             }
+            JobSpec::FloquetSweep { sweep } => {
+                // One engine pass per geometry: the progress observer
+                // wraps the spectral accumulator, so streaming events
+                // and the Floquet bins come from the same step loop.
+                let per_run = sweep.n_steps;
+                let points = sweep.execute_observed(
+                    cancel,
+                    |run, obs| {
+                        ProgressObserver::new(obs, progress_stride, sink.clone(), id, run, per_run)
+                    },
+                    |obs| obs.into_inner(),
+                );
+                let cancelled = points.iter().any(|p| p.outcome.cancelled);
+                let steps_done = points.iter().map(|p| p.outcome.steps_done).sum();
+                JobOutput {
+                    result: JobResult::Floquet(points),
+                    cancelled,
+                    steps_done,
+                }
+            }
         }
     }
 }
@@ -543,6 +646,72 @@ mod tests {
                 assert_eq!(ra.n_exc.to_bits(), rb.n_exc.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn floquet_keys_fold_drive_and_geometry() {
+        use mlmd_floquet::sweep::DimerConfig;
+        let configs = |etas: &[f64]| -> Vec<DimerConfig> {
+            etas.iter()
+                .map(|&dimerization| DimerConfig {
+                    dimerization,
+                    patch_period: 20,
+                })
+                .collect()
+        };
+        let base = SuperlatticeSweep::canonical(configs(&[0.5, 2.0]));
+        let key = JobSpec::floquet_sweep(base.clone()).dedup_key();
+        assert_eq!(
+            key,
+            JobSpec::floquet_sweep(base.clone()).dedup_key(),
+            "identical sweeps, one key"
+        );
+        // A different geometry list, drive, or workload class breaks it.
+        let mut other = base.clone();
+        other.configs = configs(&[0.5, 2.5]);
+        assert_ne!(key, JobSpec::floquet_sweep(other).dedup_key());
+        let mut other = base.clone();
+        other.drive = GaussianPulse::new(0.08, 0.3, 20.0, 8.0).into();
+        assert_ne!(key, JobSpec::floquet_sweep(other).dedup_key());
+        assert_ne!(
+            key,
+            JobSpec::fdtd_pulse(base.n_cells, 0.08, 0.3, base.n_steps).dedup_key()
+        );
+    }
+
+    #[test]
+    fn floquet_job_runs_and_cancels() {
+        use mlmd_floquet::sweep::DimerConfig;
+        let mut sweep = SuperlatticeSweep::canonical(
+            [0.5, 2.0]
+                .into_iter()
+                .map(|dimerization| DimerConfig {
+                    dimerization,
+                    patch_period: 20,
+                })
+                .collect(),
+        );
+        sweep.n_steps = 120;
+        let spec = JobSpec::floquet_sweep(sweep);
+        let out = spec.run(
+            &CancelToken::new(),
+            &EventSink::new(),
+            JobId(7),
+            SampleStride::new(40),
+        );
+        assert!(!out.cancelled);
+        assert_eq!(out.steps_done, spec.total_steps());
+        let JobResult::Floquet(points) = out.result else {
+            panic!("floquet result expected");
+        };
+        assert_eq!(points.len(), 2);
+        assert!(!points[0].topological && points[1].topological);
+        // Pre-cancelled: zero steps, every point flagged.
+        let token = CancelToken::new();
+        token.cancel();
+        let out = spec.run(&token, &EventSink::new(), JobId(8), SampleStride::EVERY);
+        assert!(out.cancelled);
+        assert_eq!(out.steps_done, 0);
     }
 
     #[test]

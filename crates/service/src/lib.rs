@@ -4,8 +4,9 @@
 //! light-matter workloads; the ROADMAP north star is heavy multi-client
 //! traffic. This crate is that layer: a persistent, multi-tenant job
 //! service over the engine seam (`mlmd_core::engine`), so N clients
-//! submitting pump–probe sweeps, MESH runs, MD relaxations, and FDTD
-//! pulses share one process, one work-stealing pool, and one ground-state
+//! submitting pump–probe sweeps, MESH runs, MD relaxations, FDTD
+//! pulses, and Floquet superlattice sweeps share one process, one
+//! work-stealing pool, and one ground-state
 //! cache — instead of each owning a blocking `Pipeline` call.
 //!
 //! The pieces, bottom-up:

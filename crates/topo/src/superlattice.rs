@@ -27,6 +27,20 @@ pub enum Texture {
     Vortex { cx: f64, cy: f64 },
     /// 180° stripe domains of the given period (cells) along x.
     Stripes { period: f64 },
+    /// SSH-style dimerized patch superlattice along x: two reversed
+    /// (core-down) Néel patches per `period`, with the intra-pair /
+    /// inter-pair gap ratio set by `dimerization` η (consecutive gaps
+    /// `g₁ = L/(1+η)` and `g₂ = Lη/(1+η)`, so `g₂/g₁ = η`; η = 1 is the
+    /// undimerized chain). The photonic analogue is Midya & Feng's
+    /// topological multiband superlattice.
+    SshDimer { period: f64, dimerization: f64 },
+    /// The dimer chain's Bloch map drawn on the box as a Brillouin
+    /// torus (`k = 2π·(x/lx, y/ly)`): the Qi–Wu–Zhang-style unit field
+    /// `d̂`, `d = (sin kx, sin ky, m + cos kx + cos ky)` with the mass
+    /// `m = 2(1−η)/(1+η) ∈ (−2, 2)` set by the dimerization η. Its
+    /// Berg–Lüscher charge is the band Chern invariant: it flips sign
+    /// across the η = 1 transition.
+    DimerBloch { lx: f64, ly: f64, dimerization: f64 },
 }
 
 impl Texture {
@@ -68,6 +82,56 @@ impl Texture {
                 let phase = (x / period) * std::f64::consts::PI;
                 // Néel-rotating stripes (smooth walls).
                 Vec3::new(phase.sin() * 0.3, 0.0, phase.cos()).normalized()
+            }
+            Texture::SshDimer {
+                period,
+                dimerization,
+            } => {
+                // Patch centers per unit cell at 0 and g₁; the gap to the
+                // next cell's first patch is g₂ = η·g₁.
+                let g1 = period / (1.0 + dimerization);
+                let u = x.rem_euclid(period);
+                // Signed offset to the nearest of the three candidate
+                // centers seen from inside this cell: 0, g₁, period.
+                let dx = [u, u - g1, u - period]
+                    .into_iter()
+                    .fold(
+                        f64::INFINITY,
+                        |best, d| {
+                            if d.abs() < best.abs() {
+                                d
+                            } else {
+                                best
+                            }
+                        },
+                    );
+                // Néel wall profile around each center; the half-width
+                // stays inside the smaller gap so patches never merge.
+                let w = 0.45 * g1.min(period - g1);
+                let rho = dx.abs();
+                if rho >= w {
+                    Vec3::EZ
+                } else {
+                    let theta = std::f64::consts::PI * (1.0 - rho / w);
+                    let sgn = if dx >= 0.0 { 1.0 } else { -1.0 };
+                    Vec3::new(theta.sin() * sgn, 0.0, theta.cos())
+                }
+            }
+            Texture::DimerBloch {
+                lx,
+                ly,
+                dimerization,
+            } => {
+                let kx = 2.0 * std::f64::consts::PI * x / lx;
+                let ky = 2.0 * std::f64::consts::PI * y / ly;
+                let m = 2.0 * (1.0 - dimerization) / (1.0 + dimerization);
+                let d = Vec3::new(kx.sin(), ky.sin(), m + kx.cos() + ky.cos());
+                if d.norm() < 1e-12 {
+                    // Gap closure point (only hit exactly at η = 1).
+                    Vec3::EZ
+                } else {
+                    d.normalized()
+                }
             }
         }
     }
@@ -149,6 +213,63 @@ mod tests {
     }
 
     #[test]
+    fn ssh_dimer_patches_sit_at_dimerized_gaps() {
+        let period = 24.0;
+        let eta = 2.0;
+        let t = Texture::SshDimer {
+            period,
+            dimerization: eta,
+        };
+        let g1 = period / (1.0 + eta); // = 8
+                                       // Core-down at both patch centers of the first cell…
+        assert!(t.direction(0.0, 3.0).z < -0.99);
+        assert!(t.direction(g1, 3.0).z < -0.99);
+        // …and at the next cell's first patch, one g₂ = η·g₁ further.
+        assert!(t.direction(period, 3.0).z < -0.99);
+        // Mid-gap is an up domain on both gap types.
+        assert!(t.direction(0.5 * g1, 0.0).z > 0.99);
+        assert!(t.direction(g1 + 0.5 * (period - g1), 0.0).z > 0.99);
+        // Uniform along y.
+        let a = t.direction(5.0, 1.0);
+        let b = t.direction(5.0, 17.0);
+        assert!((a - b).norm() < 1e-15);
+    }
+
+    #[test]
+    fn ssh_dimer_undimerized_is_evenly_spaced() {
+        let t = Texture::SshDimer {
+            period: 20.0,
+            dimerization: 1.0,
+        };
+        // η = 1: patch at 0 and 10 — the pattern has effective period 10.
+        for x in 0..40 {
+            let a = t.direction(x as f64 * 0.5, 0.0);
+            let b = t.direction(x as f64 * 0.5 + 10.0, 0.0);
+            assert!((a - b).norm() < 1e-12, "x = {}", x as f64 * 0.5);
+        }
+    }
+
+    #[test]
+    fn dimer_bloch_mass_sign_tracks_dimerization() {
+        // At k = 0 the field is d = (0, 0, m + 2): up for every η. At
+        // k = (π, π) it is (0, 0, m − 2): down for every η. The mass at
+        // k = (π, 0) → (0, 0, m) carries the transition: up for η < 1,
+        // down for η > 1.
+        let n = 16.0;
+        for (eta, up) in [(0.5, true), (2.0, false)] {
+            let t = Texture::DimerBloch {
+                lx: n,
+                ly: n,
+                dimerization: eta,
+            };
+            assert!(t.direction(0.0, 0.0).z > 0.9);
+            assert!(t.direction(n / 2.0, n / 2.0).z < -0.9);
+            let mid = t.direction(n / 2.0, 0.0);
+            assert_eq!(mid.z > 0.0, up, "η = {eta}: {mid:?}");
+        }
+    }
+
+    #[test]
     fn displacement_scales() {
         let t = Texture::Uniform;
         let f = t.displacement(0.3);
@@ -162,6 +283,15 @@ mod tests {
             Texture::skyrmion(6.0, 6.0, 4.0),
             Texture::Vortex { cx: 6.0, cy: 6.0 },
             Texture::Stripes { period: 5.0 },
+            Texture::SshDimer {
+                period: 9.0,
+                dimerization: 1.7,
+            },
+            Texture::DimerBloch {
+                lx: 12.0,
+                ly: 12.0,
+                dimerization: 0.6,
+            },
         ] {
             for i in 0..12 {
                 for j in 0..12 {

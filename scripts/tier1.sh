@@ -49,6 +49,12 @@ cargo test -q --test planner
 echo "==> cargo bench -p mlmd-bench --bench planner -- --test  (smoke)"
 cargo bench -p mlmd-bench --bench planner -- --test
 
+echo "==> cargo test -q --test floquet_sweep  (Floquet workload: transition detection through the planner-gated service)"
+cargo test -q --test floquet_sweep
+
+echo "==> cargo bench -p mlmd-bench --bench floquet -- --test  (smoke + <10% observer-overhead assert)"
+cargo bench -p mlmd-bench --bench floquet -- --test
+
 echo "==> cargo doc --no-deps  (warnings as errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

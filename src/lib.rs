@@ -12,7 +12,9 @@
 //! * **XS-NNQMD** ([`nnqmd`]) — excited-state neural-network quantum MD
 //!   with Allegro-lite equivariant potentials.
 //!
-//! plus [`topo`] (topological superlattice analysis), [`exasim`] (the
+//! plus [`topo`] (topological superlattice analysis), [`floquet`]
+//! (periodic-drive workloads: CW/chirped/train sources, streaming
+//! Floquet spectra, superlattice invariant sweeps), [`exasim`] (the
 //! simulated-Aurora performance model behind the scaling figures),
 //! [`core`] (the DCR/MSA orchestration pipeline of Fig. 3), and
 //! [`service`] (the multi-tenant job service: bounded priority queue,
@@ -35,6 +37,7 @@
 pub use mlmd_core as core;
 pub use mlmd_dcmesh as dcmesh;
 pub use mlmd_exasim as exasim;
+pub use mlmd_floquet as floquet;
 pub use mlmd_lfd as lfd;
 pub use mlmd_maxwell as maxwell;
 pub use mlmd_nnqmd as nnqmd;
