@@ -1,5 +1,6 @@
 //! Criterion bench: the Table V hotspot kernels (CGEMMs, nlp_prop,
-//! kin_prop) on a fixed domain.
+//! kin_prop) on a fixed domain, plus the PR-10 blocked-vs-naive GEMM
+//! A/B with analytic GFLOP/s from the kernel flop tally.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mlmd_lfd::kin_prop::{KinImpl, KinProp};
@@ -7,11 +8,14 @@ use mlmd_lfd::nlp_prop::{NlpPrecision, NlpProp};
 use mlmd_lfd::wavefunction::WaveFunctions;
 use mlmd_numerics::cgemm::{overlap, rank_update};
 use mlmd_numerics::complex::c64;
-use mlmd_numerics::flops::FlopCounter;
+use mlmd_numerics::flops::{gemm_tally, reset_gemm_tally, FlopCounter};
+use mlmd_numerics::gemm::{gemm_blocked, gemm_naive};
 use mlmd_numerics::grid::Grid3;
 use mlmd_numerics::matrix::Matrix;
+use mlmd_numerics::rng::{Rng64, SplitMix64};
 use mlmd_numerics::vec3::Vec3;
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_hotspots(c: &mut Criterion) {
     let grid = Grid3::new(16, 16, 16, 0.5);
@@ -60,5 +64,101 @@ fn bench_hotspots(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hotspots);
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+    let mut rng = SplitMix64::new(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.next_f64() - 0.5)
+}
+
+/// Best-of-`reps` wall time of `f` in seconds — a fixed internal
+/// repetition count so the A/B gate below stays stable even under the
+/// one-sample `--test` smoke mode.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Blocked-vs-naive f64 GEMM on the two hot-path groups, with analytic
+/// GFLOP/s from the thread-local kernel flop tally, and the PR-10
+/// acceptance gate: the blocked kernel must be ≥1.3× the naive oracle on
+/// at least one group.
+fn bench_gemm_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pr10_gemm_blocking");
+    group.sample_size(10);
+
+    // Group 1 — the DC-MESH skewed-panel shape shared with
+    // `scaling.rs::gemm_skewed_panels`: seven 1-column panels plus one
+    // ragged 25-column trailer of a (64×64)·(64×32) product.
+    let (m, k, n) = (64usize, 64usize, 32usize);
+    let a = random_matrix(m, k, 1);
+    let b = random_matrix(k, n, 2);
+    let panels: Vec<(usize, usize)> = (0..7).map(|j| (j, 1)).chain([(7, 25)]).collect();
+    type Gemm<'a> = &'a dyn Fn(&Matrix<f64>, &Matrix<f64>, &mut Matrix<f64>);
+    let run_panels = |kernel: Gemm| {
+        for &(j0, w) in &panels {
+            let bp = Matrix::from_fn(k, w, |p, j| b[(p, j0 + j)]);
+            let mut cp = Matrix::<f64>::zeros(m, w);
+            kernel(black_box(&a), &bp, &mut cp);
+            black_box(cp);
+        }
+    };
+    group.bench_function("skewed_panels_naive", |bch| {
+        bch.iter(|| run_panels(&|a, b, c| gemm_naive(1.0, a, b, 0.0, c)));
+    });
+    group.bench_function("skewed_panels_blocked", |bch| {
+        bch.iter(|| run_panels(&|a, b, c| gemm_blocked(1.0, a, b, 0.0, c)));
+    });
+
+    // Group 2 — the orbital-block panel kernel: a cache-resident-exceeding
+    // square product, the shape of the subspace rotations in the LFD
+    // propagators at production orbital counts.
+    let nn = 256usize;
+    let a2 = random_matrix(nn, nn, 3);
+    let b2 = random_matrix(nn, nn, 4);
+    let mut c2 = Matrix::<f64>::zeros(nn, nn);
+    group.bench_function("square256_naive", |bch| {
+        bch.iter(|| gemm_naive(1.0, black_box(&a2), &b2, 0.0, &mut c2));
+    });
+    group.bench_function("square256_blocked", |bch| {
+        bch.iter(|| gemm_blocked(1.0, black_box(&a2), &b2, 0.0, &mut c2));
+    });
+    group.finish();
+
+    // ---- A/B gate + analytic GFLOP/s (independent of criterion sampling).
+    let t_skew_naive = best_secs(5, || run_panels(&|a, b, c| gemm_naive(1.0, a, b, 0.0, c)));
+    let t_skew_blocked = best_secs(5, || run_panels(&|a, b, c| gemm_blocked(1.0, a, b, 0.0, c)));
+    let t_sq_naive = best_secs(3, || gemm_naive(1.0, &a2, &b2, 0.0, &mut c2));
+    let t_sq_blocked = best_secs(3, || gemm_blocked(1.0, &a2, &b2, 0.0, &mut c2));
+
+    reset_gemm_tally();
+    run_panels(&|a, b, c| gemm_blocked(1.0, a, b, 0.0, c));
+    let fl_skew = gemm_tally() as f64;
+    reset_gemm_tally();
+    gemm_blocked(1.0, &a2, &b2, 0.0, &mut c2);
+    let fl_sq = gemm_tally() as f64;
+
+    let s_skew = t_skew_naive / t_skew_blocked;
+    let s_sq = t_sq_naive / t_sq_blocked;
+    println!(
+        "pr10_gemm_blocking/skewed_panels: {fl_skew:.0} flops, naive {:.3} GF/s, blocked {:.3} GF/s, speedup {s_skew:.2}x",
+        fl_skew / t_skew_naive / 1e9,
+        fl_skew / t_skew_blocked / 1e9,
+    );
+    println!(
+        "pr10_gemm_blocking/square256: {fl_sq:.0} flops, naive {:.3} GF/s, blocked {:.3} GF/s, speedup {s_sq:.2}x",
+        fl_sq / t_sq_naive / 1e9,
+        fl_sq / t_sq_blocked / 1e9,
+    );
+    assert!(
+        s_skew.max(s_sq) >= 1.3,
+        "blocked f64 GEMM must be >=1.3x naive on a hot-path group \
+         (skewed panels {s_skew:.2}x, square256 {s_sq:.2}x)"
+    );
+}
+
+criterion_group!(benches, bench_hotspots, bench_gemm_blocking);
 criterion_main!(benches);

@@ -32,6 +32,7 @@ use mlmd_dcmesh::dist_mesh::DistributedMeshDriver;
 use mlmd_dcmesh::mesh::{MeshDriver, MeshStepRecord};
 use mlmd_maxwell::driver::{FieldRecord, MultiscaleRecord, PulsedMultiscale, PulsedYee};
 use mlmd_nnqmd::md::{NnForceField, NnMdLoop, NnMdRecord};
+use mlmd_nnqmd::NnMdEnsemble;
 use mlmd_qxmd::ferro::FerroModel;
 use mlmd_qxmd::integrator::ForceField;
 use mlmd_qxmd::md_stage::{MdRecord, MdStage};
@@ -473,6 +474,21 @@ impl Stepper for NnMdLoop {
     }
 }
 
+/// The cross-domain batched ensemble advances all member domains in
+/// lockstep; its per-step record is the vector of member records, in
+/// domain order.
+impl Stepper for NnMdEnsemble {
+    type Record = Vec<NnMdRecord>;
+
+    fn step(&mut self) -> Vec<NnMdRecord> {
+        self.advance()
+    }
+
+    fn time_fs(&self) -> f64 {
+        NnMdEnsemble::time_fs(self)
+    }
+}
+
 // ------------------------------------------------- supercell force model
 
 /// The supercell force model of the pipeline's MD stages: the analytic
@@ -736,6 +752,47 @@ mod tests {
         assert_eq!(obs.trace, vec![0, 1, 4, 9, 16, 25, 36]);
         let collected = Engine::run_collect(&mut Counter { n: 0 }, 7);
         assert_eq!(collected, obs.trace);
+    }
+
+    #[test]
+    fn ensemble_stepper_matches_direct_advances() {
+        use mlmd_nnqmd::{AllegroLite, ModelConfig};
+        let model = AllegroLite::new(
+            ModelConfig {
+                hidden: 6,
+                k_max: 4,
+                rcut: 3.5,
+            },
+            41,
+        );
+        let domains: Vec<AtomsSystem> = (0..2)
+            .map(|d| {
+                let mut sys = mlmd_qxmd::perovskite::PerovskiteLattice::uniform(
+                    2,
+                    2,
+                    2,
+                    Vec3::new(0.0, 0.0, 0.1),
+                )
+                .system;
+                let mut rng = Xoshiro256::new(7 + d as u64);
+                sys.thermalize(40.0, &mut rng);
+                sys
+            })
+            .collect();
+        let mut direct = NnMdEnsemble::new(domains.clone(), model.clone(), 0.5, 2);
+        let mut stepped = NnMdEnsemble::new(domains, model, 0.5, 2);
+        let collected = Engine::run_collect(&mut stepped, 3);
+        assert_eq!(collected.len(), 3);
+        for _ in 0..3 {
+            let want = direct.advance();
+            let got = &collected[direct.steps_taken() - 1];
+            assert_eq!(want.len(), got.len());
+            for (w, g) in want.iter().zip(got) {
+                assert_eq!(w.potential_energy.to_bits(), g.potential_energy.to_bits());
+                assert_eq!(w.kinetic_energy.to_bits(), g.kinetic_energy.to_bits());
+            }
+        }
+        assert_eq!(stepped.time_fs(), direct.time_fs());
     }
 
     #[test]

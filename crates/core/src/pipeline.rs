@@ -411,7 +411,7 @@ impl Pipeline {
                 },
                 cfg.seed,
             );
-            NnForceField { model, n_batches }
+            NnForceField::with_batches(model, n_batches)
         });
         let force = SupercellForce {
             ferro: self.ferro.clone(),

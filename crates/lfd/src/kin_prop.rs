@@ -91,12 +91,47 @@ impl BondCoeffs {
     }
 }
 
+/// Plan-time partition of one bond set into branch-free runs (PR 10).
+///
+/// `fwd` bonds have the a-operand at the lower grid index (the common,
+/// non-wrapping case); `wrap` bonds cross the periodic boundary, so their
+/// a-operand sits at the *higher* index and the split-borrow direction
+/// reverses. Partitioning once at plan time removes the per-bond
+/// `(lo, hi, first_is_lo)` branch from the innermost sweep loop, leaving
+/// two straight-line loops the autovectorizer can unroll. Bonds within a
+/// set touch disjoint grid-point pairs, so executing the two lists
+/// back-to-back is bit-identical to the interleaved traversal.
+#[derive(Default)]
+struct BondSetPlan {
+    /// `(lo, hi)` with the a-operand at `lo`.
+    fwd: Vec<(u32, u32)>,
+    /// `(lo, hi)` with the a-operand at `hi` (periodic wrap bonds).
+    wrap: Vec<(u32, u32)>,
+}
+
+impl BondSetPlan {
+    fn from_bonds(bonds: &[(u32, u32)]) -> Self {
+        let mut plan = Self::default();
+        for &(g1, g2) in bonds {
+            if g1 < g2 {
+                plan.fwd.push((g1, g2));
+            } else {
+                plan.wrap.push((g2, g1));
+            }
+        }
+        plan
+    }
+}
+
 /// Planned kinetic propagator for one grid geometry.
 pub struct KinProp {
     grid: Grid3,
     /// Bond lists: [x-even, x-odd, y-even, y-odd, z-even, z-odd], each a
     /// disjoint set of (g1, g2) grid-index pairs.
     bonds: [Vec<(u32, u32)>; 6],
+    /// Branch-free execution plans for the Blocked/Parallel tiers, one per
+    /// bond set.
+    plans: [BondSetPlan; 6],
     /// Orbital block size for the Blocked/Parallel tiers.
     pub block: usize,
 }
@@ -137,9 +172,18 @@ impl KinProp {
                 }
             }
         }
+        let plans = [
+            BondSetPlan::from_bonds(&bonds[0]),
+            BondSetPlan::from_bonds(&bonds[1]),
+            BondSetPlan::from_bonds(&bonds[2]),
+            BondSetPlan::from_bonds(&bonds[3]),
+            BondSetPlan::from_bonds(&bonds[4]),
+            BondSetPlan::from_bonds(&bonds[5]),
+        ];
         Self {
             grid,
             bonds,
+            plans,
             block: 8,
         }
     }
@@ -293,31 +337,30 @@ impl KinProp {
                 for sweep in 0..12 {
                     let set = if sweep < 6 { sweep } else { 11 - sweep };
                     let c = coeffs[set];
-                    for &(g1, g2) in &self.bonds[set] {
-                        let b1 = g1 as usize * bw;
-                        let b2 = g2 as usize * bw;
-                        // Split-borrow the two disjoint orbital runs so the
-                        // inner loop is bounds-check-free and vectorizable.
-                        let (lo, hi, first_is_lo) = if b1 < b2 {
-                            (b1, b2, true)
-                        } else {
-                            (b2, b1, false)
-                        };
-                        let (head, tail) = panel.split_at_mut(hi);
-                        let run_lo = &mut head[lo..lo + bw];
-                        let run_hi = &mut tail[..bw];
-                        if first_is_lo {
-                            for (x, y) in run_lo.iter_mut().zip(run_hi.iter_mut()) {
-                                let (na, nb) = c.mix(*x, *y);
-                                *x = na;
-                                *y = nb;
-                            }
-                        } else {
-                            for (y, x) in run_lo.iter_mut().zip(run_hi.iter_mut()) {
-                                let (na, nb) = c.mix(*x, *y);
-                                *x = na;
-                                *y = nb;
-                            }
+                    let plan = &self.plans[set];
+                    // The plan-time fwd/wrap partition makes both loops
+                    // branch-free; bonds in a set are disjoint, so the
+                    // regrouped order is bit-identical (see BondSetPlan).
+                    for &(lo, hi) in &plan.fwd {
+                        let b_lo = lo as usize * bw;
+                        let (head, tail) = panel.split_at_mut(hi as usize * bw);
+                        let run_a = &mut head[b_lo..b_lo + bw];
+                        let run_b = &mut tail[..bw];
+                        for (x, y) in run_a.iter_mut().zip(run_b.iter_mut()) {
+                            let (na, nb) = c.mix(*x, *y);
+                            *x = na;
+                            *y = nb;
+                        }
+                    }
+                    for &(lo, hi) in &plan.wrap {
+                        let b_lo = lo as usize * bw;
+                        let (head, tail) = panel.split_at_mut(hi as usize * bw);
+                        let run_b = &mut head[b_lo..b_lo + bw];
+                        let run_a = &mut tail[..bw];
+                        for (y, x) in run_b.iter_mut().zip(run_a.iter_mut()) {
+                            let (na, nb) = c.mix(*x, *y);
+                            *x = na;
+                            *y = nb;
                         }
                     }
                 }
@@ -395,6 +438,27 @@ mod tests {
             kp.propagate_n(imp, &mut wf, 0.01, Vec3::new(0.2, 0.0, -0.1), 3, &counter());
             let diff = wf.psi.max_abs_diff(&reference.psi);
             assert!(diff < 1e-12, "{imp:?} deviates by {diff}");
+        }
+    }
+
+    #[test]
+    fn tiers_are_bit_identical() {
+        // The fwd/wrap plan partition reorders disjoint bond updates only,
+        // so every tier reproduces the baseline bits exactly.
+        let g = grid();
+        let kp = KinProp::new(g);
+        let run = |imp: KinImpl| {
+            let mut wf = WaveFunctions::random(g, 5, 42);
+            kp.propagate_n(imp, &mut wf, 0.01, Vec3::new(0.2, 0.0, -0.1), 3, &counter());
+            wf
+        };
+        let reference = run(KinImpl::Baseline);
+        for imp in [KinImpl::Reordered, KinImpl::Blocked, KinImpl::Parallel] {
+            let wf = run(imp);
+            for (x, y) in wf.psi.as_slice().iter().zip(reference.psi.as_slice()) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "{imp:?}");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "{imp:?}");
+            }
         }
     }
 

@@ -1,0 +1,409 @@
+//! Cross-domain force-request batching (the "one inference call per MD
+//! step" discipline of the paper's divide-and-conquer drivers).
+//!
+//! When several domain threads advance in lockstep — one rank per DC
+//! domain, all hitting the force model at the same point of each velocity
+//! Verlet step — issuing one `block_evaluate` per domain wastes the
+//! batching capacity of the accelerator. [`ForceBatch`] is a rendezvous:
+//! each of the `expected` participants submits its request and blocks;
+//! the last arrival evaluates the whole batch with a single
+//! [`block_evaluate_many`] call (deduplicating byte-identical requests)
+//! and wakes everyone with their results.
+//!
+//! Per-request results are bit-identical to standalone `block_evaluate`
+//! calls — aggregation changes *where* inference runs, never *what* it
+//! computes — so swapping a `ForceBatch` in for per-domain force fields
+//! cannot perturb a pinned trajectory.
+//!
+//! Deadlock discipline: `expected` must equal the number of threads that
+//! actually call [`ForceBatch::submit`] each step. The rendezvous is for
+//! genuinely concurrent domain threads (e.g. `mlmd_parallel` world
+//! ranks); single-threaded drivers should use
+//! [`NnMdEnsemble`](crate::ensemble::NnMdEnsemble), which batches
+//! requests in program order without blocking. A stall watchdog panics
+//! (rather than hangs) if a participant never shows up.
+
+use crate::infer::{block_evaluate_many, BlockEvalResult, ForceRequest};
+use crate::model::AllegroLite;
+use mlmd_numerics::vec3::Vec3;
+use mlmd_qxmd::atoms::{AtomsSystem, Species};
+use mlmd_qxmd::integrator::ForceField;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// FNV-1a over the raw bytes of a force request; used to deduplicate
+/// byte-identical submissions (replicated domains submit the same system).
+fn request_key(species: &[Species], positions: &[Vec3], box_lengths: Vec3) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |b: u64| {
+        for byte in b.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(species.len() as u64);
+    for &s in species {
+        eat(s as u64);
+    }
+    for p in positions {
+        eat(p.x.to_bits());
+        eat(p.y.to_bits());
+        eat(p.z.to_bits());
+    }
+    eat(box_lengths.x.to_bits());
+    eat(box_lengths.y.to_bits());
+    eat(box_lengths.z.to_bits());
+    h
+}
+
+/// An owned copy of a submitted request (the rendezvous outlives the
+/// submitting thread's borrows).
+struct OwnedRequest {
+    key: u64,
+    species: Vec<Species>,
+    positions: Vec<Vec3>,
+    box_lengths: Vec3,
+}
+
+impl OwnedRequest {
+    fn matches(&self, key: u64, species: &[Species], positions: &[Vec3], bl: Vec3) -> bool {
+        self.key == key
+            && self.species == species
+            && self.box_lengths == bl
+            && self.positions.len() == positions.len()
+            && self.positions.iter().zip(positions).all(|(a, b)| {
+                a.x.to_bits() == b.x.to_bits()
+                    && a.y.to_bits() == b.y.to_bits()
+                    && a.z.to_bits() == b.z.to_bits()
+            })
+    }
+}
+
+struct BatchState {
+    /// Monotone window counter; one generation per completed rendezvous.
+    generation: u64,
+    /// True while the current window accepts submissions.
+    accepting: bool,
+    pending: Vec<OwnedRequest>,
+    results: Vec<BlockEvalResult>,
+    submitted: usize,
+    taken: usize,
+}
+
+/// A per-step force-inference rendezvous shared by `expected` domain
+/// threads. See the module docs for the protocol.
+pub struct ForceBatch {
+    model: AllegroLite,
+    n_batches: usize,
+    expected: usize,
+    stall_timeout: Duration,
+    state: Mutex<BatchState>,
+    cv: Condvar,
+    rounds: AtomicU64,
+    unique_evals: AtomicU64,
+    served: AtomicU64,
+}
+
+impl ForceBatch {
+    /// A rendezvous for `expected` participating threads, forwarding
+    /// `n_batches` as the per-request blocking factor.
+    pub fn new(model: AllegroLite, n_batches: usize, expected: usize) -> Self {
+        assert!(expected >= 1, "a rendezvous needs at least one participant");
+        Self {
+            model,
+            n_batches,
+            expected,
+            stall_timeout: Duration::from_secs(30),
+            state: Mutex::new(BatchState {
+                generation: 0,
+                accepting: true,
+                pending: Vec::new(),
+                results: Vec::new(),
+                submitted: 0,
+                taken: 0,
+            }),
+            cv: Condvar::new(),
+            rounds: AtomicU64::new(0),
+            unique_evals: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// Override the stall watchdog (default 30 s).
+    pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = timeout;
+        self
+    }
+
+    /// Completed rendezvous rounds (one batched inference call each).
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Unique (post-dedup) requests actually evaluated across all rounds.
+    pub fn unique_evaluations(&self) -> u64 {
+        self.unique_evals.load(Ordering::Relaxed)
+    }
+
+    /// Total submissions served (dedup hits included).
+    pub fn requests_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Submit one domain's force request and block until the batch result
+    /// is available. Bit-identical to a standalone [`crate::infer::block_evaluate`]
+    /// (crate::infer::block_evaluate) with the same arguments.
+    ///
+    /// # Panics
+    /// If the rendezvous stalls longer than the configured watchdog —
+    /// i.e. fewer than `expected` threads are participating.
+    pub fn submit(
+        &self,
+        species: &[Species],
+        positions: &[Vec3],
+        box_lengths: Vec3,
+    ) -> BlockEvalResult {
+        let start = Instant::now();
+        let tick = Duration::from_millis(50);
+        let mut st = self.state.lock().expect("force batch poisoned");
+        // Wait for an accepting window (a previous round may be draining).
+        while !st.accepting {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, tick)
+                .expect("force batch poisoned");
+            st = guard;
+            assert!(
+                start.elapsed() < self.stall_timeout,
+                "ForceBatch stalled waiting for a submission window: \
+                 expected {} participants per step",
+                self.expected
+            );
+        }
+        let generation = st.generation;
+        let key = request_key(species, positions, box_lengths);
+        let slot = st
+            .pending
+            .iter()
+            .position(|p| p.matches(key, species, positions, box_lengths))
+            .unwrap_or_else(|| {
+                st.pending.push(OwnedRequest {
+                    key,
+                    species: species.to_vec(),
+                    positions: positions.to_vec(),
+                    box_lengths,
+                });
+                st.pending.len() - 1
+            });
+        st.submitted += 1;
+        if st.submitted == self.expected {
+            // Last arrival: evaluate the whole batch, then wake everyone.
+            let requests: Vec<ForceRequest<'_>> = st
+                .pending
+                .iter()
+                .map(|p| ForceRequest {
+                    species: &p.species,
+                    positions: &p.positions,
+                    box_lengths: p.box_lengths,
+                    n_batches: self.n_batches,
+                })
+                .collect();
+            let results = block_evaluate_many(&self.model, &requests);
+            drop(requests);
+            self.rounds.fetch_add(1, Ordering::Relaxed);
+            self.unique_evals
+                .fetch_add(st.pending.len() as u64, Ordering::Relaxed);
+            st.results = results;
+            st.accepting = false;
+            self.cv.notify_all();
+        } else {
+            while st.accepting || st.generation != generation {
+                let (guard, _) = self
+                    .cv
+                    .wait_timeout(st, tick)
+                    .expect("force batch poisoned");
+                st = guard;
+                assert!(
+                    start.elapsed() < self.stall_timeout,
+                    "ForceBatch stalled at {}/{} submissions: a participant \
+                     never arrived (deadlock guard)",
+                    st.submitted,
+                    self.expected
+                );
+            }
+        }
+        let result = st.results[slot].clone();
+        st.taken += 1;
+        self.served.fetch_add(1, Ordering::Relaxed);
+        if st.taken == self.expected {
+            // Everyone has their result: open the next window.
+            st.generation += 1;
+            st.accepting = true;
+            st.pending.clear();
+            st.results.clear();
+            st.submitted = 0;
+            st.taken = 0;
+            self.cv.notify_all();
+        }
+        result
+    }
+}
+
+impl ForceField for ForceBatch {
+    fn accumulate(&self, sys: &mut AtomsSystem) -> f64 {
+        let res = self.submit(&sys.species, &sys.positions, sys.box_lengths);
+        for (f, r) in sys.forces.iter_mut().zip(&res.forces) {
+            *f += *r;
+        }
+        res.energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::block_evaluate;
+    use crate::model::ModelConfig;
+    use mlmd_numerics::rng::{Rng64, Xoshiro256};
+    use std::sync::Arc;
+
+    fn model() -> AllegroLite {
+        AllegroLite::new(
+            ModelConfig {
+                hidden: 6,
+                k_max: 4,
+                rcut: 3.5,
+            },
+            41,
+        )
+    }
+
+    fn random_system(seed: u64, n: usize) -> (Vec<Species>, Vec<Vec3>, Vec3) {
+        let mut rng = Xoshiro256::new(seed);
+        let l = 11.0;
+        let species = (0..n)
+            .map(|i| match i % 3 {
+                0 => Species::Pb,
+                1 => Species::Ti,
+                _ => Species::O,
+            })
+            .collect();
+        let positions = (0..n)
+            .map(|_| Vec3::new(rng.range(0.0, l), rng.range(0.0, l), rng.range(0.0, l)))
+            .collect();
+        (species, positions, Vec3::splat(l))
+    }
+
+    #[test]
+    fn single_participant_is_a_passthrough() {
+        let (sp, ps, bl) = random_system(1, 20);
+        let batch = ForceBatch::new(model(), 2, 1);
+        let res = batch.submit(&sp, &ps, bl);
+        let direct = block_evaluate(&model(), &sp, &ps, bl, 2);
+        assert_eq!(res.energy.to_bits(), direct.energy.to_bits());
+        assert_eq!(batch.rounds(), 1);
+        assert_eq!(batch.unique_evaluations(), 1);
+    }
+
+    #[test]
+    fn identical_requests_deduplicate_to_one_evaluation() {
+        let (sp, ps, bl) = random_system(2, 24);
+        let batch = Arc::new(ForceBatch::new(model(), 2, 4));
+        let direct = block_evaluate(&model(), &sp, &ps, bl, 2);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let batch = Arc::clone(&batch);
+                let (sp, ps) = (sp.clone(), ps.clone());
+                std::thread::spawn(move || batch.submit(&sp, &ps, bl))
+            })
+            .collect();
+        for h in handles {
+            let res = h.join().expect("submitter panicked");
+            assert_eq!(res.energy.to_bits(), direct.energy.to_bits());
+            for (a, b) in res.forces.iter().zip(&direct.forces) {
+                assert_eq!(a.x.to_bits(), b.x.to_bits());
+                assert_eq!(a.z.to_bits(), b.z.to_bits());
+            }
+        }
+        assert_eq!(batch.rounds(), 1, "one rendezvous round");
+        assert_eq!(
+            batch.unique_evaluations(),
+            1,
+            "4 identical requests → 1 eval"
+        );
+        assert_eq!(batch.requests_served(), 4);
+    }
+
+    #[test]
+    fn distinct_domains_each_get_their_own_result() {
+        let systems: Vec<_> = (0..3).map(|s| random_system(10 + s, 18)).collect();
+        let batch = Arc::new(ForceBatch::new(model(), 2, 3));
+        let handles: Vec<_> = systems
+            .iter()
+            .map(|(sp, ps, bl)| {
+                let batch = Arc::clone(&batch);
+                let (sp, ps, bl) = (sp.clone(), ps.clone(), *bl);
+                std::thread::spawn(move || batch.submit(&sp, &ps, bl))
+            })
+            .collect();
+        let m = model();
+        for (h, (sp, ps, bl)) in handles.into_iter().zip(&systems) {
+            let res = h.join().expect("submitter panicked");
+            let direct = block_evaluate(&m, sp, ps, *bl, 2);
+            assert_eq!(res.energy.to_bits(), direct.energy.to_bits());
+            for (a, b) in res.forces.iter().zip(&direct.forces) {
+                assert_eq!(a.y.to_bits(), b.y.to_bits());
+            }
+        }
+        assert_eq!(batch.rounds(), 1);
+        assert_eq!(
+            batch.unique_evaluations(),
+            3,
+            "distinct requests all evaluate"
+        );
+    }
+
+    #[test]
+    fn consecutive_steps_reuse_the_rendezvous() {
+        // Two lockstep "MD steps" from each of two threads: the sliding
+        // window must serve both generations without mixing them up.
+        let batch = Arc::new(ForceBatch::new(model(), 2, 2));
+        let handles: Vec<_> = (0..2)
+            .map(|t| {
+                let batch = Arc::clone(&batch);
+                std::thread::spawn(move || {
+                    let mut energies = Vec::new();
+                    for step in 0..2 {
+                        let (sp, ps, bl) = random_system(100 + step, 16 + t);
+                        energies.push(batch.submit(&sp, &ps, bl).energy);
+                    }
+                    energies
+                })
+            })
+            .collect();
+        let outputs: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("submitter panicked"))
+            .collect();
+        let m = model();
+        for (t, energies) in outputs.iter().enumerate() {
+            for (step, &e) in energies.iter().enumerate() {
+                let (sp, ps, bl) = random_system(100 + step as u64, 16 + t);
+                let direct = block_evaluate(&m, &sp, &ps, bl, 2);
+                assert_eq!(e.to_bits(), direct.energy.to_bits());
+            }
+        }
+        assert_eq!(batch.rounds(), 2, "one round per lockstep step");
+        assert_eq!(batch.unique_evaluations(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ForceBatch stalled")]
+    fn missing_participant_trips_the_watchdog() {
+        let (sp, ps, bl) = random_system(3, 12);
+        let batch = ForceBatch::new(model(), 2, 2).with_stall_timeout(Duration::from_millis(200));
+        // Only one of two expected participants ever submits.
+        batch.submit(&sp, &ps, bl);
+    }
+}

@@ -40,10 +40,7 @@ pub fn md_time_to_failure(
     f_max: f64,
     max_steps: usize,
 ) -> usize {
-    let ff = crate::md::NnForceField {
-        model: model.clone(),
-        n_batches: 1,
-    };
+    let ff = crate::md::NnForceField::with_batches(model.clone(), 1);
     let vv = VelocityVerlet::new(dt);
     ff.compute(sys);
     for step in 0..max_steps {

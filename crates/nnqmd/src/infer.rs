@@ -10,10 +10,41 @@
 //! peak modeled device memory, and produces forces identical to the
 //! monolithic evaluation (asserted in tests).
 
-use crate::model::AllegroLite;
+use crate::model::{AllegroLite, QuantScratch, QuantizedModel};
 use mlmd_numerics::vec3::Vec3;
 use mlmd_qxmd::atoms::Species;
 use mlmd_qxmd::neighbor::CellList;
+
+/// Numeric precision of the inference compute path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InferPrecision {
+    /// Reference f64 path — bit-exact, pinned by the trajectory tests.
+    #[default]
+    F64,
+    /// bf16-storage / f32-accumulate path ([`QuantizedModel`]): half the
+    /// parameter bytes, allocation-free kernel, forces within the
+    /// documented envelope below.
+    Bf16,
+}
+
+/// Documented force-accuracy envelope of the bf16 path: for any system,
+///
+/// ```text
+/// max_i |F_bf16(i) − F_f64(i)| ≤ BF16_FORCE_RTOL · max_i |F_f64(i)| + BF16_FORCE_ATOL
+/// ```
+///
+/// The bf16 parameter rounding carries ≤ 2⁻⁸ ≈ 3.9×10⁻³ relative error
+/// per weight; the shallow two-layer network and the force chain rule
+/// amplify it by a small factor. The constants below are calibrated with
+/// margin over the worst case observed across randomized networks and
+/// configurations (property-tested in this module).
+pub const BF16_FORCE_RTOL: f64 = 5e-2;
+/// Absolute floor of the force envelope (eV/Å) for near-zero force fields.
+pub const BF16_FORCE_ATOL: f64 = 1e-4;
+/// Energy envelope of the bf16 path, per atom (eV): the per-atom energies
+/// are O(1) in the shifted network, and bf16 rounding perturbs each by
+/// O(2⁻⁸) times the activation scale.
+pub const BF16_ENERGY_ATOL_PER_ATOM: f64 = 2e-2;
 
 /// Result of a blocked inference.
 #[derive(Clone, Debug)]
@@ -70,6 +101,135 @@ pub fn block_evaluate(
         peak_neighbor_bytes: peak,
         n_batches,
     }
+}
+
+/// Evaluate energy/forces batch-by-batch through the bf16-storage /
+/// f32-accumulate path. Same blocking discipline as [`block_evaluate`]
+/// (neighbor lists are built once, batches bound the working set), but
+/// per-atom evaluation runs [`QuantizedModel::accumulate_center`]
+/// directly on the cached pairs: no per-atom cluster construction, no
+/// per-edge heap allocation, and half the modeled parameter bytes.
+///
+/// Unlike the f64 path (whose energy is reduced batch-by-batch), the
+/// bf16 path accumulates per atom in index order, so its output is
+/// bit-invariant under `n_batches` (asserted in tests).
+pub fn block_evaluate_bf16(
+    model: &QuantizedModel,
+    species: &[Species],
+    positions: &[Vec3],
+    box_lengths: Vec3,
+    n_batches: usize,
+) -> BlockEvalResult {
+    let mut scratch = QuantScratch::default();
+    block_evaluate_bf16_with(
+        model,
+        &mut scratch,
+        species,
+        positions,
+        box_lengths,
+        n_batches,
+    )
+}
+
+/// [`block_evaluate_bf16`] with a caller-owned scratch, so repeated calls
+/// (MD steps, cross-domain batches) amortize the buffers to zero
+/// steady-state allocation.
+pub fn block_evaluate_bf16_with(
+    model: &QuantizedModel,
+    scratch: &mut QuantScratch,
+    species: &[Species],
+    positions: &[Vec3],
+    box_lengths: Vec3,
+    n_batches: usize,
+) -> BlockEvalResult {
+    let n = positions.len();
+    assert!(n_batches >= 1);
+    let cl = CellList::build(positions, box_lengths, model.rcut());
+    let lists = cl.full_lists(positions);
+    let mut energy = 0.0;
+    let mut forces = vec![Vec3::ZERO; n];
+    let mut peak = 0u64;
+    let batch_size = n.div_ceil(n_batches);
+    for b in 0..n_batches {
+        let lo = b * batch_size;
+        let hi = ((b + 1) * batch_size).min(n);
+        if lo >= hi {
+            continue;
+        }
+        let batch_neighbors: usize = lists[lo..hi].iter().map(|l| l.len()).sum();
+        // Edge features stored in bf16 halve the per-neighbor bytes.
+        peak = peak.max(batch_neighbors as u64 * BYTES_PER_NEIGHBOR / 2);
+        for (i, neigh) in lists.iter().enumerate().take(hi).skip(lo) {
+            energy += model.accumulate_center(scratch, species, neigh, i, &mut forces);
+        }
+    }
+    BlockEvalResult {
+        energy,
+        forces,
+        peak_neighbor_bytes: peak,
+        n_batches,
+    }
+}
+
+/// One domain's force request in a cross-domain batched evaluation.
+///
+/// Multiple divide-and-conquer domains (or MD replicas) advance in
+/// lockstep; instead of each issuing its own `block_evaluate`, the driver
+/// collects one `ForceRequest` per domain and issues a single
+/// [`block_evaluate_many`] per MD step.
+#[derive(Clone, Copy)]
+pub struct ForceRequest<'a> {
+    pub species: &'a [Species],
+    pub positions: &'a [Vec3],
+    pub box_lengths: Vec3,
+    /// Per-request neighbor-list blocking factor (Sec. V.B.9).
+    pub n_batches: usize,
+}
+
+/// Serve every domain's force request with one inference call.
+///
+/// Each request is evaluated with exactly the per-request partitioning of
+/// [`block_evaluate`], so `block_evaluate_many(&[r])[0]` is bit-identical
+/// to `block_evaluate(r)` — aggregation changes *where* inference runs,
+/// never *what* it computes (asserted in tests).
+pub fn block_evaluate_many(
+    model: &AllegroLite,
+    requests: &[ForceRequest<'_>],
+) -> Vec<BlockEvalResult> {
+    requests
+        .iter()
+        .map(|rq| {
+            block_evaluate(
+                model,
+                rq.species,
+                rq.positions,
+                rq.box_lengths,
+                rq.n_batches,
+            )
+        })
+        .collect()
+}
+
+/// bf16 counterpart of [`block_evaluate_many`]: one scratch shared across
+/// all requests, so a cross-domain batch allocates nothing per domain.
+pub fn block_evaluate_many_bf16(
+    model: &QuantizedModel,
+    requests: &[ForceRequest<'_>],
+) -> Vec<BlockEvalResult> {
+    let mut scratch = QuantScratch::default();
+    requests
+        .iter()
+        .map(|rq| {
+            block_evaluate_bf16_with(
+                model,
+                &mut scratch,
+                rq.species,
+                rq.positions,
+                rq.box_lengths,
+                rq.n_batches,
+            )
+        })
+        .collect()
 }
 
 /// Evaluate the contribution of atoms [lo, hi): their per-atom energies
@@ -189,6 +349,135 @@ mod tests {
     }
 
     #[test]
+    fn bf16_path_is_batch_invariant_bitwise() {
+        // The bf16 path reduces per atom in index order, so blocking must
+        // not change a single bit of the output.
+        let (model, sp, ps, bl) = setup(40);
+        let qm = QuantizedModel::from_model(&model);
+        let reference = block_evaluate_bf16(&qm, &sp, &ps, bl, 1);
+        for n_batches in [2usize, 4, 7] {
+            let blocked = block_evaluate_bf16(&qm, &sp, &ps, bl, n_batches);
+            assert_eq!(blocked.energy.to_bits(), reference.energy.to_bits());
+            for (a, b) in blocked.forces.iter().zip(&reference.forces) {
+                assert_eq!(a.x.to_bits(), b.x.to_bits());
+                assert_eq!(a.y.to_bits(), b.y.to_bits());
+                assert_eq!(a.z.to_bits(), b.z.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_blocking_still_reduces_peak_memory() {
+        let (model, sp, ps, bl) = setup(60);
+        let qm = QuantizedModel::from_model(&model);
+        let one = block_evaluate_bf16(&qm, &sp, &ps, bl, 1);
+        let two = block_evaluate_bf16(&qm, &sp, &ps, bl, 2);
+        assert!(two.peak_neighbor_bytes < one.peak_neighbor_bytes);
+        // And the bf16 working set is half the f64-path model.
+        let f64_one = block_evaluate(&model, &sp, &ps, bl, 1);
+        assert_eq!(one.peak_neighbor_bytes, f64_one.peak_neighbor_bytes / 2);
+    }
+
+    #[test]
+    fn many_with_single_request_is_bit_identical() {
+        let (model, sp, ps, bl) = setup(30);
+        let direct = block_evaluate(&model, &sp, &ps, bl, 2);
+        let many = block_evaluate_many(
+            &model,
+            &[ForceRequest {
+                species: &sp,
+                positions: &ps,
+                box_lengths: bl,
+                n_batches: 2,
+            }],
+        );
+        assert_eq!(many.len(), 1);
+        assert_eq!(many[0].energy.to_bits(), direct.energy.to_bits());
+        for (a, b) in many[0].forces.iter().zip(&direct.forces) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+    }
+
+    #[test]
+    fn many_serves_heterogeneous_domains_bit_identically() {
+        // Aggregating requests from domains of different sizes and
+        // blocking factors must reproduce each standalone call exactly.
+        let (model, sp1, ps1, bl1) = setup(24);
+        let (_, sp2, ps2, bl2) = setup(36);
+        let (_, sp3, ps3, bl3) = setup(15);
+        let requests = [
+            ForceRequest {
+                species: &sp1,
+                positions: &ps1,
+                box_lengths: bl1,
+                n_batches: 1,
+            },
+            ForceRequest {
+                species: &sp2,
+                positions: &ps2,
+                box_lengths: bl2,
+                n_batches: 3,
+            },
+            ForceRequest {
+                species: &sp3,
+                positions: &ps3,
+                box_lengths: bl3,
+                n_batches: 2,
+            },
+        ];
+        let many = block_evaluate_many(&model, &requests);
+        assert_eq!(many.len(), 3);
+        for (res, rq) in many.iter().zip(&requests) {
+            let direct = block_evaluate(
+                &model,
+                rq.species,
+                rq.positions,
+                rq.box_lengths,
+                rq.n_batches,
+            );
+            assert_eq!(res.energy.to_bits(), direct.energy.to_bits());
+            assert_eq!(res.n_batches, direct.n_batches);
+            assert_eq!(res.peak_neighbor_bytes, direct.peak_neighbor_bytes);
+            for (a, b) in res.forces.iter().zip(&direct.forces) {
+                assert_eq!(a.x.to_bits(), b.x.to_bits());
+                assert_eq!(a.y.to_bits(), b.y.to_bits());
+                assert_eq!(a.z.to_bits(), b.z.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn many_bf16_matches_per_request_bf16() {
+        let (model, sp1, ps1, bl1) = setup(24);
+        let (_, sp2, ps2, bl2) = setup(31);
+        let qm = QuantizedModel::from_model(&model);
+        let requests = [
+            ForceRequest {
+                species: &sp1,
+                positions: &ps1,
+                box_lengths: bl1,
+                n_batches: 2,
+            },
+            ForceRequest {
+                species: &sp2,
+                positions: &ps2,
+                box_lengths: bl2,
+                n_batches: 2,
+            },
+        ];
+        let many = block_evaluate_many_bf16(&qm, &requests);
+        for (res, rq) in many.iter().zip(&requests) {
+            let direct =
+                block_evaluate_bf16(&qm, rq.species, rq.positions, rq.box_lengths, rq.n_batches);
+            assert_eq!(res.energy.to_bits(), direct.energy.to_bits());
+            for (a, b) in res.forces.iter().zip(&direct.forces) {
+                assert_eq!(a.x.to_bits(), b.x.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn peak_memory_supports_larger_systems() {
         // The Sec. V.B.9 claim: for a fixed memory budget, blocking admits
         // a larger system. Verify the scaling: peak(N, 2 batches) ≈
@@ -203,5 +492,105 @@ mod tests {
         let mono = block_evaluate(&model3, &sp3, &ps3, bl3, 1);
         let blocked = block_evaluate(&model3, &sp3, &ps3, bl3, 2);
         assert!(blocked.peak_neighbor_bytes < mono.peak_neighbor_bytes);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn random_case(
+            seed: u64,
+            n: usize,
+            l: f64,
+            hidden: usize,
+        ) -> (AllegroLite, Vec<Species>, Vec<Vec3>, Vec3) {
+            let model = AllegroLite::new(
+                ModelConfig {
+                    hidden,
+                    k_max: 5,
+                    rcut: 4.0,
+                },
+                seed ^ 0x9e37_79b9,
+            );
+            let mut rng = Xoshiro256::new(seed);
+            let species: Vec<Species> = (0..n)
+                .map(|i| match i % 3 {
+                    0 => Species::Pb,
+                    1 => Species::Ti,
+                    _ => Species::O,
+                })
+                .collect();
+            let positions: Vec<Vec3> = (0..n)
+                .map(|_| Vec3::new(rng.range(0.0, l), rng.range(0.0, l), rng.range(0.0, l)))
+                .collect();
+            (model, species, positions, Vec3::splat(l))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(6))]
+
+            /// The documented bf16 accuracy envelope holds across random
+            /// networks (random weights, two widths) and random
+            /// configurations — the contract that licenses running MD on
+            /// the quantized surface.
+            #[test]
+            fn bf16_forces_within_documented_envelope(
+                seed in 0u64..0x4000_0000,
+                n in 8usize..32,
+                wide in 0usize..2,
+            ) {
+                let hidden = [6usize, 10][wide];
+                let (model, sp, ps, bl) = random_case(seed, n, 12.0, hidden);
+                let reference = block_evaluate(&model, &sp, &ps, bl, 2);
+                let qm = QuantizedModel::from_model(&model);
+                let quant = block_evaluate_bf16(&qm, &sp, &ps, bl, 2);
+                let fmax = reference
+                    .forces
+                    .iter()
+                    .map(|f| f.norm())
+                    .fold(0.0_f64, f64::max);
+                let bound = BF16_FORCE_RTOL * fmax + BF16_FORCE_ATOL;
+                for (a, b) in quant.forces.iter().zip(&reference.forces) {
+                    let err = (*a - *b).norm();
+                    prop_assert!(
+                        err <= bound,
+                        "force error {err} exceeds envelope {bound} (fmax {fmax})"
+                    );
+                }
+                let de = (quant.energy - reference.energy).abs();
+                prop_assert!(
+                    de <= BF16_ENERGY_ATOL_PER_ATOM * n as f64,
+                    "energy error {de} over {n} atoms"
+                );
+            }
+
+            /// Blocking factors must not change the f64 result beyond
+            /// reduction-order noise, and must not change the bf16 result
+            /// at all.
+            #[test]
+            fn batching_is_invariant_at_widths_1_2_4(
+                seed in 0u64..4096,
+                n in 8usize..36,
+            ) {
+                let (model, sp, ps, bl) = random_case(seed, n, 13.0, 6);
+                let r1 = block_evaluate(&model, &sp, &ps, bl, 1);
+                let qm = QuantizedModel::from_model(&model);
+                let q1 = block_evaluate_bf16(&qm, &sp, &ps, bl, 1);
+                for width in [2usize, 4] {
+                    let rw = block_evaluate(&model, &sp, &ps, bl, width);
+                    prop_assert!((rw.energy - r1.energy).abs() < 1e-9);
+                    for (a, b) in rw.forces.iter().zip(&r1.forces) {
+                        prop_assert!((*a - *b).norm() < 1e-9);
+                    }
+                    let qw = block_evaluate_bf16(&qm, &sp, &ps, bl, width);
+                    prop_assert_eq!(qw.energy.to_bits(), q1.energy.to_bits());
+                    for (a, b) in qw.forces.iter().zip(&q1.forces) {
+                        prop_assert_eq!(a.x.to_bits(), b.x.to_bits());
+                        prop_assert_eq!(a.y.to_bits(), b.y.to_bits());
+                        prop_assert_eq!(a.z.to_bits(), b.z.to_bits());
+                    }
+                }
+            }
+        }
     }
 }

@@ -21,7 +21,16 @@
 //!   `F = (1−w)·F_GS + w·F_XS`, with `w` driven by the per-domain
 //!   excitation count delivered by DC-MESH (MSA type 3).
 //! * **Block model inference** ([`infer`]): the two-batch neighbor-list
-//!   blocking of Sec. V.B.9 that caps device-memory footprint.
+//!   blocking of Sec. V.B.9 that caps device-memory footprint, with an
+//!   opt-in bf16-storage / f32-accumulate compute path
+//!   ([`model::QuantizedModel`], Sec. VI.C) under a documented,
+//!   property-tested force-accuracy envelope.
+//! * **Cross-domain batched inference** ([`batch`], [`ensemble`]): one
+//!   inference call per MD step serves every domain's force request —
+//!   a blocking rendezvous ([`batch::ForceBatch`]) for concurrent rank
+//!   threads and a lockstep driver ([`ensemble::NnMdEnsemble`]) for
+//!   serial multi-domain runs, both bit-identical per request to
+//!   standalone evaluation.
 //! * **Fidelity scaling** ([`failure`]): the time-to-failure harness
 //!   reproducing `t_failure ∝ N^{−0.14}` (Legato) vs `N^{−0.29}` (plain).
 //! * **MD driver** ([`md`]): NNQMD velocity-Verlet dynamics, serial or
@@ -30,6 +39,8 @@
 //!   frames labeled by the QXMD effective model (see DESIGN.md).
 
 pub mod basis;
+pub mod batch;
+pub mod ensemble;
 pub mod failure;
 pub mod fm;
 pub mod gen;
@@ -40,7 +51,13 @@ pub mod model;
 pub mod tea;
 pub mod train;
 
+pub use batch::ForceBatch;
+pub use ensemble::NnMdEnsemble;
+pub use infer::{
+    block_evaluate, block_evaluate_bf16, block_evaluate_many, BlockEvalResult, ForceRequest,
+    InferPrecision,
+};
 pub use md::{NnForceField, NnMdLoop, NnMdRecord};
 pub use mix::XsGsModel;
-pub use model::{AllegroLite, ModelConfig};
+pub use model::{AllegroLite, ModelConfig, QuantizedModel};
 pub use train::{Adam, Dataset, Frame, SamConfig, Trainer};

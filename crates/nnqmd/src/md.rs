@@ -7,9 +7,9 @@
 //! for the real halo volumes), forces for owned atoms are computed with
 //! the strictly-local model, and the total energy is allreduced.
 
-use crate::infer::block_evaluate;
+use crate::infer::{block_evaluate, block_evaluate_bf16, InferPrecision};
 use crate::mix::XsGsModel;
-use crate::model::AllegroLite;
+use crate::model::{AllegroLite, QuantizedModel};
 use mlmd_numerics::vec3::Vec3;
 use mlmd_parallel::comm::Comm;
 use mlmd_parallel::hier::partition;
@@ -17,30 +17,70 @@ use mlmd_qxmd::atoms::AtomsSystem;
 use mlmd_qxmd::integrator::ForceField;
 
 /// Serial force-field adapter for a single network.
+///
+/// The default compute path is the bit-exact f64 [`block_evaluate`];
+/// [`with_precision`](Self::with_precision) switches to the
+/// bf16-storage / f32-accumulate path, which trades the documented force
+/// envelope ([`crate::infer::BF16_FORCE_RTOL`]) for half the parameter
+/// bytes and an allocation-free kernel.
 pub struct NnForceField {
     pub model: AllegroLite,
     /// Number of inference batches (Sec. V.B.9 blocking).
     pub n_batches: usize,
+    precision: InferPrecision,
+    quantized: Option<QuantizedModel>,
 }
 
 impl NnForceField {
     pub fn new(model: AllegroLite) -> Self {
+        Self::with_batches(model, 2)
+    }
+
+    /// Explicit neighbor-list blocking factor.
+    pub fn with_batches(model: AllegroLite, n_batches: usize) -> Self {
         Self {
             model,
-            n_batches: 2,
+            n_batches,
+            precision: InferPrecision::F64,
+            quantized: None,
         }
+    }
+
+    /// Select the inference precision (builder style). Choosing
+    /// [`InferPrecision::Bf16`] quantizes the network once up front.
+    pub fn with_precision(mut self, precision: InferPrecision) -> Self {
+        self.precision = precision;
+        self.quantized = match precision {
+            InferPrecision::Bf16 => Some(QuantizedModel::from_model(&self.model)),
+            InferPrecision::F64 => None,
+        };
+        self
+    }
+
+    /// Inference precision in effect.
+    pub fn precision(&self) -> InferPrecision {
+        self.precision
     }
 }
 
 impl ForceField for NnForceField {
     fn accumulate(&self, sys: &mut AtomsSystem) -> f64 {
-        let res = block_evaluate(
-            &self.model,
-            &sys.species,
-            &sys.positions,
-            sys.box_lengths,
-            self.n_batches,
-        );
+        let res = match (self.precision, &self.quantized) {
+            (InferPrecision::Bf16, Some(q)) => block_evaluate_bf16(
+                q,
+                &sys.species,
+                &sys.positions,
+                sys.box_lengths,
+                self.n_batches,
+            ),
+            _ => block_evaluate(
+                &self.model,
+                &sys.species,
+                &sys.positions,
+                sys.box_lengths,
+                self.n_batches,
+            ),
+        };
         for (f, r) in sys.forces.iter_mut().zip(&res.forces) {
             *f += *r;
         }
@@ -92,7 +132,7 @@ impl NnMdLoop {
     /// Assemble the loop and compute the initial forces. `n_batches` is
     /// the neighbor-list blocking factor forwarded to [`block_evaluate`].
     pub fn new(system: AtomsSystem, model: AllegroLite, dt_fs: f64, n_batches: usize) -> Self {
-        let force = NnForceField { model, n_batches };
+        let force = NnForceField::with_batches(model, n_batches);
         // NVE: no thermostat, so the RNG stream is never consumed.
         let rng = mlmd_numerics::rng::Xoshiro256::new(0);
         Self {
@@ -236,6 +276,29 @@ mod tests {
         let (_, drift) = vv.run(&mut sys, &ff, 50);
         assert!(drift.is_finite());
         assert!(sys.positions.iter().all(|p| p.x.is_finite()));
+    }
+
+    #[test]
+    fn bf16_force_field_tracks_f64_within_envelope() {
+        use crate::infer::{BF16_ENERGY_ATOL_PER_ATOM, BF16_FORCE_ATOL, BF16_FORCE_RTOL};
+        let sys = small_system();
+        let ff64 = NnForceField::new(model());
+        let ff16 = NnForceField::new(model()).with_precision(InferPrecision::Bf16);
+        assert_eq!(ff64.precision(), InferPrecision::F64);
+        assert_eq!(ff16.precision(), InferPrecision::Bf16);
+        let mut a = sys.clone();
+        let mut b = sys.clone();
+        let ea = ff64.compute(&mut a);
+        let eb = ff16.compute(&mut b);
+        let fmax = a.forces.iter().map(|f| f.norm()).fold(0.0_f64, f64::max);
+        for (x, y) in a.forces.iter().zip(&b.forces) {
+            let err = (*x - *y).norm();
+            assert!(
+                err <= BF16_FORCE_RTOL * fmax + BF16_FORCE_ATOL,
+                "force error {err} outside envelope (fmax {fmax})"
+            );
+        }
+        assert!((ea - eb).abs() <= BF16_ENERGY_ATOL_PER_ATOM * sys.len() as f64);
     }
 
     #[test]

@@ -22,10 +22,11 @@
 //! the framework), checked against finite differences.
 
 use crate::basis::RadialBasis;
+use mlmd_numerics::bf16::bf16;
 use mlmd_numerics::rng::{Rng64, Xoshiro256};
 use mlmd_numerics::vec3::Vec3;
 use mlmd_qxmd::atoms::Species;
-use mlmd_qxmd::neighbor::CellList;
+use mlmd_qxmd::neighbor::{CellList, Pair};
 
 /// Hyperparameters.
 #[derive(Clone, Copy, Debug)]
@@ -95,6 +96,17 @@ fn species_index(s: Species) -> usize {
 #[inline]
 fn silu(x: f64) -> f64 {
     x / (1.0 + (-x).exp())
+}
+
+#[inline]
+fn silu32(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+#[inline]
+fn silu_deriv32(x: f32) -> f32 {
+    let s = 1.0 / (1.0 + (-x).exp());
+    s * (1.0 + x * (1.0 - s))
 }
 
 #[inline]
@@ -417,6 +429,283 @@ impl AllegroLite {
     }
 }
 
+/// Reusable scratch for [`QuantizedModel::accumulate_center`]: flat f32
+/// buffers sized by the largest neighborhood seen so far, so steady-state
+/// inference performs no heap allocation (the f64 path allocates several
+/// vectors per edge and rebuilds a cell list per atom).
+#[derive(Default)]
+pub struct QuantScratch {
+    b: Vec<f32>,
+    db: Vec<f32>,
+    x0: Vec<f32>,
+    h0: Vec<f32>,
+    x1: Vec<f32>,
+    gh0: Vec<f32>,
+    a: Vec<f32>,
+    gp: Vec<f32>,
+    pt: Vec<usize>,
+    r: Vec<f32>,
+    uhat: Vec<[f32; 3]>,
+}
+
+/// BF16-storage / f32-accumulate inference path: the oneMKL
+/// `float_to_BF16` compute mode of paper Sec. VI.C applied to the network.
+/// Every learned parameter is rounded to bf16 (round-to-nearest-even,
+/// [`bf16::quantize`]) and widened back to f32; all arithmetic then
+/// accumulates in f32. Geometry (`r`, `û`) is narrowed from the f64
+/// neighbor pairs at the kernel boundary.
+///
+/// Accuracy envelope: bf16 keeps 8 mantissa bits, so each parameter
+/// carries a relative error ≤ 2⁻⁸ ≈ 3.9×10⁻³; the shallow two-layer
+/// network amplifies this by a small factor. Forces stay within
+/// [`crate::infer::BF16_FORCE_RTOL`] of the peak f64 force magnitude
+/// (property-tested across random networks in `infer.rs`).
+#[derive(Clone, Debug)]
+pub struct QuantizedModel {
+    cfg: ModelConfig,
+    /// Parameters quantized through bf16, stored widened to f32.
+    params: Vec<f32>,
+    off: Offsets,
+}
+
+impl QuantizedModel {
+    /// Quantize an f64 reference model through bf16 storage.
+    pub fn from_model(model: &AllegroLite) -> Self {
+        let params = model
+            .params
+            .iter()
+            .map(|&p| bf16::quantize(p as f32))
+            .collect();
+        Self {
+            cfg: model.cfg,
+            params,
+            off: model.off,
+        }
+    }
+
+    /// Hyperparameters (shared with the f64 reference model).
+    pub fn cfg(&self) -> ModelConfig {
+        self.cfg
+    }
+
+    /// Cutoff radius (Å) — for building the shared neighbor lists.
+    pub fn rcut(&self) -> f64 {
+        self.cfg.rcut
+    }
+
+    pub fn n_params(&self) -> usize {
+        self.off.total
+    }
+
+    #[inline]
+    fn w0(&self, pt: usize, h: usize, k: usize) -> f32 {
+        self.params[self.off.w0 + (pt * self.cfg.hidden + h) * self.cfg.k_max + k]
+    }
+
+    #[inline]
+    fn b0(&self, pt: usize, h: usize) -> f32 {
+        self.params[self.off.b0 + pt * self.cfg.hidden + h]
+    }
+
+    #[inline]
+    fn wv(&self, h: usize) -> f32 {
+        self.params[self.off.wv + h]
+    }
+
+    #[inline]
+    fn u(&self, h: usize, z: usize) -> f32 {
+        self.params[self.off.u + h * (self.cfg.hidden + 2) + z]
+    }
+
+    #[inline]
+    fn b1(&self, h: usize) -> f32 {
+        self.params[self.off.b1 + h]
+    }
+
+    #[inline]
+    fn we(&self, h: usize) -> f32 {
+        self.params[self.off.we + h]
+    }
+
+    #[inline]
+    fn shift(&self, s: usize) -> f32 {
+        self.params[self.off.shifts + s]
+    }
+
+    /// f32 mirror of [`RadialBasis::eval_with_deriv`].
+    fn basis32(&self, r: f32, val: &mut [f32], dval: &mut [f32]) {
+        let rc = self.cfg.rcut as f32;
+        let a = std::f32::consts::PI / rc;
+        let (fc, dfc) = if r >= rc {
+            (0.0, 0.0)
+        } else {
+            (0.5 * ((a * r).cos() + 1.0), -0.5 * a * (a * r).sin())
+        };
+        let inv_r = 1.0 / r.max(1e-12);
+        for (k, (v, dv)) in val.iter_mut().zip(dval.iter_mut()).enumerate() {
+            let kk = (k + 1) as f32;
+            let s = (kk * a * r).sin();
+            let c = (kk * a * r).cos();
+            let g = s * inv_r;
+            let dg = (kk * a * c - s * inv_r) * inv_r;
+            *v = g * fc;
+            *dv = dg * fc + g * dfc;
+        }
+    }
+
+    /// Energy contribution of atom `i` (its species shift plus its edge
+    /// energies) evaluated directly on its cached neighbor `pairs`, with
+    /// the forces that contribution exerts accumulated into `forces`
+    /// (widened back to f64). Summed over all atoms this reproduces the
+    /// full evaluation, exactly as the f64 `evaluate_center` path does —
+    /// but without per-atom cluster construction or heap allocation.
+    pub fn accumulate_center(
+        &self,
+        scratch: &mut QuantScratch,
+        species: &[Species],
+        pairs: &[Pair],
+        i: usize,
+        forces: &mut [Vec3],
+    ) -> f64 {
+        let hdim = self.cfg.hidden;
+        let kdim = self.cfg.k_max;
+        let si = species_index(species[i]);
+        let mut energy = self.shift(si);
+        let ne = pairs.len();
+        if ne == 0 {
+            return energy as f64;
+        }
+        scratch.b.clear();
+        scratch.b.resize(ne * kdim, 0.0);
+        scratch.db.clear();
+        scratch.db.resize(ne * kdim, 0.0);
+        scratch.x0.clear();
+        scratch.x0.resize(ne * hdim, 0.0);
+        scratch.h0.clear();
+        scratch.h0.resize(ne * hdim, 0.0);
+        scratch.x1.clear();
+        scratch.x1.resize(ne * hdim, 0.0);
+        scratch.gh0.clear();
+        scratch.gh0.resize(ne * hdim, 0.0);
+        scratch.a.clear();
+        scratch.a.resize(ne, 0.0);
+        scratch.gp.clear();
+        scratch.gp.resize(ne, 0.0);
+        scratch.pt.clear();
+        scratch.pt.resize(ne, 0);
+        scratch.r.clear();
+        scratch.r.resize(ne, 0.0);
+        scratch.uhat.clear();
+        scratch.uhat.resize(ne, [0.0; 3]);
+        // ---- forward: layer 0 + vector channel ----
+        let mut v = [0.0f32; 3];
+        for (e, pr) in pairs.iter().enumerate() {
+            let r = pr.r as f32;
+            let uh = [
+                (pr.dr.x / pr.r) as f32,
+                (pr.dr.y / pr.r) as f32,
+                (pr.dr.z / pr.r) as f32,
+            ];
+            let pt = 3 * si + species_index(species[pr.j]);
+            scratch.r[e] = r;
+            scratch.uhat[e] = uh;
+            scratch.pt[e] = pt;
+            let bk = &mut scratch.b[e * kdim..(e + 1) * kdim];
+            let dbk = &mut scratch.db[e * kdim..(e + 1) * kdim];
+            self.basis32(r, bk, dbk);
+            let x0e = &mut scratch.x0[e * hdim..(e + 1) * hdim];
+            let h0e = &mut scratch.h0[e * hdim..(e + 1) * hdim];
+            let mut a_e = 0.0f32;
+            for (h, (x0h, h0h)) in x0e.iter_mut().zip(h0e.iter_mut()).enumerate() {
+                let mut acc = self.b0(pt, h);
+                for (k, &bv) in bk.iter().enumerate() {
+                    acc += self.w0(pt, h, k) * bv;
+                }
+                *x0h = acc;
+                let hh = silu32(acc);
+                *h0h = hh;
+                a_e += self.wv(h) * hh;
+            }
+            scratch.a[e] = a_e;
+            v[0] += uh[0] * a_e;
+            v[1] += uh[1] * a_e;
+            v[2] += uh[2] * a_e;
+        }
+        let q = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
+        // ---- layer 1 + energy ----
+        for (e, x1e) in scratch.x1.chunks_exact_mut(hdim).take(ne).enumerate() {
+            let uh = scratch.uhat[e];
+            let p_e = v[0] * uh[0] + v[1] * uh[1] + v[2] * uh[2];
+            // p is recomputed in the reverse pass from uhat; gp stages it.
+            let h0e = &scratch.h0[e * hdim..(e + 1) * hdim];
+            for (h, x1h) in x1e.iter_mut().enumerate() {
+                let mut acc = self.b1(h);
+                for (z, &h0z) in h0e.iter().enumerate() {
+                    acc += self.u(h, z) * h0z;
+                }
+                acc += self.u(h, hdim) * q;
+                acc += self.u(h, hdim + 1) * p_e;
+                *x1h = acc;
+                energy += self.we(h) * silu32(acc);
+            }
+        }
+        // ---- reverse pass A: gq, gp, gh0 through layer 1 ----
+        let mut gq = 0.0f32;
+        for (e, x1e) in scratch.x1.chunks_exact(hdim).take(ne).enumerate() {
+            let gh0e = &mut scratch.gh0[e * hdim..(e + 1) * hdim];
+            for (h, &x1h) in x1e.iter().enumerate() {
+                let gx1 = self.we(h) * silu_deriv32(x1h);
+                for (z, g0) in gh0e.iter_mut().enumerate() {
+                    *g0 += gx1 * self.u(h, z);
+                }
+                gq += gx1 * self.u(h, hdim);
+                scratch.gp[e] += gx1 * self.u(h, hdim + 1);
+            }
+        }
+        // ---- vector-channel gradient ----
+        let mut gv = [v[0] * 2.0 * gq, v[1] * 2.0 * gq, v[2] * 2.0 * gq];
+        for (uh, &gpe) in scratch.uhat.iter().zip(&scratch.gp) {
+            gv[0] += uh[0] * gpe;
+            gv[1] += uh[1] * gpe;
+            gv[2] += uh[2] * gpe;
+        }
+        // ---- reverse pass B: per-edge chains → forces ----
+        for (e, pr) in pairs.iter().enumerate() {
+            let uh = scratch.uhat[e];
+            let a_e = scratch.a[e];
+            let gpe = scratch.gp[e];
+            let pt = scratch.pt[e];
+            let ga = uh[0] * gv[0] + uh[1] * gv[1] + uh[2] * gv[2];
+            let x0e = &scratch.x0[e * hdim..(e + 1) * hdim];
+            let gh0e = &scratch.gh0[e * hdim..(e + 1) * hdim];
+            let dbe = &scratch.db[e * kdim..(e + 1) * kdim];
+            let mut gr = 0.0f32;
+            for (h, (&x0h, &gh0l1)) in x0e.iter().zip(gh0e.iter()).enumerate() {
+                let gh0 = gh0l1 + self.wv(h) * ga;
+                let gx0 = gh0 * silu_deriv32(x0h);
+                for (k, &dbv) in dbe.iter().enumerate() {
+                    gr += gx0 * self.w0(pt, h, k) * dbv;
+                }
+            }
+            let gu = [
+                v[0] * gpe + gv[0] * a_e,
+                v[1] * gpe + gv[1] * a_e,
+                v[2] * gpe + gv[2] * a_e,
+            ];
+            let udot = uh[0] * gu[0] + uh[1] * gu[1] + uh[2] * gu[2];
+            let inv_r = 1.0 / scratch.r[e];
+            let g_dr = Vec3::new(
+                (uh[0] * gr + (gu[0] - uh[0] * udot) * inv_r) as f64,
+                (uh[1] * gr + (gu[1] - uh[1] * udot) * inv_r) as f64,
+                (uh[2] * gr + (gu[2] - uh[2] * udot) * inv_r) as f64,
+            );
+            forces[pr.j] -= g_dr;
+            forces[i] += g_dr;
+        }
+        energy as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -615,5 +904,115 @@ mod tests {
             m1.evaluate(&species, &positions, bl).energy,
             m2.evaluate(&species, &positions, bl).energy
         );
+    }
+
+    /// Full quantized-path evaluation over a system: sum of
+    /// `accumulate_center` over all atoms with shared neighbor lists.
+    fn quantized_evaluate(
+        qm: &QuantizedModel,
+        species: &[Species],
+        positions: &[Vec3],
+        bl: Vec3,
+    ) -> (f64, Vec<Vec3>) {
+        let cl = CellList::build(positions, bl, qm.rcut());
+        let lists = cl.full_lists(positions);
+        let mut scratch = QuantScratch::default();
+        let mut energy = 0.0;
+        let mut forces = vec![Vec3::ZERO; positions.len()];
+        for (i, neigh) in lists.iter().enumerate() {
+            energy += qm.accumulate_center(&mut scratch, species, neigh, i, &mut forces);
+        }
+        (energy, forces)
+    }
+
+    #[test]
+    fn quantized_params_are_bf16_representable() {
+        let model = AllegroLite::new(ModelConfig::default(), 43);
+        let qm = QuantizedModel::from_model(&model);
+        assert_eq!(qm.n_params(), model.n_params());
+        for &p in &qm.params {
+            assert_eq!(bf16::quantize(p), p, "quantization must be idempotent");
+        }
+    }
+
+    #[test]
+    fn quantized_tracks_f64_reference() {
+        let (species, positions, bl) = cluster(12, 21);
+        let model = AllegroLite::new(ModelConfig::default(), 47);
+        let reference = model.evaluate(&species, &positions, bl);
+        let qm = QuantizedModel::from_model(&model);
+        let (energy, forces) = quantized_evaluate(&qm, &species, &positions, bl);
+        let fmax = reference
+            .forces
+            .iter()
+            .map(|f| f.norm())
+            .fold(0.0_f64, f64::max);
+        assert!(
+            (energy - reference.energy).abs() < 0.02 * reference.energy.abs().max(1.0),
+            "energy {energy} vs {}",
+            reference.energy
+        );
+        for (a, b) in forces.iter().zip(&reference.forces) {
+            let err = (*a - *b).norm();
+            assert!(
+                err < 0.05 * fmax + 1e-4,
+                "force error {err} too large (fmax {fmax})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_obeys_newtons_third_law() {
+        // Per-edge ± accumulation cancels pairwise, so the total force is
+        // zero to f64 summation noise even on the quantized surface.
+        let (species, positions, bl) = cluster(10, 6);
+        let model = AllegroLite::new(ModelConfig::default(), 19);
+        let qm = QuantizedModel::from_model(&model);
+        let (_, forces) = quantized_evaluate(&qm, &species, &positions, bl);
+        let total: Vec3 = forces.iter().copied().sum();
+        assert!(total.norm() < 1e-9, "forces must sum to zero: {total:?}");
+    }
+
+    #[test]
+    fn quantized_is_deterministic() {
+        let (species, positions, bl) = cluster(9, 14);
+        let model = AllegroLite::new(ModelConfig::default(), 53);
+        let q1 = QuantizedModel::from_model(&model);
+        let q2 = QuantizedModel::from_model(&model);
+        let (e1, f1) = quantized_evaluate(&q1, &species, &positions, bl);
+        let (e2, f2) = quantized_evaluate(&q2, &species, &positions, bl);
+        assert_eq!(e1.to_bits(), e2.to_bits());
+        for (a, b) in f1.iter().zip(&f2) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+        }
+    }
+
+    #[test]
+    fn quantized_forces_approximate_quantized_energy_gradient() {
+        // The f32 reverse pass must be the exact-in-structure gradient of
+        // the f32 forward; against a central difference of the quantized
+        // energy the residual is only f32 rounding noise.
+        let (species, positions, bl) = cluster(8, 1);
+        let model = AllegroLite::new(ModelConfig::default(), 7);
+        let qm = QuantizedModel::from_model(&model);
+        let (_, forces) = quantized_evaluate(&qm, &species, &positions, bl);
+        let h = 1e-3;
+        let fscale = forces.iter().map(|f| f.norm()).fold(0.0_f64, f64::max);
+        for atom in [0usize, 5] {
+            for axis in 0..3 {
+                let mut plus = positions.clone();
+                plus[atom][axis] += h;
+                let mut minus = positions.clone();
+                minus[atom][axis] -= h;
+                let (ep, _) = quantized_evaluate(&qm, &species, &plus, bl);
+                let (em, _) = quantized_evaluate(&qm, &species, &minus, bl);
+                let f_num = -(ep - em) / (2.0 * h);
+                let f_ana = forces[atom][axis];
+                assert!(
+                    (f_ana - f_num).abs() < 5e-3 * (1.0 + fscale),
+                    "atom {atom} axis {axis}: {f_ana} vs {f_num}"
+                );
+            }
+        }
     }
 }

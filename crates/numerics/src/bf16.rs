@@ -226,6 +226,69 @@ mod tests {
     }
 
     #[test]
+    fn quantize_is_monotone() {
+        // Round-to-nearest-even is order-preserving: x ≤ y ⇒ q(x) ≤ q(y).
+        let mut xs: Vec<f32> = vec![
+            f32::NEG_INFINITY,
+            -3.4e38,
+            -1.0,
+            -1e-3,
+            -1e-40,
+            -0.0,
+            0.0,
+            1e-45,
+            1e-40,
+            f32::MIN_POSITIVE,
+            1e-3,
+            0.1,
+            1.0,
+            1.5,
+            3.4e38,
+            f32::INFINITY,
+        ];
+        for i in 0..1000 {
+            xs.push((i as f32 - 500.0) * 0.037);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in xs.windows(2) {
+            let (qa, qb) = (bf16::quantize(w[0]), bf16::quantize(w[1]));
+            assert!(
+                qa <= qb,
+                "monotonicity violated: q({}) = {qa} > q({}) = {qb}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn nan_round_trip_is_quiet_and_sign_preserving() {
+        let q = bf16::from_f32(f32::NAN);
+        assert!(q.to_f32().is_nan());
+        assert_ne!(q.0 & 0x0040, 0, "quiet bit must be set");
+        let neg = bf16::from_f32(f32::from_bits(0xFFC0_0000));
+        assert!(neg.to_f32().is_nan());
+        assert!(neg.to_f32().is_sign_negative());
+    }
+
+    #[test]
+    fn subnormals_round_trip_or_flush_to_signed_zero() {
+        // A bf16-representable f32 subnormal survives the round trip exactly.
+        let s = f32::from_bits(0x0001_0000);
+        assert!(s.is_subnormal());
+        assert_eq!(bf16::quantize(s).to_bits(), s.to_bits());
+        // Subnormals below bf16 resolution flush to zero, keeping the sign.
+        assert_eq!(
+            bf16::quantize(f32::from_bits(1)).to_bits(),
+            0.0f32.to_bits()
+        );
+        assert_eq!(
+            bf16::quantize(f32::from_bits(0x8000_0001)).to_bits(),
+            (-0.0f32).to_bits()
+        );
+    }
+
+    #[test]
     fn product_pair_counts_match_mkl() {
         assert_eq!(SplitMode::Bf16.product_count(), 1);
         assert_eq!(SplitMode::Bf16x2.product_count(), 3);

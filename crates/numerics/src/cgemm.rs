@@ -15,7 +15,7 @@
 
 use crate::bf16::{split_slice, SplitMode};
 use crate::complex::{Complex, Real};
-use crate::gemm::{gemm_blocked, gemm_parallel};
+use crate::gemm::{gemm_blocked, gemm_parallel, gemm_strided, MatRef};
 use crate::matrix::Matrix;
 use rayon::prelude::*;
 
@@ -41,10 +41,11 @@ impl Op {
 
 /// General complex GEMM: `C = alpha·op(A)·op(B) + beta·C`.
 ///
-/// `Op::N/Op::N` dispatches to the blocked kernel; other combinations
-/// materialize the transposed operand first (they are off the hot path —
-/// `nlp_prop` only ever uses H·N and N·N, both of which avoid full
-/// materialization via [`overlap`]).
+/// `Op::N/Op::N` dispatches to the blocked kernel and `Op::H/Op::N` to the
+/// tuned [`overlap`] fast path (the two shapes `nlp_prop` uses); every
+/// other combination goes through [`gemm_strided`] with a [`MatRef`]
+/// stride-swap/conjugation view — the pack stage of the blocked kernel
+/// absorbs the transpose, so no operand is ever materialized.
 pub fn cgemm<T: Real>(
     opa: Op,
     opb: Op,
@@ -59,22 +60,17 @@ pub fn cgemm<T: Real>(
     assert_eq!(ka, kb, "CGEMM inner dimensions differ");
     assert_eq!(c.rows(), ma, "CGEMM C row mismatch");
     assert_eq!(c.cols(), nb, "CGEMM C col mismatch");
+    fn view<T: Real>(m: &Matrix<Complex<T>>, op: Op) -> MatRef<'_, Complex<T>> {
+        match op {
+            Op::N => MatRef::from_matrix(m),
+            Op::T => MatRef::transposed(m),
+            Op::H => MatRef::conj_transposed(m),
+        }
+    }
     match (opa, opb) {
         (Op::N, Op::N) => gemm_blocked(alpha, a, b, beta, c),
         (Op::H, Op::N) => overlap(alpha, a, b, beta, c),
-        (opa, opb) => {
-            let at = match opa {
-                Op::N => a.clone(),
-                Op::T => a.transpose(),
-                Op::H => a.conj_transpose(),
-            };
-            let bt = match opb {
-                Op::N => b.clone(),
-                Op::T => b.transpose(),
-                Op::H => b.conj_transpose(),
-            };
-            gemm_blocked(alpha, &at, &bt, beta, c);
-        }
+        (opa, opb) => gemm_strided(alpha, view(a, opa), view(b, opb), beta, c),
     }
 }
 
@@ -94,6 +90,7 @@ pub fn overlap<T: Real>(
     let (ma, nb) = (a.cols(), b.cols());
     assert_eq!(c.rows(), ma);
     assert_eq!(c.cols(), nb);
+    crate::flops::record_gemm(cgemm_flops(ma, nb, a.rows()));
     let a_ref = a;
     let b_ref = b;
     c.as_mut_slice()

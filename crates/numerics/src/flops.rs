@@ -47,6 +47,37 @@ impl Clone for FlopCounter {
     }
 }
 
+thread_local! {
+    static GEMM_TALLY: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Record `n` FLOPs on the calling thread's GEMM tally.
+///
+/// The GEMM entry points in [`crate::gemm`] and [`crate::cgemm`] call this
+/// once per kernel invocation with the *analytic* count of the problem
+/// shape (`MAC_FLOPS · m·n·k`), not a count derived from the loop
+/// structure — so the naive oracle and the blocked kernel record identical
+/// totals for the same shape by construction (the invariant the `hotspots`
+/// bench and the flops regression test pin). The tally is thread-local and
+/// charged on the thread that *enters* the kernel (parallel kernels charge
+/// the caller, not the pool workers), which keeps readings deterministic
+/// under a multi-threaded test runner.
+#[inline]
+pub fn record_gemm(n: u64) {
+    GEMM_TALLY.with(|t| t.set(t.get() + n));
+}
+
+/// Total GEMM FLOPs recorded on this thread since the last
+/// [`reset_gemm_tally`].
+pub fn gemm_tally() -> u64 {
+    GEMM_TALLY.with(|t| t.get())
+}
+
+/// Zero this thread's GEMM tally, returning the previous total.
+pub fn reset_gemm_tally() -> u64 {
+    GEMM_TALLY.with(|t| t.replace(0))
+}
+
 /// A measured kernel: FLOPs and wall-clock time.
 #[derive(Clone, Copy, Debug)]
 pub struct FlopReport {

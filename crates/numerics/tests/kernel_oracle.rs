@@ -1,0 +1,296 @@
+//! Differential kernel-oracle harness (PR 10).
+//!
+//! The blocked/packed GEMM tiers promise more than tolerance-level
+//! agreement: every tier folds each output element identically (beta-scaled
+//! start, ascending-`p` terms `a·(alpha·b)`), so naive, blocked at *any*
+//! block-size choice, strided views at any transpose/conjugation flag, and
+//! the parallel kernel at *any* pool width must produce **bit-identical**
+//! results. This harness pins that contract with proptest-generated shapes,
+//! scalars, strides, and op flags — a regression here means someone
+//! reassociated a floating-point fold, which would silently break every
+//! trajectory pin upstream.
+//!
+//! The one deliberate exception is [`overlap`] (CGEMM(1), `A†B`): its tuned
+//! fold accumulates from zero (`acc = Σ conj(a)·b`, then `alpha·acc +
+//! beta·c`), which is *not* the canonical fold. It is pinned separately:
+//! tolerance-level agreement with the materialized oracle, and bit-level
+//! determinism across pool widths.
+
+use mlmd_numerics::cgemm::{cgemm, overlap, Op};
+use mlmd_numerics::complex::c64;
+use mlmd_numerics::flops;
+use mlmd_numerics::gemm::{
+    gemm_blocked, gemm_blocked_with, gemm_flops, gemm_naive, gemm_parallel, gemm_strided,
+    BlockSizes, MatRef,
+};
+use mlmd_numerics::matrix::Matrix;
+use mlmd_numerics::rng::{Rng64, SplitMix64};
+use proptest::prelude::*;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+    let mut rng = SplitMix64::new(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.next_f64() - 0.5)
+}
+
+fn random_cmatrix(rows: usize, cols: usize, seed: u64) -> Matrix<c64> {
+    let mut rng = SplitMix64::new(seed);
+    Matrix::from_fn(rows, cols, |_, _| {
+        c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)
+    })
+}
+
+/// First bit-level mismatch between two f64 matrices, if any.
+fn bit_mismatch(a: &Matrix<f64>, b: &Matrix<f64>) -> Option<String> {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .enumerate()
+        .find(|(_, (x, y))| x.to_bits() != y.to_bits())
+        .map(|(idx, (x, y))| format!("index {idx}: {x:e} vs {y:e}"))
+}
+
+/// First bit-level mismatch between two complex matrices, if any.
+fn bit_mismatch_c(a: &Matrix<c64>, b: &Matrix<c64>) -> Option<String> {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .enumerate()
+        .find(|(_, (x, y))| x.re.to_bits() != y.re.to_bits() || x.im.to_bits() != y.im.to_bits())
+        .map(|(idx, (x, y))| format!("index {idx}: {x:?} vs {y:?}"))
+}
+
+fn op_from(i: usize) -> Op {
+    [Op::N, Op::T, Op::H][i % 3]
+}
+
+fn materialize(m: &Matrix<c64>, op: Op) -> Matrix<c64> {
+    match op {
+        Op::N => m.clone(),
+        Op::T => m.transpose(),
+        Op::H => m.conj_transpose(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Blocked == naive, bit for bit, across shapes and alpha/beta.
+    #[test]
+    fn blocked_is_bit_identical_to_naive(
+        m in 1usize..34, k in 1usize..34, n in 1usize..34,
+        alpha in -2.0f64..2.0, beta in -2.0f64..2.0, seed in 0u64..1000
+    ) {
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed.wrapping_add(1));
+        let mut c0 = random_matrix(m, n, seed.wrapping_add(2));
+        let mut c1 = c0.clone();
+        gemm_naive(alpha, &a, &b, beta, &mut c0);
+        gemm_blocked(alpha, &a, &b, beta, &mut c1);
+        let diff = bit_mismatch(&c0, &c1);
+        prop_assert!(diff.is_none(), "shape ({m},{k},{n}): {diff:?}");
+    }
+
+    /// Block-size sweep: every MC/KC/MR/NR choice produces the same bits.
+    #[test]
+    fn block_sizes_are_bit_invariant(
+        m in 1usize..40, k in 1usize..40, n in 1usize..40,
+        mc in 1usize..48, kc in 1usize..48, mr in 1usize..10, nr in 1usize..10,
+        seed in 0u64..1000
+    ) {
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed.wrapping_add(1));
+        let c0 = random_matrix(m, n, seed.wrapping_add(2));
+        let mut reference = c0.clone();
+        gemm_blocked(1.3, &a, &b, -0.7, &mut reference);
+        let bs = BlockSizes { mc, kc, mr, nr };
+        let mut c = c0.clone();
+        gemm_blocked_with(bs, 1.3, &a, &b, -0.7, &mut c);
+        let diff = bit_mismatch(&reference, &c);
+        prop_assert!(diff.is_none(), "({m},{k},{n}) {bs:?}: {diff:?}");
+    }
+
+    /// Complex blocked == complex naive, bit for bit.
+    #[test]
+    fn complex_blocked_is_bit_identical_to_naive(
+        m in 1usize..20, k in 1usize..20, n in 1usize..20, seed in 0u64..1000
+    ) {
+        let a = random_cmatrix(m, k, seed);
+        let b = random_cmatrix(k, n, seed.wrapping_add(1));
+        let mut c0 = random_cmatrix(m, n, seed.wrapping_add(2));
+        let mut c1 = c0.clone();
+        let alpha = c64::new(0.8, -0.3);
+        let beta = c64::new(-0.2, 0.5);
+        gemm_naive(alpha, &a, &b, beta, &mut c0);
+        gemm_blocked(alpha, &a, &b, beta, &mut c1);
+        let diff = bit_mismatch_c(&c0, &c1);
+        prop_assert!(diff.is_none(), "shape ({m},{k},{n}): {diff:?}");
+    }
+
+    /// Strided/transposed views feed the packed kernel the same values a
+    /// materialized transpose would — bit-identical output.
+    #[test]
+    fn strided_views_bit_match_materialized(
+        m in 1usize..16, k in 1usize..16, n in 1usize..16,
+        ta_bit in 0usize..2, tb_bit in 0usize..2,
+        seed in 0u64..1000
+    ) {
+        let (ta, tb) = (ta_bit == 1, tb_bit == 1);
+        // Operands stored transposed when the flag is set, viewed back.
+        let a_store = if ta { random_matrix(k, m, seed) } else { random_matrix(m, k, seed) };
+        let b_store = if tb { random_matrix(n, k, seed + 1) } else { random_matrix(k, n, seed + 1) };
+        let a_view = if ta { MatRef::transposed(&a_store) } else { MatRef::from_matrix(&a_store) };
+        let b_view = if tb { MatRef::transposed(&b_store) } else { MatRef::from_matrix(&b_store) };
+        let c0 = random_matrix(m, n, seed + 2);
+        let mut c_view = c0.clone();
+        gemm_strided(1.1, a_view, b_view, 0.6, &mut c_view);
+        let a_mat = if ta { a_store.transpose() } else { a_store.clone() };
+        let b_mat = if tb { b_store.transpose() } else { b_store.clone() };
+        let mut c_mat = c0.clone();
+        gemm_naive(1.1, &a_mat, &b_mat, 0.6, &mut c_mat);
+        let diff = bit_mismatch(&c_view, &c_mat);
+        prop_assert!(diff.is_none(), "({m},{k},{n}) ta={ta} tb={tb}: {diff:?}");
+    }
+
+    /// A non-contiguous column-strided view (every other column of a wider
+    /// buffer) matches the materialized submatrix.
+    #[test]
+    fn sub_strided_view_bit_matches(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..1000
+    ) {
+        let a = random_matrix(m, k, seed);
+        let wide = random_matrix(k, 2 * n, seed + 1);
+        // Odd columns of `wide` as a strided view: rs=1, cs=2k, offset k.
+        let b_view = MatRef::new(&wide.as_slice()[k..], k, n, 1, 2 * k, false);
+        let b_mat = Matrix::from_fn(k, n, |i, j| wide[(i, 2 * j + 1)]);
+        let mut c_view = Matrix::<f64>::zeros(m, n);
+        gemm_strided(1.0, MatRef::from_matrix(&a), b_view, 0.0, &mut c_view);
+        let mut c_mat = Matrix::<f64>::zeros(m, n);
+        gemm_naive(1.0, &a, &b_mat, 0.0, &mut c_mat);
+        let diff = bit_mismatch(&c_view, &c_mat);
+        prop_assert!(diff.is_none(), "({m},{k},{n}): {diff:?}");
+    }
+
+    /// Every cgemm op combination matches the materialize-then-naive
+    /// oracle — bit-identical except the tuned H·N fast path ([`overlap`]),
+    /// whose distinct (pinned) fold gets tolerance-level agreement plus its
+    /// own determinism test below.
+    #[test]
+    fn cgemm_ops_match_materialized_oracle(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12,
+        ia in 0usize..3, ib in 0usize..3, seed in 0u64..1000
+    ) {
+        let (opa, opb) = (op_from(ia), op_from(ib));
+        let a_dims = match opa { Op::N => (m, k), _ => (k, m) };
+        let b_dims = match opb { Op::N => (k, n), _ => (n, k) };
+        let a = random_cmatrix(a_dims.0, a_dims.1, seed);
+        let b = random_cmatrix(b_dims.0, b_dims.1, seed + 1);
+        let c0 = random_cmatrix(m, n, seed + 2);
+        let alpha = c64::new(0.4, -0.6);
+        let beta = c64::new(0.3, 0.1);
+        let mut c = c0.clone();
+        cgemm(opa, opb, alpha, &a, &b, beta, &mut c);
+        let (am, bm) = (materialize(&a, opa), materialize(&b, opb));
+        let mut r = c0.clone();
+        gemm_naive(alpha, &am, &bm, beta, &mut r);
+        if opa == Op::H && opb == Op::N {
+            prop_assert!(c.max_abs_diff(&r) < 1e-12 * (k as f64 + 1.0), "overlap fast path");
+        } else {
+            let diff = bit_mismatch_c(&c, &r);
+            prop_assert!(diff.is_none(), "ops {opa:?},{opb:?} ({m},{k},{n}): {diff:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Pool-width invariance: the parallel kernel decomposes work into
+    /// fixed-width column strips, so widths 1/2/4 all reproduce the serial
+    /// bits. Shapes are chosen above the serial-delegation threshold so the
+    /// parallel branch actually runs.
+    #[test]
+    fn parallel_is_pool_width_invariant(
+        m in 48usize..72, k in 48usize..72, n in 16usize..28, seed in 0u64..1000
+    ) {
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed + 1);
+        let c0 = random_matrix(m, n, seed + 2);
+        let mut serial = c0.clone();
+        gemm_blocked(0.9, &a, &b, 0.4, &mut serial);
+        for width in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(width)
+                .build()
+                .expect("pool");
+            let mut c = c0.clone();
+            pool.install(|| gemm_parallel(0.9, &a, &b, 0.4, &mut c));
+            let diff = bit_mismatch(&serial, &c);
+            prop_assert!(diff.is_none(), "width {width}: {diff:?}");
+        }
+    }
+
+    /// The overlap fast path is deterministic across pool widths even
+    /// though its fold differs from the canonical one.
+    #[test]
+    fn overlap_is_pool_width_invariant(
+        ngrid in 32usize..64, norb in 2usize..8, seed in 0u64..1000
+    ) {
+        let a = random_cmatrix(ngrid, norb, seed);
+        let b = random_cmatrix(ngrid, norb, seed + 1);
+        let s0 = random_cmatrix(norb, norb, seed + 2);
+        let alpha = c64::new(1.0, -0.1);
+        let beta = c64::new(0.2, 0.0);
+        let mut reference: Option<Matrix<c64>> = None;
+        for width in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(width)
+                .build()
+                .expect("pool");
+            let mut s = s0.clone();
+            pool.install(|| overlap(alpha, &a, &b, beta, &mut s));
+            match &reference {
+                None => reference = Some(s),
+                Some(r) => {
+                    let diff = bit_mismatch_c(r, &s);
+                    prop_assert!(diff.is_none(), "width {width}: {diff:?}");
+                }
+            }
+        }
+    }
+}
+
+/// Analytic FLOP accounting: every tier records the same count for the
+/// same shape — the loop structure cannot skew the tally.
+#[test]
+fn all_tiers_record_identical_flop_counts() {
+    let (m, k, n) = (19, 23, 11);
+    let a = random_matrix(m, k, 101);
+    let b = random_matrix(k, n, 102);
+    let expected = gemm_flops::<f64>(m, n, k);
+    let mut counts = Vec::new();
+    let mut c = Matrix::<f64>::zeros(m, n);
+    flops::reset_gemm_tally();
+    gemm_naive(1.0, &a, &b, 0.0, &mut c);
+    counts.push(flops::reset_gemm_tally());
+    gemm_blocked(1.0, &a, &b, 0.0, &mut c);
+    counts.push(flops::reset_gemm_tally());
+    gemm_blocked_with(
+        BlockSizes {
+            mc: 5,
+            kc: 3,
+            mr: 2,
+            nr: 2,
+        },
+        1.0,
+        &a,
+        &b,
+        0.0,
+        &mut c,
+    );
+    counts.push(flops::reset_gemm_tally());
+    gemm_parallel(1.0, &a, &b, 0.0, &mut c);
+    counts.push(flops::reset_gemm_tally());
+    for (i, &got) in counts.iter().enumerate() {
+        assert_eq!(got, expected, "tier {i} recorded a different FLOP count");
+    }
+}

@@ -66,6 +66,20 @@ impl VelocityVerlet {
     /// `sys.forces` must hold the forces at the current positions (call
     /// `ff.compute(sys)` once before the first step).
     pub fn step(&self, sys: &mut AtomsSystem, ff: &impl ForceField) -> f64 {
+        self.half_kick_drift(sys);
+        // New forces.
+        let pe = ff.compute(sys);
+        self.half_kick(sys);
+        pe
+    }
+
+    /// First half of a step: half kick from the stored forces, then drift.
+    /// Exposed so drivers that batch force evaluations across several
+    /// systems (e.g. cross-domain inference batching) can interleave the
+    /// two halves around one shared force call; `half_kick_drift` +
+    /// external `ff.compute` + [`half_kick`](Self::half_kick) is
+    /// bit-identical to [`step`](Self::step).
+    pub fn half_kick_drift(&self, sys: &mut AtomsSystem) {
         let dt = self.dt;
         let n = sys.len();
         // Half kick + drift.
@@ -75,14 +89,16 @@ impl VelocityVerlet {
             let v = sys.velocities[i];
             sys.positions[i] += v * dt;
         }
-        // New forces.
-        let pe = ff.compute(sys);
-        // Half kick.
+    }
+
+    /// Second half of a step: half kick from the freshly computed forces.
+    pub fn half_kick(&self, sys: &mut AtomsSystem) {
+        let dt = self.dt;
+        let n = sys.len();
         for i in 0..n {
             let inv_m = 1.0 / (sys.species[i].mass() * MASS_TIME_UNIT);
             sys.velocities[i] += sys.forces[i] * (0.5 * dt * inv_m);
         }
-        pe
     }
 
     /// Run `n_steps` and return (final potential energy, energy drift
@@ -180,6 +196,36 @@ mod tests {
             vv.step(&mut sys, &ff);
         }
         assert!((sys.positions[0] - x0).norm() < 1e-9);
+    }
+
+    #[test]
+    fn split_halves_recompose_step_bitwise() {
+        // half_kick_drift + compute + half_kick must be the same
+        // floating-point program as step (cross-domain batching relies
+        // on interleaving the halves around one shared force call).
+        use crate::ferro::{FerroModel, FerroParams};
+        use crate::perovskite::PerovskiteLattice;
+        let p = FerroParams::pbtio3();
+        let lat = PerovskiteLattice::uniform(2, 2, 2, Vec3::new(0.0, 0.0, 0.15));
+        let ff = FerroModel::new(&lat, p);
+        let vv = VelocityVerlet::new(0.2);
+        let mut whole = lat.system.clone();
+        let mut split = lat.system.clone();
+        ff.compute(&mut whole);
+        ff.compute(&mut split);
+        for _ in 0..5 {
+            vv.step(&mut whole, &ff);
+            vv.half_kick_drift(&mut split);
+            ff.compute(&mut split);
+            vv.half_kick(&mut split);
+        }
+        for (a, b) in whole.positions.iter().zip(&split.positions) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+        for (a, b) in whole.velocities.iter().zip(&split.velocities) {
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+        }
     }
 
     #[test]

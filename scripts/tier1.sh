@@ -55,6 +55,15 @@ cargo test -q --test floquet_sweep
 echo "==> cargo bench -p mlmd-bench --bench floquet -- --test  (smoke + <10% observer-overhead assert)"
 cargo bench -p mlmd-bench --bench floquet -- --test
 
+echo "==> cargo test -q -p mlmd-numerics --test kernel_oracle  (blocked/strided/parallel GEMM vs naive oracle, bit-for-bit)"
+cargo test -q -p mlmd-numerics --test kernel_oracle
+
+echo "==> cargo bench -p mlmd-bench --bench hotspots -- --test  (smoke + blocked>=1.3x naive GEMM gate)"
+cargo bench -p mlmd-bench --bench hotspots -- --test
+
+echo "==> cargo bench -p mlmd-bench --bench precision -- --test  (smoke + bf16 accuracy-envelope assert)"
+cargo bench -p mlmd-bench --bench precision -- --test
+
 echo "==> cargo doc --no-deps  (warnings as errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
